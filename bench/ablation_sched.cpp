@@ -1,0 +1,140 @@
+// ablation_sched — scheduler/pool-policy ablation on the threading kernel.
+//
+// Holds the workload fixed (N detached tasklets pushed by the main thread,
+// drained by a fixed number of streams) while swapping the scheduling
+// discipline — the axis Table I's "Plug-in Scheduler" row is about:
+//   * shared FIFO pool (Go/gcc topology)
+//   * lock-free MPMC shared pool
+//   * private FIFO pools with round-robin dispatch (Argobots private)
+//   * private LIFO pools + random work stealing (MassiveThreads)
+//   * priority pool, all units least-urgent (overhead of the discipline)
+//
+// LWTBENCH_N overrides the unit count (default 2,000).
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "benchsupport/stats.hpp"
+#include "core/pool.hpp"
+#include "core/priority_pool.hpp"
+#include "core/runtime.hpp"
+#include "core/scheduler.hpp"
+
+namespace {
+
+using lwt::core::DequePool;
+using lwt::core::MpmcPool;
+using lwt::core::Pool;
+using lwt::core::PriorityPool;
+using lwt::core::Runtime;
+using lwt::core::Scheduler;
+using lwt::core::SharedFifoPool;
+using lwt::core::StealingScheduler;
+using lwt::core::Tasklet;
+
+enum class Policy {
+    kSharedFifo,
+    kSharedMpmc,
+    kSharedUnbounded,
+    kPrivateRoundRobin,
+    kPrivateStealing,
+    kPriority,
+};
+
+const char* policy_name(Policy p) {
+    switch (p) {
+        case Policy::kSharedFifo: return "shared FIFO (Go/gcc)";
+        case Policy::kSharedMpmc: return "shared MPMC lock-free";
+        case Policy::kSharedUnbounded: return "shared MS-queue unbounded";
+        case Policy::kPrivateRoundRobin: return "private FIFO + round-robin";
+        case Policy::kPrivateStealing: return "private LIFO + stealing";
+        case Policy::kPriority: return "priority pool";
+    }
+    return "?";
+}
+
+double run_policy(Policy policy, std::size_t threads, std::size_t n,
+                  std::size_t reps, std::size_t warmup) {
+    // Build pools per policy.
+    std::vector<std::unique_ptr<Pool>> pools;
+    const bool shared = policy == Policy::kSharedFifo ||
+                        policy == Policy::kSharedMpmc ||
+                        policy == Policy::kSharedUnbounded ||
+                        policy == Policy::kPriority;
+    if (policy == Policy::kSharedFifo) {
+        pools.push_back(std::make_unique<SharedFifoPool>());
+    } else if (policy == Policy::kSharedMpmc) {
+        pools.push_back(std::make_unique<MpmcPool>());
+    } else if (policy == Policy::kSharedUnbounded) {
+        pools.push_back(std::make_unique<lwt::core::UnboundedSharedPool>());
+    } else if (policy == Policy::kPriority) {
+        pools.push_back(std::make_unique<PriorityPool<4>>());
+    } else {
+        for (std::size_t i = 0; i < threads; ++i) {
+            pools.push_back(std::make_unique<DequePool>(
+                policy == Policy::kPrivateStealing
+                    ? DequePool::PopOrder::kLifo
+                    : DequePool::PopOrder::kFifo));
+        }
+    }
+    std::vector<Pool*> raw;
+    raw.reserve(pools.size());
+    for (auto& p : pools) {
+        raw.push_back(p.get());
+    }
+
+    Runtime rt(threads, [&](unsigned rank) -> std::unique_ptr<Scheduler> {
+        if (shared) {
+            return std::make_unique<Scheduler>(std::vector<Pool*>{raw[0]});
+        }
+        if (policy == Policy::kPrivateStealing) {
+            return std::make_unique<StealingScheduler>(raw[rank], raw,
+                                                       0x9e3779b9u + rank);
+        }
+        return std::make_unique<Scheduler>(std::vector<Pool*>{raw[rank]});
+    });
+
+    std::atomic<std::size_t> done{0};
+    auto once = [&] {
+        const std::size_t before = done.load();
+        for (std::size_t i = 0; i < n; ++i) {
+            auto* t = new Tasklet([&done] {
+                done.fetch_add(1, std::memory_order_relaxed);
+            });
+            t->detached = true;
+            raw[shared ? 0 : i % raw.size()]->push(t);
+        }
+        rt.primary().run_until([&] { return done.load() >= before + n; });
+    };
+    return lwt::benchsupport::measure_ms(reps, warmup, once).mean;
+}
+
+}  // namespace
+
+int main() {
+    const auto sweep = lwt::benchsupport::SweepConfig::from_env();
+    const std::size_t n = lwtbench::env_size("LWTBENCH_N", 2000);
+    const Policy policies[] = {
+        Policy::kSharedFifo,        Policy::kSharedMpmc,
+        Policy::kSharedUnbounded,   Policy::kPrivateRoundRobin,
+        Policy::kPrivateStealing,   Policy::kPriority};
+
+    std::printf("# Ablation: scheduling policy, %zu detached tasklets\n", n);
+    std::printf("# reps=%zu warmup=%zu unit=ms\n", sweep.reps, sweep.warmup);
+    std::printf("threads");
+    for (Policy p : policies) {
+        std::printf(",%s", policy_name(p));
+    }
+    std::printf("\n");
+    for (std::size_t threads : sweep.thread_counts) {
+        std::printf("%zu", threads);
+        for (Policy p : policies) {
+            std::printf(",%.6f",
+                        run_policy(p, threads, n, sweep.reps, sweep.warmup));
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

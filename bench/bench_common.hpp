@@ -1,0 +1,105 @@
+// bench_common.hpp — shared plumbing for the per-figure bench binaries.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "benchsupport/harness.hpp"
+#include "patterns/patterns.hpp"
+
+namespace lwtbench {
+
+using lwt::benchsupport::Series;
+using lwt::benchsupport::Summary;
+using lwt::benchsupport::SweepConfig;
+using lwt::patterns::PatternRunner;
+using lwt::patterns::Variant;
+
+/// Env helper with default.
+inline std::size_t env_size(const char* name, std::size_t fallback) {
+    if (const char* v = std::getenv(name)) {
+        const long parsed = std::atol(v);
+        if (parsed > 0) {
+            return static_cast<std::size_t>(parsed);
+        }
+    }
+    return fallback;
+}
+
+/// Build one harness Series per library configuration. `make` receives the
+/// booted runner and returns the per-repetition body; the runner stays
+/// alive for the series point's lifetime (boot excluded from timing).
+inline std::vector<Series> variant_series(
+    const std::function<std::function<void()>(PatternRunner&)>& make) {
+    std::vector<Series> out;
+    for (Variant variant : lwt::patterns::all_variants()) {
+        out.push_back(Series{
+            std::string(lwt::patterns::variant_name(variant)),
+            [variant, make](std::size_t threads) -> std::function<void()> {
+                std::shared_ptr<PatternRunner> runner =
+                    lwt::patterns::make_runner(variant, threads);
+                auto body = make(*runner);
+                return [runner, body] { body(); };
+            }});
+    }
+    return out;
+}
+
+/// Figures 2/3 need phase-separated timing; this sweeps every variant and
+/// prints the chosen phase (0 = create, 1 = join).
+inline void run_create_join_figure(const std::string& title, int phase) {
+    const SweepConfig config = SweepConfig::from_env();
+    std::printf("# %s\n", title.c_str());
+    std::printf("# reps=%zu warmup=%zu unit=ms\n", config.reps, config.warmup);
+    std::printf("threads");
+    for (Variant v : lwt::patterns::all_variants()) {
+        std::printf(",%s", std::string(lwt::patterns::variant_name(v)).c_str());
+    }
+    std::printf("\n");
+
+    // grid[variant][thread] of the chosen phase's Summary.
+    std::vector<std::vector<Summary>> grid;
+    for (Variant variant : lwt::patterns::all_variants()) {
+        std::vector<Summary> row;
+        for (std::size_t threads : config.thread_counts) {
+            auto runner = lwt::patterns::make_runner(variant, threads);
+            for (std::size_t w = 0; w < config.warmup; ++w) {
+                (void)runner->create_join_times([] {});
+            }
+            std::vector<double> samples;
+            samples.reserve(config.reps);
+            for (std::size_t r = 0; r < config.reps; ++r) {
+                const auto [create_ms, join_ms] =
+                    runner->create_join_times([] {});
+                samples.push_back(phase == 0 ? create_ms : join_ms);
+            }
+            row.push_back(Summary::of(samples));
+        }
+        grid.push_back(std::move(row));
+    }
+    for (std::size_t t = 0; t < config.thread_counts.size(); ++t) {
+        std::printf("%zu", config.thread_counts[t]);
+        for (const auto& row : grid) {
+            std::printf(",%.6f", row[t].mean);
+        }
+        std::printf("\n");
+    }
+    std::printf("# max RSD%% per series:");
+    const auto& variants = lwt::patterns::all_variants();
+    for (std::size_t s = 0; s < grid.size(); ++s) {
+        double worst = 0.0;
+        for (const Summary& sum : grid[s]) {
+            worst = std::max(worst, sum.rsd_percent);
+        }
+        std::printf(" %s=%.1f",
+                    std::string(lwt::patterns::variant_name(variants[s])).c_str(),
+                    worst);
+    }
+    std::printf("\n\n");
+}
+
+}  // namespace lwtbench

@@ -1,0 +1,94 @@
+// ext_lwomp_vs_momp — extension experiment for the paper's conclusion:
+// "This [common LWT] API could be placed under several high-level PMs,
+// such as OpenMP ... currently implemented on top of Pthreads."
+//
+// Same OpenMP-style nested-parallel-for workload (the Figure 7 pattern), three
+// runtimes: the gcc- and icc-flavoured Pthreads-backed mini-OpenMP, and
+// lwomp (OpenMP over the Argobots-like LWT backend). Reports both the wall
+// time and the number of OS threads each runtime had to create — the
+// mechanism behind the gap.
+//
+// LWTBENCH_NESTED_N overrides the per-loop iteration count (default 64).
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "benchsupport/stats.hpp"
+#include "lwomp/lwomp.hpp"
+#include "momp/momp.hpp"
+
+namespace {
+
+struct Row {
+    double mean_ms;
+    std::uint64_t os_threads;
+};
+
+Row run_momp(lwt::momp::Flavor flavor, std::size_t threads, std::size_t n,
+             std::size_t reps, std::size_t warmup) {
+    lwt::momp::Config cfg;
+    cfg.flavor = flavor;
+    cfg.num_threads = threads;
+    cfg.wait_policy = lwt::momp::WaitPolicy::kPassive;
+    lwt::momp::Runtime rt(cfg);
+    auto once = [&] {
+        rt.parallel_for(n, [&](std::size_t) {
+            rt.parallel_for(n, [](std::size_t) {
+                // Sscal-grade work per element.
+            });
+        });
+    };
+    const double mean =
+        lwt::benchsupport::measure_ms(reps, warmup, once).mean;
+    return Row{mean, rt.os_threads_created()};
+}
+
+Row run_lwomp(std::size_t threads, std::size_t n, std::size_t reps,
+              std::size_t warmup) {
+    lwt::lwomp::Config cfg;
+    cfg.num_streams = threads;
+    lwt::lwomp::Runtime rt(cfg);
+    auto once = [&] {
+        rt.parallel([&](lwt::lwomp::TeamCtx& outer) {
+            const std::size_t nth = outer.num_threads();
+            const std::size_t per = (n + nth - 1) / nth;
+            const std::size_t lo = outer.tid() * per;
+            const std::size_t hi = std::min(n, lo + per);
+            for (std::size_t i = lo; i < hi; ++i) {
+                outer.parallel([](lwt::lwomp::TeamCtx&) {});
+            }
+        });
+    };
+    const double mean =
+        lwt::benchsupport::measure_ms(reps, warmup, once).mean;
+    return Row{mean, rt.os_threads_created()};
+}
+
+}  // namespace
+
+int main() {
+    const auto sweep = lwt::benchsupport::SweepConfig::from_env();
+    const std::size_t n = lwtbench::env_size("LWTBENCH_NESTED_N", 64);
+
+    std::printf("# Extension: nested parallel for (%zux%zu) — OpenMP over "
+                "Pthreads vs over LWT\n",
+                n, n);
+    std::printf("# reps=%zu warmup=%zu unit=ms; *_thr = OS threads the "
+                "runtime created\n",
+                sweep.reps, sweep.warmup);
+    std::printf(
+        "threads,OMP (gcc),OMP (icc),lwomp (LWT),gcc_thr,icc_thr,lwomp_thr\n");
+    for (std::size_t threads : sweep.thread_counts) {
+        const Row gcc = run_momp(lwt::momp::Flavor::kGcc, threads, n,
+                                 sweep.reps, sweep.warmup);
+        const Row icc = run_momp(lwt::momp::Flavor::kIcc, threads, n,
+                                 sweep.reps, sweep.warmup);
+        const Row lw = run_lwomp(threads, n, sweep.reps, sweep.warmup);
+        std::printf("%zu,%.6f,%.6f,%.6f,%llu,%llu,%llu\n", threads, gcc.mean_ms,
+                    icc.mean_ms, lw.mean_ms,
+                    static_cast<unsigned long long>(gcc.os_threads),
+                    static_cast<unsigned long long>(icc.os_threads),
+                    static_cast<unsigned long long>(lw.os_threads));
+    }
+    return 0;
+}

@@ -1,0 +1,8 @@
+// Figure 1: Top500 cores-per-socket share, 2001-2015 (embedded
+// approximation; see DESIGN.md substitutions).
+#include <cstdio>
+#include "benchsupport/top500.hpp"
+int main() {
+    std::fputs(lwt::benchsupport::render_top500_csv().c_str(), stdout);
+    return 0;
+}

@@ -1,0 +1,7 @@
+// Figure 2: time to create one work unit per thread.
+#include "bench_common.hpp"
+int main() {
+    lwtbench::run_create_join_figure(
+        "Figure 2: create one work unit per thread", /*phase=*/0);
+    return 0;
+}

@@ -1,0 +1,7 @@
+// Figure 3: time to join one work unit per thread.
+#include "bench_common.hpp"
+int main() {
+    lwtbench::run_create_join_figure(
+        "Figure 3: join one work unit per thread", /*phase=*/1);
+    return 0;
+}

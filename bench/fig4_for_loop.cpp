@@ -1,0 +1,21 @@
+// Figure 4: 1,000-iteration Sscal for loop, one chunk per thread.
+// LWTBENCH_N overrides the iteration count.
+#include <memory>
+#include "bench_common.hpp"
+int main() {
+    const std::size_t n = lwtbench::env_size("LWTBENCH_N", 1000);
+    auto series = lwtbench::variant_series(
+        [n](lwtbench::PatternRunner& runner) -> std::function<void()> {
+            // alpha=1 keeps values stable across repetitions (no denormals).
+            auto problem = std::make_shared<lwt::patterns::Sscal>(n, 2.0f, 1.0f);
+            return [&runner, problem, n] {
+                runner.for_loop(n, [problem](std::size_t i) {
+                    problem->apply(i);
+                });
+            };
+        });
+    lwt::benchsupport::run_and_print(
+        "Figure 4: execution time of a 1,000-iteration for loop (Sscal)",
+        "ms", series);
+    return 0;
+}

@@ -1,0 +1,20 @@
+// Figure 5: 1,000 tasks created inside a single region (one creator
+// thread), one Sscal element per task. LWTBENCH_N overrides.
+#include <memory>
+#include "bench_common.hpp"
+int main() {
+    const std::size_t n = lwtbench::env_size("LWTBENCH_N", 1000);
+    auto series = lwtbench::variant_series(
+        [n](lwtbench::PatternRunner& runner) -> std::function<void()> {
+            auto problem = std::make_shared<lwt::patterns::Sscal>(n, 2.0f, 1.0f);
+            return [&runner, problem, n] {
+                runner.task_single(n, [problem](std::size_t i) {
+                    problem->apply(i);
+                });
+            };
+        });
+    lwt::benchsupport::run_and_print(
+        "Figure 5: execution time of 1,000 tasks created in a single region",
+        "ms", series);
+    return 0;
+}

@@ -1,0 +1,21 @@
+// Figure 6: 1,000 tasks created inside a parallel region (each thread
+// creates its own share; the paper's two-step pattern). LWTBENCH_N
+// overrides.
+#include <memory>
+#include "bench_common.hpp"
+int main() {
+    const std::size_t n = lwtbench::env_size("LWTBENCH_N", 1000);
+    auto series = lwtbench::variant_series(
+        [n](lwtbench::PatternRunner& runner) -> std::function<void()> {
+            auto problem = std::make_shared<lwt::patterns::Sscal>(n, 2.0f, 1.0f);
+            return [&runner, problem, n] {
+                runner.task_parallel(n, [problem](std::size_t i) {
+                    problem->apply(i);
+                });
+            };
+        });
+    lwt::benchsupport::run_and_print(
+        "Figure 6: execution time of 1,000 tasks created in a parallel region",
+        "ms", series);
+    return 0;
+}

@@ -1,0 +1,27 @@
+// Figure 8: nested task parallelism — 100 parent tasks each creating 4
+// child tasks (the paper's 400-task configuration). LWTBENCH_PARENTS /
+// LWTBENCH_CHILDREN override.
+#include <memory>
+#include "bench_common.hpp"
+int main() {
+    const std::size_t parents = lwtbench::env_size("LWTBENCH_PARENTS", 100);
+    const std::size_t children = lwtbench::env_size("LWTBENCH_CHILDREN", 4);
+    auto series = lwtbench::variant_series(
+        [parents, children](lwtbench::PatternRunner& runner)
+            -> std::function<void()> {
+            auto problem = std::make_shared<lwt::patterns::Sscal>(
+                parents * children, 2.0f, 1.0f);
+            return [&runner, problem, parents, children] {
+                runner.nested_task(parents, children,
+                                   [problem, children](std::size_t p,
+                                                       std::size_t c) {
+                                       problem->apply(p * children + c);
+                                   });
+            };
+        });
+    lwt::benchsupport::run_and_print(
+        "Figure 8: execution time of " + std::to_string(parents * children) +
+            " nested tasks",
+        "ms", series);
+    return 0;
+}

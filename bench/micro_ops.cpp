@@ -1,0 +1,281 @@
+// micro_ops — google-benchmark suite for the substrate primitives that the
+// paper's figures are built from: context switches, stack management,
+// locks, queues, FEB operations, and work-unit create/run costs. These
+// numbers explain *why* the figure-level results look the way they do
+// (e.g. tasklet create ≈ closure alloc, ULT create ≈ + stack + context).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "arch/fcontext.hpp"
+#include "arch/stack.hpp"
+#include "core/pool.hpp"
+#include "core/ult.hpp"
+#include "core/work_unit.hpp"
+#include "core/channel.hpp"
+#include "core/priority_pool.hpp"
+#include "core/sync_ult.hpp"
+#include "queue/chase_lev_deque.hpp"
+#include "queue/global_queue.hpp"
+#include "queue/hazard_pointers.hpp"
+#include "queue/locked_deque.hpp"
+#include "queue/mpmc_queue.hpp"
+#include "queue/ms_queue.hpp"
+#include "queue/spsc_ring.hpp"
+#include "sync/feb.hpp"
+#include "sync/mcs_lock.hpp"
+#include "sync/spinlock.hpp"
+
+namespace {
+
+using namespace lwt;
+
+// --- context switching -----------------------------------------------------
+
+void switcher_entry(arch::transfer_t t) {
+    for (;;) {
+        t = arch::lwt_jump_fcontext(t.fctx, t.data);
+    }
+}
+
+void BM_ContextSwitchRoundTrip(benchmark::State& state) {
+    arch::Stack stack = arch::Stack::allocate(64 * 1024);
+    arch::fcontext_t ctx = arch::lwt_make_fcontext(stack.top(), stack.usable(),
+                                                   &switcher_entry);
+    arch::transfer_t t{ctx, nullptr};
+    for (auto _ : state) {
+        t = arch::lwt_jump_fcontext(t.fctx, nullptr);
+    }
+}
+BENCHMARK(BM_ContextSwitchRoundTrip);
+
+void BM_StackAllocateFresh(benchmark::State& state) {
+    for (auto _ : state) {
+        arch::Stack s = arch::Stack::allocate(64 * 1024);
+        benchmark::DoNotOptimize(s.top());
+    }
+}
+BENCHMARK(BM_StackAllocateFresh);
+
+void BM_StackAcquireFromPool(benchmark::State& state) {
+    arch::StackPool pool(64 * 1024, 8);
+    for (auto _ : state) {
+        arch::Stack s = pool.acquire();
+        benchmark::DoNotOptimize(s.top());
+        pool.recycle(std::move(s));
+    }
+}
+BENCHMARK(BM_StackAcquireFromPool);
+
+// --- work-unit creation (the Figure 2 story) --------------------------------
+
+void BM_TaskletCreateDestroy(benchmark::State& state) {
+    for (auto _ : state) {
+        auto* t = new core::Tasklet([] {});
+        benchmark::DoNotOptimize(t);
+        delete t;
+    }
+}
+BENCHMARK(BM_TaskletCreateDestroy);
+
+void BM_UltCreateDestroyFreshStack(benchmark::State& state) {
+    for (auto _ : state) {
+        auto* u = new core::Ult([] {});
+        benchmark::DoNotOptimize(u);
+        delete u;
+    }
+}
+BENCHMARK(BM_UltCreateDestroyFreshStack);
+
+void BM_UltCreateDestroyPooledStack(benchmark::State& state) {
+    arch::StackPool pool(arch::default_stack_size(), 8);
+    for (auto _ : state) {
+        auto* u = new core::Ult([] {}, pool.acquire());
+        benchmark::DoNotOptimize(u);
+        pool.recycle(u->take_stack());
+        delete u;
+    }
+}
+BENCHMARK(BM_UltCreateDestroyPooledStack);
+
+void BM_UltRunToCompletion(benchmark::State& state) {
+    arch::StackPool pool(arch::default_stack_size(), 8);
+    for (auto _ : state) {
+        core::Ult u([] {}, pool.acquire());
+        u.resume_on_this_thread();
+        pool.recycle(u.take_stack());
+    }
+}
+BENCHMARK(BM_UltRunToCompletion);
+
+void BM_UltYieldRoundTrip(benchmark::State& state) {
+    core::Ult u([] {
+        for (;;) {
+            core::Ult::current()->yield();
+        }
+    });
+    for (auto _ : state) {
+        u.resume_on_this_thread();
+    }
+}
+BENCHMARK(BM_UltYieldRoundTrip);
+
+// --- locks -------------------------------------------------------------------
+
+void BM_SpinlockUncontended(benchmark::State& state) {
+    sync::Spinlock lock;
+    for (auto _ : state) {
+        lock.lock();
+        lock.unlock();
+    }
+}
+BENCHMARK(BM_SpinlockUncontended);
+
+void BM_TicketLockUncontended(benchmark::State& state) {
+    sync::TicketLock lock;
+    for (auto _ : state) {
+        lock.lock();
+        lock.unlock();
+    }
+}
+BENCHMARK(BM_TicketLockUncontended);
+
+void BM_McsLockUncontended(benchmark::State& state) {
+    sync::McsLock lock;
+    for (auto _ : state) {
+        sync::McsLock::Node node;
+        lock.lock(node);
+        lock.unlock(node);
+    }
+}
+BENCHMARK(BM_McsLockUncontended);
+
+// --- queues (the pool-topology story) ------------------------------------------
+
+void BM_SpscRingPushPop(benchmark::State& state) {
+    queue::SpscRing<void*> ring(1024);
+    for (auto _ : state) {
+        ring.try_push(nullptr);
+        benchmark::DoNotOptimize(ring.try_pop());
+    }
+}
+BENCHMARK(BM_SpscRingPushPop);
+
+void BM_MpmcQueuePushPop(benchmark::State& state) {
+    queue::MpmcQueue<void*> q(1024);
+    for (auto _ : state) {
+        q.try_push(nullptr);
+        benchmark::DoNotOptimize(q.try_pop());
+    }
+}
+BENCHMARK(BM_MpmcQueuePushPop);
+
+void BM_ChaseLevPushPop(benchmark::State& state) {
+    queue::ChaseLevDeque<void*> d(1024);
+    for (auto _ : state) {
+        d.push_bottom(nullptr);
+        benchmark::DoNotOptimize(d.pop_bottom());
+    }
+}
+BENCHMARK(BM_ChaseLevPushPop);
+
+void BM_LockedDequePushPop(benchmark::State& state) {
+    queue::LockedDeque<void*> d;
+    for (auto _ : state) {
+        d.push_back(nullptr);
+        benchmark::DoNotOptimize(d.pop_back());
+    }
+}
+BENCHMARK(BM_LockedDequePushPop);
+
+void BM_GlobalQueuePushPop(benchmark::State& state) {
+    queue::GlobalQueue<void*> q;
+    for (auto _ : state) {
+        q.push(nullptr);
+        benchmark::DoNotOptimize(q.try_pop());
+    }
+}
+BENCHMARK(BM_GlobalQueuePushPop);
+
+// --- FEB (the Qthreads join story) ------------------------------------------------
+
+void BM_MsQueuePushPop(benchmark::State& state) {
+    queue::MsQueue<void*> q;
+    for (auto _ : state) {
+        q.push(nullptr);
+        benchmark::DoNotOptimize(q.try_pop());
+    }
+}
+BENCHMARK(BM_MsQueuePushPop);
+
+void BM_HazardGuardProtect(benchmark::State& state) {
+    std::atomic<int*> shared{new int(1)};
+    for (auto _ : state) {
+        queue::HazardDomain::Guard guard;
+        benchmark::DoNotOptimize(guard.protect(shared));
+    }
+    delete shared.load();
+}
+BENCHMARK(BM_HazardGuardProtect);
+
+void BM_PriorityPoolPushPop(benchmark::State& state) {
+    core::PriorityPool<4> pool;
+    core::Tasklet unit([] {});
+    for (auto _ : state) {
+        pool.push_with(&unit, 1);
+        benchmark::DoNotOptimize(pool.pop());
+    }
+}
+BENCHMARK(BM_PriorityPoolPushPop);
+
+void BM_ChannelSendRecvBuffered(benchmark::State& state) {
+    core::Channel<int> ch(64);
+    for (auto _ : state) {
+        ch.send(1);
+        benchmark::DoNotOptimize(ch.recv());
+    }
+}
+BENCHMARK(BM_ChannelSendRecvBuffered);
+
+void BM_UltMutexLockUnlockUncontended(benchmark::State& state) {
+    core::UltMutex mutex;
+    for (auto _ : state) {
+        mutex.lock();
+        mutex.unlock();
+    }
+}
+BENCHMARK(BM_UltMutexLockUnlockUncontended);
+
+void BM_EventCounterAddSignal(benchmark::State& state) {
+    core::EventCounter ec;
+    for (auto _ : state) {
+        ec.add(1);
+        ec.signal();
+    }
+}
+BENCHMARK(BM_EventCounterAddSignal);
+
+void BM_FebWriteFReadFF(benchmark::State& state) {
+    sync::FebTable table;
+    sync::aligned_t word = 0;
+    for (auto _ : state) {
+        table.write_f(&word, 1);
+        benchmark::DoNotOptimize(table.read_ff(&word));
+    }
+}
+BENCHMARK(BM_FebWriteFReadFF);
+
+void BM_FebPurgeFill(benchmark::State& state) {
+    sync::FebTable table;
+    sync::aligned_t word = 0;
+    for (auto _ : state) {
+        table.purge(&word);
+        table.fill(&word);
+    }
+}
+BENCHMARK(BM_FebPurgeFill);
+
+}  // namespace
+
+BENCHMARK_MAIN();

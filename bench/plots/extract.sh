@@ -1,0 +1,9 @@
+#!/bin/sh
+# extract.sh <bench_output.txt> <figure-title-substring>
+# Prints the CSV block (header + rows) of the matching figure.
+awk -v pat="$2" '
+    index($0, "# " pat) { found = 1; next }
+    found && /^#/ { next }
+    found && /^$/ { exit }
+    found { print }
+' "$1"

@@ -1,0 +1,15 @@
+# figure.gp — render one figure's CSV block (extracted from bench_output.txt)
+# as a log-scale lines plot in the paper's style.
+#
+#   ./bench/plots/extract.sh bench_output.txt "Figure 4" > fig4.csv
+#   gnuplot -e "csv='fig4.csv'; out='fig4.png'; ytitle='Total Execution Time (ms)'" bench/plots/figure.gp
+set datafile separator ','
+set terminal pngcairo size 900,600
+set output out
+set logscale y
+set key outside right
+set xlabel 'Number of Threads'
+set ylabel ytitle
+stats csv skip 1 nooutput
+N = STATS_columns
+plot for [i=2:N] csv using 1:i with linespoints title columnheader(i)

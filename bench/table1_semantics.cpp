@@ -1,0 +1,8 @@
+// Table I: execution/scheduling functionality matrix, regenerated from the
+// capability descriptors (cross-checked against live backends in tests).
+#include <cstdio>
+#include "semantics/semantics.hpp"
+int main() {
+    std::fputs(lwt::semantics::render_table1().c_str(), stdout);
+    return 0;
+}

@@ -1,0 +1,7 @@
+// Table II: the reduced common function set, per library, plus the glt row.
+#include <cstdio>
+#include "semantics/semantics.hpp"
+int main() {
+    std::fputs(lwt::semantics::render_table2().c_str(), stdout);
+    return 0;
+}

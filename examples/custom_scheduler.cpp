@@ -1,0 +1,101 @@
+// custom_scheduler — the Argobots-like backend's defining flexibility
+// (§III-E): user-defined, *stackable* schedulers. A latency-sensitive
+// "express" pool is pushed onto a running stream with a custom scheduler
+// that drains it before the stream returns to its normal work, and
+// ULT-to-ULT yield_to hands the processor over without consulting the
+// scheduler at all.
+//
+//   $ ./custom_scheduler
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "abt/abt.hpp"
+#include "core/scheduler.hpp"
+
+namespace {
+
+/// Scheduler that drains one pool and then pops itself off the stack.
+class ExpressScheduler final : public lwt::core::Scheduler {
+  public:
+    explicit ExpressScheduler(lwt::core::Pool* pool) : Scheduler({pool}) {}
+    [[nodiscard]] bool finished() const override {
+        return pools_.front()->empty();
+    }
+};
+
+}  // namespace
+
+int main() {
+    // One private pool per stream must outlive the library's streams.
+    auto express_pool = std::make_unique<lwt::core::DequePool>();
+
+    lwt::abt::Config cfg;
+    cfg.num_xstreams = 2;
+    lwt::abt::Library lib(cfg);
+
+    // Saturate stream 1 with background work.
+    std::atomic<int> background_done{0};
+    constexpr int kBackground = 64;
+    for (int i = 0; i < kBackground; ++i) {
+        lib.task_create_detached(
+            [&background_done] {
+                for (int spin = 0; spin < 20000; ++spin) {
+                    asm volatile("");
+                }
+                background_done.fetch_add(1);
+            },
+            /*pool_idx=*/1);
+    }
+
+    // Express work arrives: push it with a stacked scheduler that preempts
+    // the base scheduler until the express pool drains.
+    std::atomic<int> express_done{0};
+    constexpr int kExpress = 8;
+    for (int i = 0; i < kExpress; ++i) {
+        auto* unit = new lwt::core::Tasklet([&express_done, i] {
+            std::printf("  express unit %d served\n", i);
+            express_done.fetch_add(1);
+        });
+        unit->detached = true;
+        express_pool->push(unit);
+    }
+    lib.push_scheduler(1, std::make_unique<ExpressScheduler>(express_pool.get()));
+
+    while (express_done.load() < kExpress) {
+        lwt::abt::Library::yield();
+    }
+    const int background_when_express_finished = background_done.load();
+    std::printf("express done with %d/%d background units finished\n",
+                background_when_express_finished, kBackground);
+
+    while (background_done.load() < kBackground) {
+        lwt::abt::Library::yield();
+    }
+    std::printf("background drained\n");
+
+    // yield_to: explicit ULT-to-ULT control transfer on one stream.
+    std::vector<int> order;
+    auto target = std::make_unique<lwt::abt::UnitHandle>();
+    lwt::abt::UnitHandle source = lib.thread_create(
+        [&] {
+            order.push_back(1);
+            lwt::abt::Library::yield_to(*target);  // skip the scheduler
+            order.push_back(3);
+        },
+        /*pool_idx=*/0);
+    *target = lib.thread_create([&] { order.push_back(2); }, /*pool_idx=*/0);
+    source.free();
+    target->free();
+    std::printf("yield_to order:");
+    for (int x : order) {
+        std::printf(" %d", x);
+    }
+    std::printf("\n");
+
+    const bool ok = order == std::vector<int>{1, 2, 3} &&
+                    express_done.load() == kExpress &&
+                    background_done.load() == kBackground;
+    return ok ? 0 : 1;
+}

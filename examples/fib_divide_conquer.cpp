@@ -1,0 +1,74 @@
+// fib_divide_conquer — recursive divide-and-conquer on the
+// MassiveThreads-like backend, the workload family it was designed for
+// (§III-C: "a recursion-oriented LWT solution ... work-first policy
+// benefits recursive codes").
+//
+// Compares work-first vs help-first creation on the same Fibonacci tree
+// and checks both against the closed-form answer.
+//
+//   $ ./fib_divide_conquer [n] [workers]
+#include <cstdio>
+#include <cstdlib>
+
+#include "benchsupport/stats.hpp"
+#include "mth/mth.hpp"
+
+namespace {
+
+long fib_serial(int n) {
+    return n < 2 ? n : fib_serial(n - 1) + fib_serial(n - 2);
+}
+
+/// Spawn the left branch as a ULT; compute the right branch in place.
+/// Under work-first the child runs immediately and the continuation (the
+/// right branch) becomes stealable — classic continuation stealing.
+long fib_parallel(lwt::mth::Library& lib, int n, int cutoff) {
+    if (n < 2) {
+        return n;
+    }
+    if (n <= cutoff) {
+        return fib_serial(n);  // stop spawning below the cutoff
+    }
+    long left = 0;
+    lwt::mth::ThreadHandle child =
+        lib.create([&lib, &left, n, cutoff] { left = fib_parallel(lib, n - 1, cutoff); });
+    const long right = fib_parallel(lib, n - 2, cutoff);
+    child.join();
+    return left + right;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const int n = argc > 1 ? std::atoi(argv[1]) : 24;
+    const std::size_t workers =
+        argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 2;
+    const int cutoff = 12;
+    const long expected = fib_serial(n);
+
+    std::printf("fib(%d) with %zu workers, serial cutoff %d\n", n, workers,
+                cutoff);
+
+    for (const auto policy :
+         {lwt::mth::Policy::kWorkFirst, lwt::mth::Policy::kHelpFirst}) {
+        lwt::mth::Config cfg;
+        cfg.num_workers = workers;
+        cfg.policy = policy;
+        lwt::mth::Library lib(cfg);
+
+        long result = 0;
+        lwt::benchsupport::Timer timer;
+        timer.start();
+        lib.run([&] { result = fib_parallel(lib, n, cutoff); });
+        const double ms = timer.stop_ms();
+
+        std::printf("  %-11s fib(%d) = %ld  (%.2f ms)  %s\n",
+                    policy == lwt::mth::Policy::kWorkFirst ? "work-first"
+                                                           : "help-first",
+                    n, result, ms, result == expected ? "OK" : "WRONG");
+        if (result != expected) {
+            return 1;
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,53 @@
+// sscal_patterns — the paper's BLAS-1 Sscal workload (Listing 5) run
+// through every parallel pattern on every library configuration, with
+// per-pattern timings. A miniature of the whole evaluation section in one
+// program.
+//
+//   $ ./sscal_patterns [threads] [n]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "benchsupport/stats.hpp"
+#include "patterns/patterns.hpp"
+
+int main(int argc, char** argv) {
+    const std::size_t threads =
+        argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 2;
+    const std::size_t n = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 1000;
+
+    std::printf("Sscal (v[i] *= a) with %zu threads, n=%zu\n\n", threads, n);
+    std::printf("%-28s %12s %12s %12s\n", "configuration", "for_loop(ms)",
+                "task_sgl(ms)", "task_par(ms)");
+
+    for (lwt::patterns::Variant variant : lwt::patterns::all_variants()) {
+        auto runner = lwt::patterns::make_runner(variant, threads);
+        lwt::patterns::Sscal problem(n);
+        lwt::benchsupport::Timer timer;
+
+        problem.reset();
+        timer.start();
+        runner->for_loop(n, [&](std::size_t i) { problem.apply(i); });
+        const double t_for = timer.stop_ms();
+        if (!problem.verify_once()) {
+            std::printf("%-28s FOR-LOOP RESULT MISMATCH\n",
+                        std::string(variant_name(variant)).c_str());
+            return 1;
+        }
+
+        problem.reset();
+        timer.start();
+        runner->task_single(n, [&](std::size_t i) { problem.apply(i); });
+        const double t_single = timer.stop_ms();
+
+        problem.reset();
+        timer.start();
+        runner->task_parallel(n, [&](std::size_t i) { problem.apply(i); });
+        const double t_par = timer.stop_ms();
+
+        std::printf("%-28s %12.3f %12.3f %12.3f\n",
+                    std::string(variant_name(variant)).c_str(), t_for,
+                    t_single, t_par);
+    }
+    return 0;
+}

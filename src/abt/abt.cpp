@@ -1,0 +1,209 @@
+#include "abt/abt.hpp"
+
+#include <cassert>
+#include <thread>
+#include <utility>
+
+#include "core/ult.hpp"
+#include "core/xstream.hpp"
+
+namespace lwt::abt {
+
+// --- UnitHandle --------------------------------------------------------------
+
+UnitHandle::UnitHandle(UnitHandle&& other) noexcept
+    : unit_(std::exchange(other.unit_, nullptr)),
+      lib_(std::exchange(other.lib_, nullptr)) {}
+
+UnitHandle& UnitHandle::operator=(UnitHandle&& other) noexcept {
+    if (this != &other) {
+        free();
+        unit_ = std::exchange(other.unit_, nullptr);
+        lib_ = std::exchange(other.lib_, nullptr);
+    }
+    return *this;
+}
+
+UnitHandle::~UnitHandle() { free(); }
+
+core::Ult* UnitHandle::ult() const noexcept {
+    if (unit_ != nullptr && unit_->kind == core::Kind::kUlt) {
+        return static_cast<core::Ult*>(unit_);
+    }
+    return nullptr;
+}
+
+void UnitHandle::join() {
+    if (unit_ == nullptr) {
+        return;
+    }
+    core::WorkUnit* unit = unit_;
+    if (core::Ult::current() != nullptr) {
+        // Joining from inside a ULT: cooperative yield until done.
+        while (!unit->terminated()) {
+            core::Ult::current()->yield();
+        }
+    } else if (core::XStream* stream = core::XStream::current()) {
+        // Joining from a stream's native thread (typically the primary):
+        // keep executing work while waiting — the Argobots join behaviour
+        // (the main thread participates in draining its pool).
+        stream->run_until([unit] { return unit->terminated(); });
+    } else {
+        while (!unit->terminated()) {
+            std::this_thread::yield();
+        }
+    }
+}
+
+void UnitHandle::free() {
+    if (unit_ == nullptr) {
+        return;
+    }
+    join();
+    // Join-and-free: reclaim the structure (and recycle the stack when the
+    // library pools stacks) — the extra work the paper notes Argobots does
+    // during joins without losing performance.
+    if (lib_ != nullptr && lib_->config_.reuse_stacks) {
+        if (core::Ult* u = ult()) {
+            lib_->recycle_stack(u->take_stack());
+        }
+    }
+    delete unit_;
+    unit_ = nullptr;
+    lib_ = nullptr;
+}
+
+// --- Library -----------------------------------------------------------------
+
+Library::Library(Config config)
+    : config_(config),
+      stack_pool_(arch::default_stack_size(), /*max_cached=*/256) {
+    const std::size_t n = core::Runtime::resolve_stream_count(
+        config_.num_xstreams, "LWT_NUM_STREAMS");
+    config_.num_xstreams = n;
+    if (config_.pool_kind == PoolKind::kShared) {
+        pools_.push_back(std::make_unique<core::MpmcPool>());
+    } else {
+        for (std::size_t i = 0; i < n; ++i) {
+            pools_.push_back(
+                std::make_unique<core::DequePool>(core::DequePool::PopOrder::kFifo));
+        }
+    }
+    runtime_ = std::make_unique<core::Runtime>(n, [this](unsigned rank) {
+        core::Pool* p = config_.pool_kind == PoolKind::kShared
+                            ? pools_.front().get()
+                            : pools_[rank].get();
+        return std::make_unique<core::Scheduler>(std::vector<core::Pool*>{p});
+    });
+}
+
+Library::~Library() {
+    for (auto& s : dynamic_streams_) {
+        s->stop_and_join();
+    }
+    dynamic_streams_.clear();
+    runtime_.reset();
+}
+
+std::size_t Library::num_xstreams() const {
+    return runtime_->num_streams() + dynamic_streams_.size();
+}
+
+std::size_t Library::xstream_create() {
+    std::lock_guard guard(streams_lock_);
+    const auto rank = static_cast<unsigned>(num_xstreams());
+    core::Pool* p;
+    if (config_.pool_kind == PoolKind::kShared) {
+        p = pools_.front().get();
+    } else {
+        pools_.push_back(
+            std::make_unique<core::DequePool>(core::DequePool::PopOrder::kFifo));
+        p = pools_.back().get();
+    }
+    auto stream = std::make_unique<core::XStream>(
+        rank, std::make_unique<core::Scheduler>(std::vector<core::Pool*>{p}));
+    stream->start();
+    dynamic_streams_.push_back(std::move(stream));
+    return rank;
+}
+
+arch::Stack Library::acquire_stack() {
+    std::lock_guard guard(stack_lock_);
+    return stack_pool_.acquire();
+}
+
+void Library::recycle_stack(arch::Stack stack) {
+    std::lock_guard guard(stack_lock_);
+    stack_pool_.recycle(std::move(stack));
+}
+
+std::size_t Library::pick_pool(int pool_idx) {
+    std::lock_guard guard(streams_lock_);
+    if (pool_idx >= 0 && static_cast<std::size_t>(pool_idx) < pools_.size()) {
+        return static_cast<std::size_t>(pool_idx);
+    }
+    return rr_next_.fetch_add(1, std::memory_order_relaxed) % pools_.size();
+}
+
+core::WorkUnit* Library::make_unit(UnitKind kind, core::UniqueFunction fn,
+                                   bool detached, int pool_idx) {
+    core::WorkUnit* unit;
+    if (kind == UnitKind::kTasklet) {
+        unit = new core::Tasklet(std::move(fn));
+    } else if (config_.reuse_stacks) {
+        unit = new core::Ult(std::move(fn), acquire_stack());
+    } else {
+        unit = new core::Ult(std::move(fn));
+    }
+    unit->detached = detached;
+    const std::size_t idx = pick_pool(pool_idx);
+    core::Pool* target;
+    {
+        std::lock_guard guard(streams_lock_);
+        target = pools_[idx].get();
+    }
+    target->push(unit);
+    return unit;
+}
+
+UnitHandle Library::thread_create(core::UniqueFunction fn, int pool_idx) {
+    return UnitHandle(make_unit(UnitKind::kUlt, std::move(fn), false, pool_idx),
+                      this);
+}
+
+UnitHandle Library::task_create(core::UniqueFunction fn, int pool_idx) {
+    return UnitHandle(
+        make_unit(UnitKind::kTasklet, std::move(fn), false, pool_idx), this);
+}
+
+void Library::thread_create_detached(core::UniqueFunction fn, int pool_idx) {
+    make_unit(UnitKind::kUlt, std::move(fn), true, pool_idx);
+}
+
+void Library::task_create_detached(core::UniqueFunction fn, int pool_idx) {
+    make_unit(UnitKind::kTasklet, std::move(fn), true, pool_idx);
+}
+
+void Library::yield() { core::yield_anywhere(); }
+
+int Library::self_xstream_rank() {
+    core::XStream* stream = core::XStream::current();
+    return stream != nullptr ? static_cast<int>(stream->rank()) : -1;
+}
+
+bool Library::self_is_ult() { return core::Ult::current() != nullptr; }
+
+bool Library::yield_to(UnitHandle& target) {
+    core::Ult* ult = target.ult();
+    assert(core::Ult::current() != nullptr &&
+           "ABT_thread_yield_to requires ULT context");
+    return core::yield_to(ult);
+}
+
+void Library::push_scheduler(std::size_t rank,
+                             std::unique_ptr<core::Scheduler> scheduler) {
+    assert(rank < runtime_->num_streams());
+    runtime_->stream(rank).push_scheduler(std::move(scheduler));
+}
+
+}  // namespace lwt::abt

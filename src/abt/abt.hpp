@@ -1,0 +1,166 @@
+// abt.hpp — Argobots-like personality.
+//
+// Reproduces the programming model the paper attributes to Argobots
+// (Sections III-E, IV): execution streams created at init *or dynamically at
+// run time*, two work-unit types (ULTs and stackless Tasklets), pools that
+// are either private per stream or shared by all, join-and-free semantics
+// (ABT_thread_free both joins and reclaims), yield_to, and stackable
+// plug-in schedulers. Function names mirror Table II: thread_create /
+// task_create / yield / thread_free (join).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "arch/stack.hpp"
+#include "core/pool.hpp"
+#include "core/runtime.hpp"
+#include "core/future.hpp"
+#include "core/sync_ult.hpp"
+#include "sync/spinlock.hpp"
+
+namespace lwt::abt {
+
+/// Pool topology, the paper's key Argobots configuration axis (§VIII-B.4).
+enum class PoolKind {
+    kPrivate,  ///< one pool per execution stream; creator dispatches round-robin
+    kShared,   ///< one lock-free MPMC pool shared by every stream
+};
+
+/// Work-unit type (§III-E): ULTs yield/suspend; tasklets are cheaper but
+/// atomic.
+enum class UnitKind {
+    kUlt,
+    kTasklet,
+};
+
+struct Config {
+    /// Number of execution streams; 0 resolves via LWT_NUM_STREAMS env var,
+    /// then the hardware thread count.
+    std::size_t num_xstreams = 0;
+    PoolKind pool_kind = PoolKind::kPrivate;
+    /// Reuse ULT stacks through a pool (Argobots uses memory pools for
+    /// stacks; turning this off makes every create pay an mmap).
+    bool reuse_stacks = true;
+};
+
+class Library;
+
+/// Argobots synchronisation objects, re-exported under their ABT names.
+/// All of them suspend the calling ULT through the scheduler rather than
+/// blocking the execution stream.
+using Mutex = core::UltMutex;      ///< ABT_mutex
+using CondVar = core::UltCondVar;  ///< ABT_cond
+using Barrier = core::UltBarrier;  ///< ABT_barrier
+template <typename T>
+using Eventual = core::Future<T>;  ///< ABT_eventual (typed)
+using Event = core::Event;         ///< ABT_eventual with no payload
+
+/// Owning handle to a joinable work unit (ABT_thread / ABT_task).
+/// Join-and-free (`free()`) is the Argobots idiom the paper measures.
+class UnitHandle {
+  public:
+    UnitHandle() noexcept = default;
+    UnitHandle(UnitHandle&&) noexcept;
+    UnitHandle& operator=(UnitHandle&&) noexcept;
+    UnitHandle(const UnitHandle&) = delete;
+    UnitHandle& operator=(const UnitHandle&) = delete;
+    ~UnitHandle();
+
+    /// Wait for completion (ABT_thread_join). Cooperative: drives the
+    /// caller's scheduler when invoked from a stream, yields inside ULTs.
+    void join();
+
+    /// Join if needed, then reclaim the unit (ABT_thread_free).
+    void free();
+
+    [[nodiscard]] bool valid() const noexcept { return unit_ != nullptr; }
+    [[nodiscard]] bool terminated() const noexcept {
+        return unit_ != nullptr && unit_->terminated();
+    }
+
+    /// Underlying ULT, or nullptr for tasklets (yield_to target).
+    [[nodiscard]] core::Ult* ult() const noexcept;
+
+  private:
+    friend class Library;
+    UnitHandle(core::WorkUnit* unit, Library* lib) noexcept
+        : unit_(unit), lib_(lib) {}
+
+    core::WorkUnit* unit_ = nullptr;
+    Library* lib_ = nullptr;
+};
+
+/// One initialised Argobots-like runtime (ABT_init .. ABT_finalize).
+class Library {
+  public:
+    explicit Library(Config config = {});
+    ~Library();
+    Library(const Library&) = delete;
+    Library& operator=(const Library&) = delete;
+
+    [[nodiscard]] std::size_t num_xstreams() const;
+    [[nodiscard]] std::size_t num_pools() const { return pools_.size(); }
+
+    /// Create an execution stream *while running* (ABT_xstream_create) —
+    /// the dynamic-creation capability Table I credits only to Argobots.
+    /// Returns the new stream's rank. With private pools the stream gets a
+    /// fresh pool; with a shared pool it joins the common one.
+    std::size_t xstream_create();
+
+    /// Create a ULT into pool `pool_idx` (ABT_thread_create). Negative
+    /// index dispatches round-robin over all pools.
+    UnitHandle thread_create(core::UniqueFunction fn, int pool_idx = -1);
+
+    /// Create a stackless tasklet (ABT_task_create).
+    UnitHandle task_create(core::UniqueFunction fn, int pool_idx = -1);
+
+    /// Fire-and-forget variants: the runtime reclaims the unit on completion.
+    void thread_create_detached(core::UniqueFunction fn, int pool_idx = -1);
+    void task_create_detached(core::UniqueFunction fn, int pool_idx = -1);
+
+    /// ABT_thread_yield.
+    static void yield();
+
+    /// ABT_self_get_xstream_rank: rank of the stream running the caller,
+    /// or -1 from an unattached plain thread.
+    static int self_xstream_rank();
+
+    /// ABT_self_is_ult equivalent: true when running inside a ULT.
+    static bool self_is_ult();
+
+    /// ABT_thread_yield_to: hand the processor straight to `target`,
+    /// skipping scheduler selection. Falls back to plain yield (returns
+    /// false) if the target is not ready. Must be called from a ULT.
+    static bool yield_to(UnitHandle& target);
+
+    /// Push a custom scheduler onto stream `rank`'s scheduler stack
+    /// (stackable schedulers, Table I's Argobots-only rows).
+    void push_scheduler(std::size_t rank,
+                        std::unique_ptr<core::Scheduler> scheduler);
+
+    [[nodiscard]] core::Pool& pool(std::size_t idx) { return *pools_[idx]; }
+    [[nodiscard]] core::Runtime& runtime() { return *runtime_; }
+    [[nodiscard]] const Config& config() const { return config_; }
+
+  private:
+    friend class UnitHandle;
+
+    core::WorkUnit* make_unit(UnitKind kind, core::UniqueFunction fn,
+                              bool detached, int pool_idx);
+    std::size_t pick_pool(int pool_idx);
+    arch::Stack acquire_stack();
+    void recycle_stack(arch::Stack stack);
+
+    Config config_;
+    std::vector<std::unique_ptr<core::Pool>> pools_;
+    std::unique_ptr<core::Runtime> runtime_;
+    std::vector<std::unique_ptr<core::XStream>> dynamic_streams_;
+    std::atomic<std::size_t> rr_next_{0};
+    sync::Spinlock stack_lock_;
+    arch::StackPool stack_pool_;
+    sync::Spinlock streams_lock_;
+};
+
+}  // namespace lwt::abt

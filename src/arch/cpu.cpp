@@ -1,0 +1,15 @@
+#include "arch/cpu.hpp"
+
+#include <pthread.h>
+#include <sched.h>
+
+namespace lwt::arch {
+
+bool bind_this_thread(unsigned cpu_index) noexcept {
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(cpu_index % hardware_threads(), &set);
+    return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+}
+
+}  // namespace lwt::arch

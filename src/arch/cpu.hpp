@@ -1,0 +1,68 @@
+// cpu.hpp — small machine-facing helpers shared by the whole kernel.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+namespace lwt::arch {
+
+/// Alignment used to keep hot shared variables on distinct cache lines.
+inline constexpr std::size_t kCacheLine = 64;
+
+/// Busy-wait hint: tells the pipeline (and an SMT sibling) we are spinning.
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__)
+    _mm_pause();
+#else
+    std::this_thread::yield();
+#endif
+}
+
+/// Cycle counter for coarse, low-overhead timing. Not serialized; use only
+/// for statistics where a few out-of-order cycles do not matter.
+inline std::uint64_t rdtsc() noexcept {
+#if defined(__x86_64__)
+    return __rdtsc();
+#else
+    return 0;
+#endif
+}
+
+/// Number of hardware execution contexts visible to this process.
+inline unsigned hardware_threads() noexcept {
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : n;
+}
+
+/// Pin the calling OS thread to a CPU (modulo the visible CPU count).
+/// Best effort: returns false if the platform refuses.
+bool bind_this_thread(unsigned cpu_index) noexcept;
+
+/// Adaptive spin-wait: cheap pipeline pauses first, then OS yields.
+/// Pure spinning deadlocks progress on oversubscribed hosts (the waiter
+/// burns the quantum the lock holder needs); bounded spinning keeps the
+/// uncontended fast path while staying live when threads > cores.
+class Backoff {
+  public:
+    void pause() noexcept {
+        if (spins_ < kSpinLimit) {
+            ++spins_;
+            cpu_relax();
+        } else {
+            std::this_thread::yield();
+        }
+    }
+
+    void reset() noexcept { spins_ = 0; }
+
+  private:
+    static constexpr unsigned kSpinLimit = 64;
+    unsigned spins_ = 0;
+};
+
+}  // namespace lwt::arch

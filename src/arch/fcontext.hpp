@@ -1,0 +1,45 @@
+// fcontext.hpp — minimal, fast user-level context switching.
+//
+// The interface follows the well-known fcontext design: a context is a single
+// opaque pointer into the suspended stack, a switch transfers one pointer of
+// data, and the pair (previous context, data) is handed both to the resumed
+// side and to the entry function of a fresh context.
+//
+// Two interchangeable backends:
+//   * hand-written x86_64 System-V assembly (default, fcontext_x86_64.S)
+//   * ucontext(3) fallback (-DLWT_USE_UCONTEXT=ON), slower but portable.
+#pragma once
+
+#include <cstddef>
+
+namespace lwt::arch {
+
+/// Opaque handle to a suspended execution context. Points into the context's
+/// own stack; becomes invalid the moment the context is resumed.
+using fcontext_t = void*;
+
+/// Result of a context switch: the context we came from (so it can be resumed
+/// later) plus the data pointer passed by the switching side.
+struct transfer_t {
+    fcontext_t fctx;  ///< the now-suspended context we switched away from
+    void* data;       ///< payload forwarded through the switch
+};
+
+/// Entry function type for a fresh context. Receives the suspended caller.
+/// Must never return through normal control flow without switching away
+/// first; falling off the end aborts the process.
+using context_fn = void (*)(transfer_t);
+
+extern "C" {
+/// Suspend the current context and resume `to`, forwarding `data`.
+/// Returns (in the context that eventually resumes us) the pair of the
+/// context that resumed us and its data payload.
+transfer_t lwt_jump_fcontext(fcontext_t to, void* data);
+
+/// Create a context that will run `fn` on the stack whose *top* (highest
+/// address) is `stack_top` and whose usable size is `size` bytes.
+/// The context is suspended at birth; resume it with lwt_jump_fcontext.
+fcontext_t lwt_make_fcontext(void* stack_top, std::size_t size, context_fn fn);
+}
+
+}  // namespace lwt::arch

@@ -1,0 +1,89 @@
+#include "arch/stack.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <new>
+
+namespace lwt::arch {
+namespace {
+
+std::size_t page_size() noexcept {
+    static const std::size_t ps = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+    return ps;
+}
+
+std::size_t round_up_pages(std::size_t bytes) noexcept {
+    const std::size_t ps = page_size();
+    return (bytes + ps - 1) / ps * ps;
+}
+
+}  // namespace
+
+Stack& Stack::operator=(Stack&& other) noexcept {
+    if (this != &other) {
+        release();
+        base_ = std::exchange(other.base_, nullptr);
+        mapped_ = std::exchange(other.mapped_, 0);
+        usable_ = std::exchange(other.usable_, 0);
+    }
+    return *this;
+}
+
+Stack::~Stack() { release(); }
+
+void Stack::release() noexcept {
+    if (base_ != nullptr) {
+        ::munmap(base_, mapped_);
+        base_ = nullptr;
+        mapped_ = 0;
+        usable_ = 0;
+    }
+}
+
+Stack Stack::allocate(std::size_t usable_bytes) {
+    const std::size_t ps = page_size();
+    const std::size_t usable = round_up_pages(usable_bytes);
+    const std::size_t total = usable + ps;  // + guard page
+    void* base = ::mmap(nullptr, total, PROT_READ | PROT_WRITE,
+                        MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (base == MAP_FAILED) {
+        throw std::bad_alloc{};
+    }
+    // Guard page at the low end: stacks grow downward into it on overflow.
+    ::mprotect(base, ps, PROT_NONE);
+    Stack s;
+    s.base_ = base;
+    s.mapped_ = total;
+    s.usable_ = usable;
+    return s;
+}
+
+Stack StackPool::acquire() {
+    if (!free_.empty()) {
+        Stack s = std::move(free_.back());
+        free_.pop_back();
+        return s;
+    }
+    return Stack::allocate(stack_bytes_);
+}
+
+void StackPool::recycle(Stack s) {
+    if (free_.size() < max_cached_) {
+        free_.push_back(std::move(s));
+    }
+    // else: `s` unmaps on scope exit
+}
+
+std::size_t default_stack_size() noexcept {
+    if (const char* env = std::getenv("LWT_STACKSIZE")) {
+        const long v = std::atol(env);
+        if (v >= 4096) {
+            return static_cast<std::size_t>(v);
+        }
+    }
+    return 64 * 1024;
+}
+
+}  // namespace lwt::arch

@@ -1,0 +1,72 @@
+// stack.hpp — guarded, pooled execution stacks for user-level threads.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace lwt::arch {
+
+/// One mmap'd stack with an inaccessible guard page at the low end so that
+/// overflow faults deterministically instead of corrupting a neighbour.
+/// Move-only RAII owner; unmapped on destruction.
+class Stack {
+  public:
+    Stack() noexcept = default;
+    Stack(Stack&& other) noexcept
+        : base_(std::exchange(other.base_, nullptr)),
+          mapped_(std::exchange(other.mapped_, 0)),
+          usable_(std::exchange(other.usable_, 0)) {}
+    Stack& operator=(Stack&& other) noexcept;
+    Stack(const Stack&) = delete;
+    Stack& operator=(const Stack&) = delete;
+    ~Stack();
+
+    /// Map a stack with at least `usable_bytes` of usable space (rounded up
+    /// to whole pages) plus one guard page. Throws std::bad_alloc on failure.
+    static Stack allocate(std::size_t usable_bytes);
+
+    /// Highest usable address (stacks grow downward); pass to make_fcontext.
+    [[nodiscard]] void* top() const noexcept {
+        return static_cast<char*>(base_) + mapped_;
+    }
+    /// Usable byte count (excludes the guard page).
+    [[nodiscard]] std::size_t usable() const noexcept { return usable_; }
+    [[nodiscard]] bool valid() const noexcept { return base_ != nullptr; }
+
+  private:
+    void release() noexcept;
+
+    void* base_ = nullptr;      // mmap base; guard page lives here
+    std::size_t mapped_ = 0;    // total mapped bytes including guard
+    std::size_t usable_ = 0;
+};
+
+/// Reuses stacks of a fixed size: mapping and unmapping on every ULT spawn
+/// dominates creation cost, and LWT runtimes amortise it exactly this way.
+/// Not thread-safe by design — keep one pool per execution stream.
+class StackPool {
+  public:
+    /// `stack_bytes` is the usable size of every pooled stack; `max_cached`
+    /// caps how many free stacks are retained before unmapping extras.
+    explicit StackPool(std::size_t stack_bytes, std::size_t max_cached = 64)
+        : stack_bytes_(stack_bytes), max_cached_(max_cached) {}
+
+    /// Pop a cached stack or map a fresh one.
+    Stack acquire();
+    /// Return a stack; frees it immediately once the cache is full.
+    void recycle(Stack s);
+
+    [[nodiscard]] std::size_t stack_bytes() const noexcept { return stack_bytes_; }
+    [[nodiscard]] std::size_t cached() const noexcept { return free_.size(); }
+
+  private:
+    std::size_t stack_bytes_;
+    std::size_t max_cached_;
+    std::vector<Stack> free_;
+};
+
+/// Default ULT stack size: LWT_STACKSIZE env var (bytes) or 64 KiB.
+std::size_t default_stack_size() noexcept;
+
+}  // namespace lwt::arch

@@ -1,0 +1,62 @@
+// topology.hpp — hardware topology discovery and stream-binding policies.
+//
+// Qthreads binds shepherds/workers "to several types of hardware resources
+// (nodes, sockets, cores, or processing units)" (§III-D); the paper's
+// machine description (2 sockets × 18 cores × 2 threads) is exactly this
+// hierarchy. This module reads the Linux sysfs topology and computes CPU
+// assignments for the common binding policies so personalities can pin
+// their streams.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace lwt::arch {
+
+/// One logical CPU as the kernel reports it.
+struct CpuInfo {
+    unsigned cpu_id = 0;      ///< logical CPU index
+    unsigned core_id = 0;     ///< physical core within the package
+    unsigned package_id = 0;  ///< socket
+};
+
+/// How to lay consecutive streams onto CPUs.
+enum class BindPolicy {
+    kNone,     ///< do not bind
+    kCompact,  ///< fill a core/socket before moving on (cache sharing)
+    kScatter,  ///< round-robin across sockets first (bandwidth spreading)
+};
+
+/// Snapshot of the visible topology.
+class Topology {
+  public:
+    /// Discover from /sys (falls back to a flat topology of
+    /// hardware_threads() CPUs when sysfs is unavailable).
+    static Topology discover();
+
+    /// Build from an explicit CPU list (tests, synthetic topologies).
+    explicit Topology(std::vector<CpuInfo> cpus);
+
+    [[nodiscard]] std::size_t num_cpus() const { return cpus_.size(); }
+    [[nodiscard]] std::size_t num_packages() const;
+    [[nodiscard]] std::size_t num_cores() const;  // distinct (package, core)
+    [[nodiscard]] const std::vector<CpuInfo>& cpus() const { return cpus_; }
+
+    /// CPU assignment for `count` streams under `policy` (entries are
+    /// logical CPU ids; streams beyond the CPU count wrap around).
+    [[nodiscard]] std::vector<unsigned> plan(BindPolicy policy,
+                                             std::size_t count) const;
+
+    /// Human-readable one-liner ("2 packages x 18 cores x 2 threads").
+    [[nodiscard]] std::string describe() const;
+
+  private:
+    std::vector<CpuInfo> cpus_;  // sorted by (package, core, cpu)
+};
+
+/// Bind the calling thread according to a plan entry (wraps
+/// bind_this_thread; no-op for BindPolicy::kNone plans, which are empty).
+bool apply_binding(const std::vector<unsigned>& plan, std::size_t index);
+
+}  // namespace lwt::arch

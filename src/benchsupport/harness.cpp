@@ -1,0 +1,100 @@
+#include "benchsupport/harness.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "arch/cpu.hpp"
+
+namespace lwt::benchsupport {
+
+SweepConfig SweepConfig::from_env() {
+    SweepConfig cfg;
+    if (const char* env = std::getenv("LWTBENCH_THREADS")) {
+        const char* p = env;
+        while (*p != '\0') {
+            char* end = nullptr;
+            const long v = std::strtol(p, &end, 10);
+            if (end == p) {
+                break;
+            }
+            if (v > 0) {
+                cfg.thread_counts.push_back(static_cast<std::size_t>(v));
+            }
+            p = *end == ',' ? end + 1 : end;
+        }
+    }
+    if (cfg.thread_counts.empty()) {
+        // Default: powers of two up to 2x the hardware threads (the paper
+        // sweeps past the core count to show oversubscription effects).
+        const std::size_t hw = arch::hardware_threads();
+        for (std::size_t t = 1; t <= hw * 2; t *= 2) {
+            cfg.thread_counts.push_back(t);
+        }
+    }
+    if (const char* env = std::getenv("LWTBENCH_REPS")) {
+        const long v = std::atol(env);
+        if (v > 0) {
+            cfg.reps = static_cast<std::size_t>(v);
+        }
+    }
+    if (const char* env = std::getenv("LWTBENCH_WARMUP")) {
+        const long v = std::atol(env);
+        if (v >= 0) {
+            cfg.warmup = static_cast<std::size_t>(v);
+        }
+    }
+    return cfg;
+}
+
+ResultGrid run_sweep(const SweepConfig& config,
+                     const std::vector<Series>& series) {
+    ResultGrid grid(series.size());
+    for (std::size_t s = 0; s < series.size(); ++s) {
+        grid[s].reserve(config.thread_counts.size());
+        for (const std::size_t threads : config.thread_counts) {
+            auto body = series[s].make_body(threads);
+            grid[s].push_back(measure_ms(config.reps, config.warmup, body));
+        }
+    }
+    return grid;
+}
+
+void print_figure(const std::string& title, const std::string& unit,
+                  const SweepConfig& config, const std::vector<Series>& series,
+                  const ResultGrid& grid) {
+    std::printf("# %s\n", title.c_str());
+    std::printf("# reps=%zu warmup=%zu unit=%s\n", config.reps, config.warmup,
+                unit.c_str());
+    std::printf("threads");
+    for (const Series& s : series) {
+        std::printf(",%s", s.name.c_str());
+    }
+    std::printf("\n");
+    for (std::size_t t = 0; t < config.thread_counts.size(); ++t) {
+        std::printf("%zu", config.thread_counts[t]);
+        for (std::size_t s = 0; s < series.size(); ++s) {
+            std::printf(",%.6f", grid[s][t].mean);
+        }
+        std::printf("\n");
+    }
+    std::printf("# max RSD%% per series:");
+    for (std::size_t s = 0; s < series.size(); ++s) {
+        double worst = 0.0;
+        for (const Summary& sum : grid[s]) {
+            worst = std::max(worst, sum.rsd_percent);
+        }
+        std::printf(" %s=%.1f", series[s].name.c_str(), worst);
+    }
+    std::printf("\n\n");
+    std::fflush(stdout);
+}
+
+void run_and_print(const std::string& title, const std::string& unit,
+                   const std::vector<Series>& series) {
+    const SweepConfig config = SweepConfig::from_env();
+    const ResultGrid grid = run_sweep(config, series);
+    print_figure(title, unit, config, series, grid);
+}
+
+}  // namespace lwt::benchsupport

@@ -1,0 +1,58 @@
+// harness.hpp — thread sweeps and paper-style series printing.
+//
+// Each fig*_ bench binary sweeps a thread count (the x-axis of every paper
+// figure) over a set of library configurations (the series) and prints one
+// gnuplot/CSV-friendly block per figure. Environment knobs:
+//   LWTBENCH_THREADS  comma list, e.g. "1,2,4,8"   (default scales to host)
+//   LWTBENCH_REPS     repetitions per point        (default 20; paper: 500)
+//   LWTBENCH_WARMUP   unmeasured runs per point    (default 2)
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "benchsupport/stats.hpp"
+
+namespace lwt::benchsupport {
+
+/// Sweep configuration resolved from the environment.
+struct SweepConfig {
+    std::vector<std::size_t> thread_counts;
+    std::size_t reps = 20;
+    std::size_t warmup = 2;
+
+    static SweepConfig from_env();
+};
+
+/// One series in a figure: a named library configuration measured at each
+/// thread count. The callback runs the benchmark body once for the given
+/// thread count and returns nothing; timing wraps it.
+struct Series {
+    std::string name;  // e.g. "Argobots Tasklet (private pools)"
+    /// Factory invoked once per thread count; returns the per-repetition
+    /// body. Setup (library boot) happens in the factory so the measured
+    /// region matches the paper (which excludes init/finalize).
+    std::function<std::function<void()>(std::size_t threads)> make_body;
+};
+
+/// Result grid: result[series][thread_index].
+using ResultGrid = std::vector<std::vector<Summary>>;
+
+/// Run a full figure sweep.
+ResultGrid run_sweep(const SweepConfig& config,
+                     const std::vector<Series>& series);
+
+/// Print the figure in the layout used throughout EXPERIMENTS.md:
+/// a header block, then one row per thread count with one column per
+/// series (mean, in `unit`), then per-series RSD maxima.
+void print_figure(const std::string& title, const std::string& unit,
+                  const SweepConfig& config, const std::vector<Series>& series,
+                  const ResultGrid& grid);
+
+/// Convenience: run + print.
+void run_and_print(const std::string& title, const std::string& unit,
+                   const std::vector<Series>& series);
+
+}  // namespace lwt::benchsupport

@@ -1,0 +1,84 @@
+// stats.hpp — timing and summary statistics for the microbenchmarks.
+//
+// The paper reports the average of 500 executions and a maximum relative
+// standard deviation (RSD) around 2%; Summary carries exactly those
+// quantities so EXPERIMENTS.md can be filled mechanically.
+#pragma once
+
+#include <chrono>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace lwt::benchsupport {
+
+/// Monotonic wall-clock timer with millisecond-resolution conversion
+/// helpers (the paper's figures are in ms except Fig. 7 in seconds).
+class Timer {
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    void start() noexcept { t0_ = Clock::now(); }
+
+    /// Elapsed milliseconds since start().
+    [[nodiscard]] double stop_ms() const noexcept {
+        const auto dt = Clock::now() - t0_;
+        return std::chrono::duration<double, std::milli>(dt).count();
+    }
+
+  private:
+    Clock::time_point t0_{};
+};
+
+/// Mean / min / max / relative standard deviation over repetitions.
+struct Summary {
+    double mean = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double rsd_percent = 0.0;  // 100 * stddev / mean
+    std::size_t n = 0;
+
+    static Summary of(const std::vector<double>& samples) {
+        Summary s;
+        s.n = samples.size();
+        if (samples.empty()) {
+            return s;
+        }
+        s.min = samples.front();
+        s.max = samples.front();
+        double sum = 0.0;
+        for (double v : samples) {
+            sum += v;
+            if (v < s.min) s.min = v;
+            if (v > s.max) s.max = v;
+        }
+        s.mean = sum / static_cast<double>(s.n);
+        double var = 0.0;
+        for (double v : samples) {
+            var += (v - s.mean) * (v - s.mean);
+        }
+        var /= static_cast<double>(s.n);
+        s.rsd_percent = s.mean > 0.0 ? 100.0 * std::sqrt(var) / s.mean : 0.0;
+        return s;
+    }
+};
+
+/// Run `body()` `reps` times (after `warmup` unmeasured runs) and summarise
+/// the per-run wall time in milliseconds.
+template <typename Body>
+Summary measure_ms(std::size_t reps, std::size_t warmup, Body&& body) {
+    for (std::size_t i = 0; i < warmup; ++i) {
+        body();
+    }
+    std::vector<double> samples;
+    samples.reserve(reps);
+    Timer timer;
+    for (std::size_t i = 0; i < reps; ++i) {
+        timer.start();
+        body();
+        samples.push_back(timer.stop_ms());
+    }
+    return Summary::of(samples);
+}
+
+}  // namespace lwt::benchsupport

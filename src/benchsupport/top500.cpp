@@ -1,0 +1,51 @@
+#include "benchsupport/top500.hpp"
+
+#include <sstream>
+
+namespace lwt::benchsupport {
+namespace {
+
+// Approximate Nov-list shares (percent) per cores-per-socket bucket.
+//                     1     2     4     6     8   9-10 12-14  16-
+constexpr std::array<Top500Year, 15> kSeries{{
+    {2001, {96.0, 4.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0}},
+    {2002, {92.0, 8.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0}},
+    {2003, {88.0, 12.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0}},
+    {2004, {80.0, 20.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0}},
+    {2005, {62.0, 37.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0}},
+    {2006, {28.0, 67.0, 5.0, 0.0, 0.0, 0.0, 0.0, 0.0}},
+    {2007, {8.0, 71.0, 21.0, 0.0, 0.0, 0.0, 0.0, 0.0}},
+    {2008, {2.0, 32.0, 64.0, 1.0, 1.0, 0.0, 0.0, 0.0}},
+    {2009, {1.0, 12.0, 77.0, 8.0, 1.0, 1.0, 0.0, 0.0}},
+    {2010, {0.5, 6.0, 63.0, 24.0, 4.0, 2.0, 0.5, 0.0}},
+    {2011, {0.0, 3.0, 34.0, 40.0, 16.0, 5.0, 2.0, 0.0}},
+    {2012, {0.0, 2.0, 18.0, 33.0, 36.0, 7.0, 3.0, 1.0}},
+    {2013, {0.0, 1.0, 10.0, 22.0, 43.0, 12.0, 9.0, 3.0}},
+    {2014, {0.0, 1.0, 7.0, 14.0, 40.0, 17.0, 15.0, 6.0}},
+    {2015, {0.0, 0.5, 5.0, 10.0, 34.0, 20.0, 20.5, 10.0}},
+}};
+
+}  // namespace
+
+const std::array<Top500Year, 15>& top500_series() { return kSeries; }
+
+std::string render_top500_csv() {
+    std::ostringstream out;
+    out << "# Figure 1: Top500 supercomputers grouped by cores per socket\n";
+    out << "# (approximate reconstruction; see DESIGN.md substitutions)\n";
+    out << "year";
+    for (std::string_view b : kCoreBuckets) {
+        out << ",cores_" << b;
+    }
+    out << "\n";
+    for (const Top500Year& y : kSeries) {
+        out << y.year;
+        for (double s : y.share) {
+            out << ',' << s;
+        }
+        out << "\n";
+    }
+    return out.str();
+}
+
+}  // namespace lwt::benchsupport

@@ -1,0 +1,38 @@
+// top500.hpp — dataset behind Figure 1 (cores-per-socket share of the
+// November Top500 lists, 2001–2015).
+//
+// SUBSTITUTION NOTE (see DESIGN.md §2): the paper plots the actual Top500
+// lists, which we cannot redistribute/fetch offline. This module embeds an
+// *approximation* of the published per-year distribution reconstructed from
+// the well-known architecture timeline (single-core dominance through 2004,
+// dual-core 2005–2007, quad-core 2008–2010, 6–8 cores 2011–2012, and
+// 9+ cores from 2013). The figure's message — monotone growth of
+// cores/socket, motivating massive on-node concurrency — is preserved; the
+// percentages are NOT the exact Top500 numbers.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace lwt::benchsupport {
+
+/// Buckets exactly as in the paper's Figure 1 legend.
+inline constexpr std::array<std::string_view, 8> kCoreBuckets{
+    "1", "2", "4", "6", "8", "9-10", "12-14", "16-"};
+
+struct Top500Year {
+    int year;
+    /// Percentage share per bucket; sums to 100.
+    std::array<double, 8> share;
+};
+
+/// November lists 2001..2015 (15 rows).
+const std::array<Top500Year, 15>& top500_series();
+
+/// Render the stacked-percentage series (one row per year, one column per
+/// bucket) in the harness CSV style.
+std::string render_top500_csv();
+
+}  // namespace lwt::benchsupport

@@ -1,0 +1,148 @@
+// channel.hpp — Go-style typed channel.
+//
+// The paper singles out Go's join mechanism — "an out-of-order communication
+// channel" — as the most efficient join it measured (Fig. 3). This template
+// reproduces those semantics: multiple senders, multiple receivers, FIFO per
+// channel but no ordering guarantee across concurrent senders, optional
+// buffering, close() with drain semantics.
+//
+// Blocking is cooperative: inside a ULT the channel yields through the
+// scheduler; on a plain thread it spins with an OS yield.
+#pragma once
+
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "core/ult.hpp"
+#include "sync/spinlock.hpp"
+
+namespace lwt::core {
+
+template <typename T>
+class Channel {
+  public:
+    /// `capacity == 0` models Go's unbuffered channel: a send completes only
+    /// once a receiver has taken the value.
+    explicit Channel(std::size_t capacity = 0) : capacity_(capacity) {}
+    Channel(const Channel&) = delete;
+    Channel& operator=(const Channel&) = delete;
+
+    /// Blocking send. Returns false if the channel is (or becomes) closed.
+    bool send(T value) {
+        for (;;) {
+            {
+                std::lock_guard g(lock_);
+                if (closed_) {
+                    return false;
+                }
+                if (capacity_ == 0) {
+                    // Unbuffered: hand off only when a receiver is waiting.
+                    if (waiting_receivers_ > 0 && items_.empty()) {
+                        items_.push_back(std::move(value));
+                        return true;
+                    }
+                } else if (items_.size() < capacity_) {
+                    items_.push_back(std::move(value));
+                    return true;
+                }
+            }
+            yield_anywhere();
+        }
+    }
+
+    /// Non-blocking send attempt. Unbuffered channels require a waiting
+    /// receiver. Returns false when full/closed/no receiver.
+    bool try_send(T value) {
+        std::lock_guard g(lock_);
+        if (closed_) {
+            return false;
+        }
+        if (capacity_ == 0) {
+            if (waiting_receivers_ > 0 && items_.empty()) {
+                items_.push_back(std::move(value));
+                return true;
+            }
+            return false;
+        }
+        if (items_.size() >= capacity_) {
+            return false;
+        }
+        items_.push_back(std::move(value));
+        return true;
+    }
+
+    /// Blocking receive. Empty optional means closed-and-drained (Go's
+    /// `v, ok := <-ch` with ok == false).
+    std::optional<T> recv() {
+        ReceiverScope scope(*this);
+        for (;;) {
+            {
+                std::lock_guard g(lock_);
+                if (!items_.empty()) {
+                    std::optional<T> out(std::move(items_.front()));
+                    items_.pop_front();
+                    return out;
+                }
+                if (closed_) {
+                    return std::nullopt;
+                }
+            }
+            yield_anywhere();
+        }
+    }
+
+    /// Non-blocking receive attempt.
+    std::optional<T> try_recv() {
+        std::lock_guard g(lock_);
+        if (items_.empty()) {
+            return std::nullopt;
+        }
+        std::optional<T> out(std::move(items_.front()));
+        items_.pop_front();
+        return out;
+    }
+
+    /// Close the channel: senders fail, receivers drain then see nullopt.
+    void close() {
+        std::lock_guard g(lock_);
+        closed_ = true;
+    }
+
+    [[nodiscard]] bool closed() const {
+        std::lock_guard g(lock_);
+        return closed_;
+    }
+
+    [[nodiscard]] std::size_t size() const {
+        std::lock_guard g(lock_);
+        return items_.size();
+    }
+
+    [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  private:
+    /// RAII registration of a blocked receiver (enables unbuffered handoff).
+    class ReceiverScope {
+      public:
+        explicit ReceiverScope(Channel& ch) : ch_(ch) {
+            std::lock_guard g(ch_.lock_);
+            ++ch_.waiting_receivers_;
+        }
+        ~ReceiverScope() {
+            std::lock_guard g(ch_.lock_);
+            --ch_.waiting_receivers_;
+        }
+
+      private:
+        Channel& ch_;
+    };
+
+    const std::size_t capacity_;
+    mutable sync::Spinlock lock_;
+    std::deque<T> items_;
+    std::size_t waiting_receivers_ = 0;
+    bool closed_ = false;
+};
+
+}  // namespace lwt::core

@@ -1,0 +1,110 @@
+// future.hpp — one-shot value futures with ULT-aware blocking.
+//
+// This is the Argobots "eventual" (ABT_eventual) abstraction: a write-once
+// cell that any number of ULTs (or plain threads) can wait on. Waiting ULTs
+// suspend through the scheduler (kBlocked protocol); the setter wakes them.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/ult.hpp"
+#include "core/xstream.hpp"
+#include "sync/spinlock.hpp"
+
+namespace lwt::core {
+
+/// Write-once cell of T. set() may be called exactly once; wait() blocks
+/// cooperatively until it has been.
+template <typename T>
+class Future {
+  public:
+    Future() = default;
+    Future(const Future&) = delete;
+    Future& operator=(const Future&) = delete;
+
+    /// Publish the value and wake every waiter. Must be called once.
+    void set(T value) {
+        std::vector<Ult*> to_wake;
+        {
+            std::lock_guard g(guard_);
+            assert(!value_.has_value() && "Future::set called twice");
+            value_.emplace(std::move(value));
+            to_wake.swap(waiters_);
+        }
+        ready_.store(true, std::memory_order_release);
+        for (Ult* u : to_wake) {
+            Ult::wake(u);
+        }
+    }
+
+    /// True once set() happened.
+    [[nodiscard]] bool ready() const noexcept {
+        return ready_.load(std::memory_order_acquire);
+    }
+
+    /// Non-blocking read; empty until ready.
+    std::optional<T> try_get() const {
+        if (!ready()) {
+            return std::nullopt;
+        }
+        std::lock_guard g(guard_);
+        return value_;
+    }
+
+    /// Block until ready, then return a copy of the value. Inside a ULT
+    /// this suspends the ULT; on an attached stream it schedules other
+    /// work; on a plain thread it spins with OS yields.
+    T wait() {
+        if (Ult* self = Ult::current()) {
+            for (;;) {
+                if (ready()) {
+                    break;
+                }
+                bool registered = false;
+                {
+                    std::lock_guard g(guard_);
+                    if (!value_.has_value()) {
+                        self->state.store(State::kBlocking,
+                                          std::memory_order_release);
+                        waiters_.push_back(self);
+                        registered = true;
+                    }
+                }
+                if (!registered) {
+                    break;  // value arrived while we were registering
+                }
+                self->suspend(YieldStatus::kBlocked);
+            }
+        } else {
+            while (!ready()) {
+                yield_anywhere();
+            }
+        }
+        std::lock_guard g(guard_);
+        return *value_;
+    }
+
+  private:
+    std::atomic<bool> ready_{false};
+    mutable sync::Spinlock guard_;
+    std::optional<T> value_;
+    std::vector<Ult*> waiters_;
+};
+
+/// Value-less variant (pure completion event), e.g. ABT_eventual with
+/// nbytes == 0.
+class Event {
+  public:
+    void set() { inner_.set(true); }
+    [[nodiscard]] bool ready() const noexcept { return inner_.ready(); }
+    void wait() { inner_.wait(); }
+
+  private:
+    Future<bool> inner_;
+};
+
+}  // namespace lwt::core

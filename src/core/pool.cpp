@@ -1,0 +1,18 @@
+#include "core/pool.hpp"
+
+#include "arch/cpu.hpp"
+
+namespace lwt::core {
+
+bool SharedFifoPool::remove(WorkUnit* unit) { return queue_.remove(unit); }
+
+void MpmcPool::push(WorkUnit* unit) {
+    on_push(unit);
+    while (!queue_.try_push(unit)) {
+        arch::cpu_relax();  // bounded queue full: wait for consumers
+    }
+}
+
+bool DequePool::remove(WorkUnit* unit) { return deque_.remove(unit); }
+
+}  // namespace lwt::core

@@ -1,0 +1,171 @@
+// pool.hpp — work-unit containers with pluggable access topology.
+//
+// The paper's Table I separates runtimes by exactly this choice: one global
+// shared queue (Go, gcc tasks), one private queue per stream (Qthreads,
+// MassiveThreads, Converse), or fully configurable (Argobots, Pthreads).
+// Pools store raw WorkUnit pointers; ownership follows the unit's `detached`
+// flag (see WorkUnit).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "core/work_unit.hpp"
+#include "queue/chase_lev_deque.hpp"
+#include "queue/global_queue.hpp"
+#include "queue/locked_deque.hpp"
+#include "queue/mpmc_queue.hpp"
+#include "queue/ms_queue.hpp"
+
+namespace lwt::core {
+
+/// Abstract work-unit container as seen by schedulers.
+class Pool {
+  public:
+    virtual ~Pool() = default;
+
+    /// Enqueue a ready unit. Thread-safety depends on the implementation;
+    /// see each subclass.
+    virtual void push(WorkUnit* unit) = 0;
+
+    /// Dequeue the next unit for the owning consumer; nullptr when empty.
+    virtual WorkUnit* pop() = 0;
+
+    /// Dequeue from the steal end (for other streams). Default: pools that
+    /// do not support stealing return nullptr.
+    virtual WorkUnit* steal() { return nullptr; }
+
+    /// Remove a specific ready unit (needed by yield_to). Returns false if
+    /// the unit is not present or the pool cannot remove by identity.
+    virtual bool remove(WorkUnit* unit) {
+        (void)unit;
+        return false;
+    }
+
+    /// Number of queued units (may be approximate for lock-free pools).
+    [[nodiscard]] virtual std::size_t size() const = 0;
+
+    [[nodiscard]] bool empty() const { return size() == 0; }
+
+  protected:
+    /// Bookkeeping every push must perform: the unit becomes ready and this
+    /// pool becomes its home (where yields/wakes return it, and where
+    /// yield_to looks for it).
+    void on_push(WorkUnit* unit) noexcept {
+        unit->home_pool = this;
+        unit->state.store(State::kReady, std::memory_order_release);
+    }
+};
+
+/// Shared FIFO guarded by one lock — the Go / gcc-OpenMP topology. Any
+/// thread may push or pop; contention grows with the consumer count.
+class SharedFifoPool final : public Pool {
+  public:
+    void push(WorkUnit* unit) override {
+        on_push(unit);
+        queue_.push(unit);
+    }
+    WorkUnit* pop() override { return queue_.try_pop().value_or(nullptr); }
+    WorkUnit* steal() override { return pop(); }  // same end: it's one queue
+    bool remove(WorkUnit* unit) override;
+    [[nodiscard]] std::size_t size() const override { return queue_.size(); }
+
+  private:
+    queue::GlobalQueue<WorkUnit*> queue_;
+};
+
+/// Lock-free bounded MPMC pool — a scalable shared pool (Argobots' shared
+/// pool configuration). Falls back to spinning in push when full.
+class MpmcPool final : public Pool {
+  public:
+    explicit MpmcPool(std::size_t capacity = 1 << 16) : queue_(capacity) {}
+
+    void push(WorkUnit* unit) override;
+    WorkUnit* pop() override { return queue_.try_pop().value_or(nullptr); }
+    WorkUnit* steal() override { return pop(); }
+    [[nodiscard]] std::size_t size() const override {
+        return queue_.size_approx();
+    }
+
+  private:
+    queue::MpmcQueue<WorkUnit*> queue_;
+};
+
+/// Unbounded lock-free shared pool over the Michael-Scott queue: the
+/// MpmcPool without a capacity bound, for workloads whose outstanding unit
+/// count cannot be sized up front. Nodes are reclaimed through the hazard-
+/// pointer domain.
+class UnboundedSharedPool final : public Pool {
+  public:
+    void push(WorkUnit* unit) override {
+        on_push(unit);
+        queue_.push(unit);
+    }
+    WorkUnit* pop() override { return queue_.try_pop().value_or(nullptr); }
+    WorkUnit* steal() override { return pop(); }
+    [[nodiscard]] std::size_t size() const override {
+        // MS queues have no O(1) size; report emptiness only.
+        return queue_.empty() ? 0 : 1;
+    }
+
+  private:
+    queue::MsQueue<WorkUnit*> queue_;
+};
+
+/// Spinlock-protected deque with a configurable consumer end. This is the
+/// "one private queue per stream" building block: any thread may push
+/// (round-robin dispatch), the owner pops, thieves use steal().
+class DequePool final : public Pool {
+  public:
+    /// kFifo: owner pops oldest (Converse/Qthreads order).
+    /// kLifo: owner pops newest (MassiveThreads depth-first order).
+    enum class PopOrder { kFifo, kLifo };
+
+    explicit DequePool(PopOrder order = PopOrder::kFifo) : order_(order) {}
+
+    void push(WorkUnit* unit) override {
+        on_push(unit);
+        deque_.push_back(unit);
+    }
+    WorkUnit* pop() override {
+        auto out = order_ == PopOrder::kLifo ? deque_.pop_back()
+                                             : deque_.pop_front();
+        return out.value_or(nullptr);
+    }
+    /// Thieves take the end opposite the owner's.
+    WorkUnit* steal() override {
+        auto out = order_ == PopOrder::kLifo ? deque_.pop_front()
+                                             : deque_.pop_back();
+        return out.value_or(nullptr);
+    }
+    bool remove(WorkUnit* unit) override;
+    [[nodiscard]] std::size_t size() const override { return deque_.size(); }
+
+  private:
+    PopOrder order_;
+    queue::LockedDeque<WorkUnit*> deque_;
+};
+
+/// Chase-Lev work-stealing pool. push/pop are OWNER-ONLY (the stream the
+/// pool belongs to); any other stream may steal(). Used by the
+/// MassiveThreads-like and icc-OpenMP-like backends.
+class WsPool final : public Pool {
+  public:
+    explicit WsPool(std::size_t initial_capacity = 1024)
+        : deque_(initial_capacity) {}
+
+    void push(WorkUnit* unit) override {
+        on_push(unit);
+        deque_.push_bottom(unit);
+    }
+    WorkUnit* pop() override { return deque_.pop_bottom().value_or(nullptr); }
+    WorkUnit* steal() override { return deque_.steal_top().value_or(nullptr); }
+    [[nodiscard]] std::size_t size() const override {
+        return deque_.size_approx();
+    }
+
+  private:
+    queue::ChaseLevDeque<WorkUnit*> deque_;
+};
+
+}  // namespace lwt::core

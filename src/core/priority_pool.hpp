@@ -1,0 +1,81 @@
+// priority_pool.hpp — multi-level priority pool.
+//
+// Demonstrates the "plug-in scheduler" axis of Table I: pools and
+// schedulers compose, so a priority discipline is just another Pool
+// implementation underneath an unchanged Scheduler/XStream. Used by the
+// custom-scheduler example and the scheduler ablation bench.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "core/pool.hpp"
+
+namespace lwt::core {
+
+/// Fixed number of strict priority levels; level 0 is the most urgent.
+/// push() uses a unit's `priority` tag (see set_priority); pop() always
+/// takes from the most urgent non-empty level. Starvation of low levels is
+/// by design — strict priority.
+template <std::size_t Levels = 4>
+class PriorityPool final : public Pool {
+    static_assert(Levels >= 2, "a priority pool needs at least two levels");
+
+  public:
+    /// Plain pushes (yield requeues, wakes) land on the least-urgent level;
+    /// use push_with() to place a unit explicitly.
+    void push(WorkUnit* unit) override { push_with(unit, Levels - 1); }
+
+    /// Push at an explicit level (clamped).
+    void push_with(WorkUnit* unit, std::size_t level) {
+        on_push(unit);
+        levels_[level < Levels ? level : Levels - 1].push_back(unit);
+    }
+
+    WorkUnit* pop() override {
+        for (auto& level : levels_) {
+            if (auto unit = level.pop_front()) {
+                return *unit;
+            }
+        }
+        return nullptr;
+    }
+
+    WorkUnit* steal() override {
+        // Thieves take the least-urgent work first (leave urgent work local).
+        for (std::size_t i = Levels; i-- > 0;) {
+            if (auto unit = levels_[i].pop_back()) {
+                return *unit;
+            }
+        }
+        return nullptr;
+    }
+
+    bool remove(WorkUnit* unit) override {
+        for (auto& level : levels_) {
+            if (level.remove(unit)) {
+                return true;
+            }
+        }
+        return false;
+    }
+
+    [[nodiscard]] std::size_t size() const override {
+        std::size_t total = 0;
+        for (const auto& level : levels_) {
+            total += level.size();
+        }
+        return total;
+    }
+
+    [[nodiscard]] std::size_t size_at(std::size_t level) const {
+        return levels_[level < Levels ? level : Levels - 1].size();
+    }
+
+    static constexpr std::size_t levels() { return Levels; }
+
+  private:
+    std::array<queue::LockedDeque<WorkUnit*>, Levels> levels_;
+};
+
+}  // namespace lwt::core

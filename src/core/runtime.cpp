@@ -1,0 +1,47 @@
+#include "core/runtime.hpp"
+
+#include <cstdlib>
+
+#include "arch/cpu.hpp"
+
+namespace lwt::core {
+
+Runtime::Runtime(std::size_t num_streams, const SchedulerFactory& factory) {
+    if (num_streams == 0) {
+        num_streams = 1;
+    }
+    streams_.reserve(num_streams);
+    for (std::size_t i = 0; i < num_streams; ++i) {
+        streams_.push_back(std::make_unique<XStream>(
+            static_cast<unsigned>(i), factory(static_cast<unsigned>(i))));
+    }
+    primary().attach_caller();
+    for (std::size_t i = 1; i < num_streams; ++i) {
+        streams_[i]->start();
+    }
+}
+
+Runtime::~Runtime() {
+    for (std::size_t i = 1; i < streams_.size(); ++i) {
+        streams_[i]->stop_and_join();
+    }
+    primary().detach_caller();
+}
+
+std::size_t Runtime::resolve_stream_count(std::size_t requested,
+                                          const char* env_var) {
+    if (requested != 0) {
+        return requested;
+    }
+    if (env_var != nullptr) {
+        if (const char* env = std::getenv(env_var)) {
+            const long v = std::atol(env);
+            if (v > 0) {
+                return static_cast<std::size_t>(v);
+            }
+        }
+    }
+    return arch::hardware_threads();
+}
+
+}  // namespace lwt::core

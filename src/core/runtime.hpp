@@ -1,0 +1,49 @@
+// runtime.hpp — bootstrap/teardown boilerplate shared by the personalities.
+//
+// Every library in the paper exposes the same life cycle (Table II row
+// "Initialization"/"Finalization"); this class factors it: build pools,
+// build one scheduler per stream through a caller-supplied factory, start
+// the secondary streams, and drain/stop them at destruction. Stream 0 is
+// the *primary* stream: it represents the program's main thread and is
+// driven by explicit progress()/run_until() calls rather than a dedicated
+// OS thread — matching how the paper's main thread creates work and joins.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/xstream.hpp"
+
+namespace lwt::core {
+
+class Runtime {
+  public:
+    /// Builds the scheduler for stream `rank` (0 = primary).
+    using SchedulerFactory =
+        std::function<std::unique_ptr<Scheduler>(unsigned rank)>;
+
+    /// Create `num_streams` streams (>= 1). Streams 1..n-1 get dedicated OS
+    /// threads; stream 0 adopts the calling thread.
+    Runtime(std::size_t num_streams, const SchedulerFactory& factory);
+    ~Runtime();
+    Runtime(const Runtime&) = delete;
+    Runtime& operator=(const Runtime&) = delete;
+
+    [[nodiscard]] std::size_t num_streams() const noexcept {
+        return streams_.size();
+    }
+    [[nodiscard]] XStream& stream(std::size_t i) noexcept { return *streams_[i]; }
+    [[nodiscard]] XStream& primary() noexcept { return *streams_.front(); }
+
+    /// Resolve a stream count request: explicit value, else the env var
+    /// (e.g. "LWT_NUM_STREAMS"), else the hardware thread count.
+    static std::size_t resolve_stream_count(std::size_t requested,
+                                            const char* env_var);
+
+  private:
+    std::vector<std::unique_ptr<XStream>> streams_;
+};
+
+}  // namespace lwt::core

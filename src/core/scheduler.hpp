@@ -1,0 +1,127 @@
+// scheduler.hpp — pluggable, stackable work-unit schedulers.
+//
+// A scheduler owns an ordered view over one or more pools and decides which
+// ready unit an execution stream runs next. Personalities subclass it (or
+// configure the provided policies) to reproduce each paper library's
+// behaviour; Argobots-style *stackable* schedulers are supported by
+// XStream's scheduler stack (a pushed scheduler preempts its parent until
+// `finished()`).
+#pragma once
+
+#include <cstddef>
+#include <random>
+#include <vector>
+
+#include "core/pool.hpp"
+
+namespace lwt::core {
+
+/// Base scheduler: round-robin-free, strictly ordered pool scan. Pool 0 is
+/// the stream's "main" pool (where its yielded/woken units return).
+class Scheduler {
+  public:
+    explicit Scheduler(std::vector<Pool*> pools) : pools_(std::move(pools)) {}
+    virtual ~Scheduler() = default;
+    Scheduler(const Scheduler&) = delete;
+    Scheduler& operator=(const Scheduler&) = delete;
+
+    /// Pick the next ready unit, or nullptr if none is available right now.
+    virtual WorkUnit* next() {
+        for (Pool* p : pools_) {
+            if (WorkUnit* unit = p->pop()) {
+                return unit;
+            }
+        }
+        return nullptr;
+    }
+
+    /// For stacked schedulers: return true once this scheduler's job is done
+    /// and it should be popped. The base scheduler runs forever.
+    [[nodiscard]] virtual bool finished() const { return false; }
+
+    /// True if any pool still holds ready work (used for drain-on-stop).
+    [[nodiscard]] virtual bool has_work() const {
+        for (const Pool* p : pools_) {
+            if (!p->empty()) {
+                return true;
+            }
+        }
+        return false;
+    }
+
+    [[nodiscard]] Pool* main_pool() const {
+        return pools_.empty() ? nullptr : pools_.front();
+    }
+    [[nodiscard]] const std::vector<Pool*>& pools() const { return pools_; }
+
+  protected:
+    std::vector<Pool*> pools_;
+};
+
+/// Work-stealing scheduler: drain the home pool, then steal from a random
+/// victim (MassiveThreads' random work stealing; also used by the
+/// icc-OpenMP-like task path).
+class StealingScheduler : public Scheduler {
+  public:
+    /// `home` is this stream's own pool; `victims` are the other streams'
+    /// pools (may include `home`; it is skipped).
+    StealingScheduler(Pool* home, std::vector<Pool*> victims,
+                      unsigned seed = 0x9e3779b9u)
+        : Scheduler({home}), victims_(std::move(victims)), rng_(seed) {}
+
+    WorkUnit* next() override {
+        if (WorkUnit* unit = pools_.front()->pop()) {
+            return unit;
+        }
+        if (victims_.empty()) {
+            return nullptr;
+        }
+        // One random probe per call: the stream's idle loop provides retry.
+        const std::size_t i = rng_() % victims_.size();
+        Pool* victim = victims_[i];
+        if (victim == pools_.front()) {
+            return nullptr;
+        }
+        return victim->steal();
+    }
+
+    [[nodiscard]] bool has_work() const override {
+        if (Scheduler::has_work()) {
+            return true;
+        }
+        for (const Pool* v : victims_) {
+            if (!v->empty()) {
+                return true;
+            }
+        }
+        return false;
+    }
+
+  private:
+    std::vector<Pool*> victims_;
+    std::minstd_rand rng_;
+};
+
+/// Priority scheduler: scans pools strictly in priority order but remembers
+/// a starting offset for same-priority fairness. Demonstrates the "plug-in
+/// scheduler" row of Table I; also exercised by the custom-scheduler example.
+class RoundRobinScheduler : public Scheduler {
+  public:
+    using Scheduler::Scheduler;
+
+    WorkUnit* next() override {
+        const std::size_t n = pools_.size();
+        for (std::size_t k = 0; k < n; ++k) {
+            if (WorkUnit* unit = pools_[(start_ + k) % n]->pop()) {
+                start_ = (start_ + k + 1) % n;
+                return unit;
+            }
+        }
+        return nullptr;
+    }
+
+  private:
+    std::size_t start_ = 0;
+};
+
+}  // namespace lwt::core

@@ -1,0 +1,86 @@
+#include "core/sync_ult.hpp"
+
+#include <cassert>
+#include <mutex>
+#include <thread>
+
+namespace lwt::core {
+
+void UltMutex::lock() {
+    for (;;) {
+        if (try_lock()) {
+            return;
+        }
+        Ult* self = Ult::current();
+        if (self == nullptr) {
+            // Plain OS thread: cooperative spin.
+            std::this_thread::yield();
+            continue;
+        }
+        {
+            std::lock_guard g(guard_);
+            if (try_lock()) {
+                return;
+            }
+            self->state.store(State::kBlocking, std::memory_order_release);
+            waiters_.push_back(self);
+        }
+        self->suspend(YieldStatus::kBlocked);
+        // Woken: re-contend (Mesa semantics).
+    }
+}
+
+void UltMutex::unlock() {
+    locked_.store(false, std::memory_order_release);
+    Ult* next = nullptr;
+    {
+        std::lock_guard g(guard_);
+        if (!waiters_.empty()) {
+            next = waiters_.front();
+            waiters_.pop_front();
+        }
+    }
+    if (next != nullptr) {
+        Ult::wake(next);
+    }
+}
+
+void UltCondVar::wait(UltMutex& mutex) {
+    Ult* self = Ult::current();
+    assert(self != nullptr && "UltCondVar::wait requires ULT context");
+    {
+        std::lock_guard g(guard_);
+        self->state.store(State::kBlocking, std::memory_order_release);
+        waiters_.push_back(self);
+    }
+    mutex.unlock();
+    self->suspend(YieldStatus::kBlocked);
+    mutex.lock();
+}
+
+void UltCondVar::notify_one() {
+    Ult* next = nullptr;
+    {
+        std::lock_guard g(guard_);
+        if (!waiters_.empty()) {
+            next = waiters_.front();
+            waiters_.pop_front();
+        }
+    }
+    if (next != nullptr) {
+        Ult::wake(next);
+    }
+}
+
+void UltCondVar::notify_all() {
+    std::deque<Ult*> to_wake;
+    {
+        std::lock_guard g(guard_);
+        to_wake.swap(waiters_);
+    }
+    for (Ult* u : to_wake) {
+        Ult::wake(u);
+    }
+}
+
+}  // namespace lwt::core

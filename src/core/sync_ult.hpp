@@ -1,0 +1,124 @@
+// sync_ult.hpp — synchronisation objects usable from inside ULTs.
+//
+// Blocking here never blocks the OS thread: a waiting ULT suspends through
+// the scheduler (kBlocked protocol) so the stream keeps executing other
+// units — the core reason LWT joins beat Pthreads joins in the paper.
+// Each primitive also degrades gracefully when called from plain thread
+// code (spin-with-OS-yield), because the paper's main thread joins from
+// outside any ULT.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+
+#include "core/ult.hpp"
+#include "sync/spinlock.hpp"
+
+namespace lwt::core {
+
+/// Counts outstanding events; wait() returns when the count reaches zero.
+/// This is the join object behind most personalities (and Go's WaitGroup).
+class EventCounter {
+  public:
+    explicit EventCounter(std::int64_t initial = 0) noexcept
+        : count_(initial) {}
+
+    /// Register `n` more outstanding events.
+    void add(std::int64_t n = 1) noexcept {
+        count_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    /// Mark one event complete.
+    void signal() noexcept { count_.fetch_sub(1, std::memory_order_release); }
+
+    /// Cooperatively wait until all events completed.
+    void wait() noexcept {
+        while (count_.load(std::memory_order_acquire) > 0) {
+            yield_anywhere();
+        }
+    }
+
+    [[nodiscard]] std::int64_t value() const noexcept {
+        return count_.load(std::memory_order_acquire);
+    }
+
+  private:
+    std::atomic<std::int64_t> count_;
+};
+
+/// Mutual exclusion that suspends the calling ULT instead of spinning the
+/// stream. Plain threads fall back to a yielding spin. Mesa-style wakeups:
+/// a woken waiter re-contends.
+class UltMutex {
+  public:
+    UltMutex() = default;
+    UltMutex(const UltMutex&) = delete;
+    UltMutex& operator=(const UltMutex&) = delete;
+
+    void lock();
+    bool try_lock() noexcept {
+        bool expected = false;
+        return locked_.compare_exchange_strong(expected, true,
+                                               std::memory_order_acquire,
+                                               std::memory_order_relaxed);
+    }
+    void unlock();
+
+  private:
+    std::atomic<bool> locked_{false};
+    sync::Spinlock guard_;
+    std::deque<Ult*> waiters_;
+};
+
+/// Condition variable for ULTs holding a UltMutex.
+class UltCondVar {
+  public:
+    UltCondVar() = default;
+    UltCondVar(const UltCondVar&) = delete;
+    UltCondVar& operator=(const UltCondVar&) = delete;
+
+    /// Atomically release `mutex` and suspend; reacquires before returning.
+    /// Callable from ULT context only.
+    void wait(UltMutex& mutex);
+
+    void notify_one();
+    void notify_all();
+
+  private:
+    sync::Spinlock guard_;
+    std::deque<Ult*> waiters_;
+};
+
+/// Cooperative barrier usable by any mix of ULTs and plain threads.
+class UltBarrier {
+  public:
+    explicit UltBarrier(std::size_t participants) noexcept
+        : participants_(participants) {}
+    UltBarrier(const UltBarrier&) = delete;
+    UltBarrier& operator=(const UltBarrier&) = delete;
+
+    void arrive_and_wait() noexcept {
+        const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+        if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            participants_) {
+            arrived_.store(0, std::memory_order_relaxed);
+            generation_.fetch_add(1, std::memory_order_release);
+            return;
+        }
+        while (generation_.load(std::memory_order_acquire) == gen) {
+            yield_anywhere();
+        }
+    }
+
+    [[nodiscard]] std::size_t participants() const noexcept {
+        return participants_;
+    }
+
+  private:
+    const std::size_t participants_;
+    std::atomic<std::size_t> arrived_{0};
+    std::atomic<std::uint64_t> generation_{0};
+};
+
+}  // namespace lwt::core

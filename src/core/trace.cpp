@@ -1,0 +1,91 @@
+#include "core/trace.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "arch/cpu.hpp"
+
+namespace lwt::core {
+
+std::string_view trace_event_name(TraceEvent e) {
+    switch (e) {
+        case TraceEvent::kCreate: return "create";
+        case TraceEvent::kStart: return "start";
+        case TraceEvent::kYield: return "yield";
+        case TraceEvent::kBlock: return "block";
+        case TraceEvent::kWake: return "wake";
+        case TraceEvent::kFinish: return "finish";
+    }
+    return "?";
+}
+
+Tracer& Tracer::instance() {
+    static Tracer tracer;
+    return tracer;
+}
+
+Tracer::Ring& Tracer::ring_for_this_thread() {
+    thread_local Ring* tl_ring = nullptr;
+    if (tl_ring == nullptr) {
+        auto ring = std::make_unique<Ring>();
+        tl_ring = ring.get();
+        std::lock_guard g(registry_lock_);
+        rings_.push_back(std::move(ring));
+    }
+    return *tl_ring;
+}
+
+void Tracer::record_slow(TraceEvent event, const void* unit) {
+    // Stream rank is attached lazily by the caller-side hook macros; we
+    // avoid a dependency cycle with XStream by storing kNoStream here and
+    // letting analysis group by ring (one ring per OS thread ≈ stream).
+    Ring& ring = ring_for_this_thread();
+    const std::uint64_t idx =
+        ring.next.fetch_add(1, std::memory_order_relaxed);
+    TraceRecord& slot = ring.slots[idx % kRingCapacity];
+    slot.tsc = arch::rdtsc();
+    slot.unit = unit;
+    slot.event = event;
+    slot.stream = kNoStream;
+}
+
+TraceStats Tracer::stats() const {
+    TraceStats out;
+    std::lock_guard g(registry_lock_);
+    for (const auto& ring : rings_) {
+        const std::uint64_t n =
+            std::min<std::uint64_t>(ring->next.load(std::memory_order_acquire),
+                                    kRingCapacity);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            ++out.counts[static_cast<std::size_t>(ring->slots[i].event)];
+        }
+    }
+    return out;
+}
+
+std::vector<TraceRecord> Tracer::snapshot() const {
+    std::vector<TraceRecord> out;
+    {
+        std::lock_guard g(registry_lock_);
+        for (const auto& ring : rings_) {
+            const std::uint64_t n = std::min<std::uint64_t>(
+                ring->next.load(std::memory_order_acquire), kRingCapacity);
+            out.insert(out.end(), ring->slots.begin(),
+                       ring->slots.begin() + static_cast<std::ptrdiff_t>(n));
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const TraceRecord& a, const TraceRecord& b) {
+                  return a.tsc < b.tsc;
+              });
+    return out;
+}
+
+void Tracer::clear() {
+    std::lock_guard g(registry_lock_);
+    for (auto& ring : rings_) {
+        ring->next.store(0, std::memory_order_release);
+    }
+}
+
+}  // namespace lwt::core

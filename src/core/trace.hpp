@@ -1,0 +1,102 @@
+// trace.hpp — lightweight lifecycle tracing for work units.
+//
+// Real LWT runtimes ship introspection (ABT_info, Qthreads' performance
+// hooks); this is ours. When enabled, the kernel records unit lifecycle
+// events (create/start/yield/block/wake/finish) into per-thread ring
+// buffers; a snapshot merges them for analysis. Disabled (the default) the
+// cost is one relaxed atomic load per hook.
+//
+//   Tracer::instance().enable();
+//   ... run work ...
+//   TraceStats s = Tracer::instance().stats();   // counts per event kind
+//   auto events = Tracer::instance().snapshot(); // raw, time-ordered-ish
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "sync/spinlock.hpp"
+
+namespace lwt::core {
+
+enum class TraceEvent : std::uint8_t {
+    kCreate = 0,  ///< work unit constructed
+    kStart,       ///< dispatched onto a stream
+    kYield,       ///< suspended voluntarily (rescheduled)
+    kBlock,       ///< suspended waiting (not rescheduled)
+    kWake,        ///< made runnable by a waker
+    kFinish,      ///< entry function completed
+};
+inline constexpr std::size_t kTraceEventKinds = 6;
+
+std::string_view trace_event_name(TraceEvent e);
+
+/// One recorded event. `unit` is an opaque identity (the unit's address at
+/// the time — may be reused after free; correlate via kCreate/kFinish).
+struct TraceRecord {
+    std::uint64_t tsc;
+    const void* unit;
+    TraceEvent event;
+    std::uint32_t stream;  ///< stream rank, or kNoStream
+};
+inline constexpr std::uint32_t kNoStream = 0xffffffffu;
+
+/// Aggregated event counts.
+struct TraceStats {
+    std::array<std::uint64_t, kTraceEventKinds> counts{};
+
+    [[nodiscard]] std::uint64_t of(TraceEvent e) const {
+        return counts[static_cast<std::size_t>(e)];
+    }
+};
+
+/// Process-wide tracer. Thread-safe; hooks may fire from any stream.
+class Tracer {
+  public:
+    static Tracer& instance();
+
+    void enable() { enabled_.store(true, std::memory_order_release); }
+    void disable() { enabled_.store(false, std::memory_order_release); }
+    [[nodiscard]] bool enabled() const {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /// Hook entry point; no-op unless enabled.
+    void record(TraceEvent event, const void* unit) {
+        if (enabled()) {
+            record_slow(event, unit);
+        }
+    }
+
+    /// Counts per event kind over all buffers.
+    [[nodiscard]] TraceStats stats() const;
+
+    /// Merged copy of every buffer, sorted by timestamp.
+    [[nodiscard]] std::vector<TraceRecord> snapshot() const;
+
+    /// Drop all recorded events (buffers stay registered).
+    void clear();
+
+    /// Capacity of each per-thread ring (oldest events overwritten).
+    static constexpr std::size_t kRingCapacity = 1 << 14;
+
+  private:
+    struct Ring {
+        std::array<TraceRecord, kRingCapacity> slots;
+        std::atomic<std::uint64_t> next{0};  // monotonically increasing
+    };
+
+    Tracer() = default;
+    void record_slow(TraceEvent event, const void* unit);
+    Ring& ring_for_this_thread();
+
+    std::atomic<bool> enabled_{false};
+    mutable sync::Spinlock registry_lock_;
+    std::vector<std::unique_ptr<Ring>> rings_;
+};
+
+}  // namespace lwt::core

@@ -1,0 +1,113 @@
+// unique_function.hpp — move-only type-erased callable with small-buffer
+// optimisation.
+//
+// Work units must own their closures (std::function requires copyability,
+// which forces captures into shared_ptr contortions), and creation cost is
+// precisely what the paper's Figure 2 measures — so captures up to the
+// inline buffer size never allocate.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace lwt::core {
+
+/// Move-only callable wrapper with `void()` signature and a 48-byte inline
+/// buffer. Larger callables fall back to the heap.
+class UniqueFunction {
+  public:
+    static constexpr std::size_t kInlineSize = 48;
+
+    UniqueFunction() noexcept = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, UniqueFunction> &&
+                  std::is_invocable_r_v<void, std::decay_t<F>&>>>
+    UniqueFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+        using Fn = std::decay_t<F>;
+        if constexpr (sizeof(Fn) <= kInlineSize &&
+                      alignof(Fn) <= alignof(std::max_align_t) &&
+                      std::is_nothrow_move_constructible_v<Fn>) {
+            ::new (static_cast<void*>(buffer_)) Fn(std::forward<F>(f));
+            vtable_ = &inline_vtable<Fn>;
+        } else {
+            ::new (static_cast<void*>(buffer_)) Fn*(new Fn(std::forward<F>(f)));
+            vtable_ = &heap_vtable<Fn>;
+        }
+    }
+
+    UniqueFunction(UniqueFunction&& other) noexcept { move_from(other); }
+
+    UniqueFunction& operator=(UniqueFunction&& other) noexcept {
+        if (this != &other) {
+            reset();
+            move_from(other);
+        }
+        return *this;
+    }
+
+    UniqueFunction(const UniqueFunction&) = delete;
+    UniqueFunction& operator=(const UniqueFunction&) = delete;
+
+    ~UniqueFunction() { reset(); }
+
+    /// Invoke the stored callable. Undefined if empty.
+    void operator()() { vtable_->invoke(buffer_); }
+
+    [[nodiscard]] explicit operator bool() const noexcept {
+        return vtable_ != nullptr;
+    }
+
+    /// Destroy the stored callable, leaving the wrapper empty.
+    void reset() noexcept {
+        if (vtable_ != nullptr) {
+            vtable_->destroy(buffer_);
+            vtable_ = nullptr;
+        }
+    }
+
+  private:
+    struct VTable {
+        void (*invoke)(void* storage);
+        void (*destroy)(void* storage) noexcept;
+        void (*relocate)(void* from, void* to) noexcept;
+    };
+
+    template <typename Fn>
+    static constexpr VTable inline_vtable{
+        [](void* s) { (*std::launder(reinterpret_cast<Fn*>(s)))(); },
+        [](void* s) noexcept { std::launder(reinterpret_cast<Fn*>(s))->~Fn(); },
+        [](void* from, void* to) noexcept {
+            Fn* src = std::launder(reinterpret_cast<Fn*>(from));
+            ::new (to) Fn(std::move(*src));
+            src->~Fn();
+        },
+    };
+
+    template <typename Fn>
+    static constexpr VTable heap_vtable{
+        [](void* s) { (**std::launder(reinterpret_cast<Fn**>(s)))(); },
+        [](void* s) noexcept { delete *std::launder(reinterpret_cast<Fn**>(s)); },
+        [](void* from, void* to) noexcept {
+            Fn** src = std::launder(reinterpret_cast<Fn**>(from));
+            ::new (to) Fn*(*src);
+        },
+    };
+
+    void move_from(UniqueFunction& other) noexcept {
+        vtable_ = other.vtable_;
+        if (vtable_ != nullptr) {
+            vtable_->relocate(other.buffer_, buffer_);
+            other.vtable_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char buffer_[kInlineSize]{};
+    const VTable* vtable_ = nullptr;
+};
+
+}  // namespace lwt::core

@@ -1,0 +1,67 @@
+// work_unit.hpp — the two work-unit kinds every LWT library in the paper
+// builds on: stackful ULTs and stackless tasklets.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "core/trace.hpp"
+#include "core/unique_function.hpp"
+
+namespace lwt::core {
+
+class Pool;
+
+/// What a unit is; determines how an execution stream runs it.
+enum class Kind : std::uint8_t {
+    kTasklet,  ///< run-to-completion closure, no private stack
+    kUlt,      ///< suspendable/yieldable/migratable thread with own stack
+};
+
+/// Work-unit lifecycle. `kBlocking`/`kWakePending` are transient handshake
+/// states between a suspending ULT's scheduler and a concurrent waker.
+enum class State : std::uint8_t {
+    kCreated,      ///< constructed, not yet in any pool
+    kReady,        ///< waiting in a pool
+    kRunning,      ///< executing on some stream
+    kBlocking,     ///< suspending; context not yet saved by the scheduler
+    kBlocked,      ///< fully suspended; a waker owns the resume
+    kWakePending,  ///< woken while still kBlocking; scheduler requeues it
+    kTerminated,   ///< finished; safe to reclaim once joined
+};
+
+/// Common header of every schedulable unit. Personalities allocate these
+/// (or the Ult subclass) and hand ownership to the runtime via pools; the
+/// `detached` flag says whether the stream reclaims the unit on completion
+/// or a joiner does.
+struct WorkUnit {
+    explicit WorkUnit(Kind k, UniqueFunction f) noexcept
+        : kind(k), fn(std::move(f)) {
+        Tracer::instance().record(TraceEvent::kCreate, this);
+    }
+    WorkUnit(const WorkUnit&) = delete;
+    WorkUnit& operator=(const WorkUnit&) = delete;
+    virtual ~WorkUnit() = default;
+
+    const Kind kind;
+    std::atomic<State> state{State::kCreated};
+    /// Pool this unit returns to when yielded or woken.
+    Pool* home_pool = nullptr;
+    /// When true the stream deletes the unit after it terminates.
+    bool detached = false;
+    UniqueFunction fn;
+
+    [[nodiscard]] bool terminated() const noexcept {
+        return state.load(std::memory_order_acquire) == State::kTerminated;
+    }
+};
+
+/// Stackless atomic work unit (Argobots Tasklet / Converse Message).
+/// Cannot yield, block, or migrate mid-execution — which is exactly why it
+/// is cheaper: no stack, no context.
+struct Tasklet final : WorkUnit {
+    explicit Tasklet(UniqueFunction f) noexcept
+        : WorkUnit(Kind::kTasklet, std::move(f)) {}
+};
+
+}  // namespace lwt::core

@@ -1,0 +1,165 @@
+#include "core/xstream.hpp"
+
+#include <cassert>
+
+#include "arch/cpu.hpp"
+#include "core/trace.hpp"
+
+namespace lwt::core {
+namespace {
+
+thread_local XStream* tl_current_xstream = nullptr;
+
+}  // namespace
+
+XStream::XStream(unsigned rank, std::unique_ptr<Scheduler> scheduler)
+    : rank_(rank) {
+    assert(scheduler != nullptr);
+    sched_stack_.push_back(std::move(scheduler));
+}
+
+XStream::~XStream() { stop_and_join(); }
+
+XStream* XStream::current() noexcept { return tl_current_xstream; }
+
+Scheduler& XStream::scheduler() noexcept {
+    std::lock_guard guard(sched_lock_);
+    return *sched_stack_.back();
+}
+
+void XStream::push_scheduler(std::unique_ptr<Scheduler> scheduler) {
+    std::lock_guard guard(sched_lock_);
+    sched_stack_.push_back(std::move(scheduler));
+}
+
+void XStream::start() {
+    assert(!thread_.joinable());
+    thread_ = std::thread([this] { loop(); });
+}
+
+void XStream::stop_and_join() {
+    stop_.store(true, std::memory_order_release);
+    if (thread_.joinable()) {
+        thread_.join();
+    }
+}
+
+void XStream::attach_caller() noexcept { tl_current_xstream = this; }
+
+void XStream::detach_caller() noexcept {
+    if (tl_current_xstream == this) {
+        tl_current_xstream = nullptr;
+    }
+}
+
+void XStream::idle_pause() noexcept {
+    arch::cpu_relax();
+    std::this_thread::yield();  // essential on oversubscribed hosts
+}
+
+void XStream::loop() {
+    tl_current_xstream = this;
+    if (on_start_) {
+        on_start_();
+    }
+    for (;;) {
+        if (!progress()) {
+            // Drain semantics: exit only when stopping *and* out of work.
+            if (stop_.load(std::memory_order_acquire) &&
+                !scheduler().has_work()) {
+                break;
+            }
+            idle_pause();
+        }
+    }
+    tl_current_xstream = nullptr;
+}
+
+bool XStream::progress() {
+    // Pop the scheduler stack while the top scheduler is done (never pops
+    // the base scheduler).
+    {
+        std::lock_guard guard(sched_lock_);
+        while (sched_stack_.size() > 1 && sched_stack_.back()->finished()) {
+            sched_stack_.pop_back();
+        }
+    }
+    WorkUnit* unit = next_hint_;
+    next_hint_ = nullptr;
+    if (unit == nullptr) {
+        unit = scheduler().next();
+    }
+    if (unit == nullptr) {
+        return false;
+    }
+    run_unit(unit);
+    return true;
+}
+
+void XStream::finish_unit(WorkUnit* unit) {
+    Tracer::instance().record(TraceEvent::kFinish, unit);
+    const bool detached = unit->detached;
+    unit->state.store(State::kTerminated, std::memory_order_release);
+    // After the store a joiner may reclaim the unit; touch it no further.
+    if (detached) {
+        delete unit;
+    }
+}
+
+void XStream::run_unit(WorkUnit* unit) {
+    executed_.fetch_add(1, std::memory_order_relaxed);
+    Tracer::instance().record(TraceEvent::kStart, unit);
+    // Yields and wakes of this unit now funnel through this stream's main
+    // pool: the unit has migrated here.
+    if (Pool* main = scheduler().main_pool()) {
+        unit->home_pool = main;
+    }
+    if (unit->kind == Kind::kTasklet) {
+        unit->state.store(State::kRunning, std::memory_order_relaxed);
+        unit->fn();
+        finish_unit(unit);
+        return;
+    }
+
+    auto* ult = static_cast<Ult*>(unit);
+    const YieldStatus status = ult->resume_on_this_thread();
+    switch (status) {
+        case YieldStatus::kFinished:
+            finish_unit(ult);
+            break;
+        case YieldStatus::kYielded:
+            Tracer::instance().record(TraceEvent::kYield, ult);
+            assert(ult->home_pool != nullptr);
+            ult->home_pool->push(ult);
+            break;
+        case YieldStatus::kBlocked: {
+            Tracer::instance().record(TraceEvent::kBlock, ult);
+            // Handshake with Ult::wake: the ULT set kBlocking before
+            // suspending; a waker may have flagged kWakePending since.
+            State expected = State::kBlocking;
+            if (!ult->state.compare_exchange_strong(
+                    expected, State::kBlocked, std::memory_order_acq_rel)) {
+                assert(expected == State::kWakePending);
+                assert(ult->home_pool != nullptr);
+                ult->home_pool->push(ult);
+            }
+            break;
+        }
+    }
+}
+
+bool yield_to(Ult* target) {
+    Ult* self = Ult::current();
+    XStream* stream = XStream::current();
+    assert(self != nullptr && stream != nullptr &&
+           "yield_to requires a ULT running on a stream");
+    const bool direct = target != nullptr && target->home_pool != nullptr &&
+                        target->home_pool->remove(target);
+    if (direct) {
+        stream->set_next_hint(target);
+    }
+    self->suspend(YieldStatus::kYielded);
+    return direct;
+}
+
+}  // namespace lwt::core

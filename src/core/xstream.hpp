@@ -1,0 +1,117 @@
+// xstream.hpp — execution stream: one OS thread driving a scheduler stack.
+//
+// The paper's per-library names for this object: Execution Stream
+// (Argobots), Shepherd/Worker (Qthreads), Worker (MassiveThreads),
+// Processor (Converse Threads), Thread (Go).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/scheduler.hpp"
+#include "core/ult.hpp"
+#include "sync/spinlock.hpp"
+
+namespace lwt::core {
+
+class XStream {
+  public:
+    /// Create a stream with its base scheduler. Does not start the OS
+    /// thread; call start() or attach_caller().
+    XStream(unsigned rank, std::unique_ptr<Scheduler> scheduler);
+    ~XStream();
+    XStream(const XStream&) = delete;
+    XStream& operator=(const XStream&) = delete;
+
+    /// Launch a dedicated OS thread running the scheduling loop.
+    void start();
+
+    /// Callback the dedicated thread runs once before its loop (thread
+    /// binding, naming). Set before start().
+    void set_on_start(std::function<void()> hook) {
+        on_start_ = std::move(hook);
+    }
+
+    /// Ask the loop to exit once no ready work remains, then join the
+    /// OS thread. Safe to call if never started.
+    void stop_and_join();
+
+    /// Adopt the *calling* OS thread as this stream (used for the primary
+    /// stream: the program's main thread). Pair with detach_caller().
+    void attach_caller() noexcept;
+    void detach_caller() noexcept;
+
+    /// Run at most one ready work unit on the calling thread (which must be
+    /// attached or be the stream's own thread). Returns false when idle.
+    bool progress();
+
+    /// Drive the scheduling loop on the calling thread until `pred()` holds.
+    /// The classic "return mode": Converse's CsdScheduler, and how primary
+    /// streams make progress while joining.
+    template <typename Pred>
+    void run_until(Pred&& pred) {
+        while (!pred()) {
+            if (!progress()) {
+                idle_pause();
+            }
+        }
+    }
+
+    /// Push a scheduler that preempts the current one until finished()
+    /// (Argobots' stackable schedulers). Thread-safe.
+    void push_scheduler(std::unique_ptr<Scheduler> scheduler);
+
+    /// Stream currently driving the calling OS thread, or nullptr.
+    static XStream* current() noexcept;
+
+    /// Instruct the loop to run `unit` next, bypassing scheduler selection
+    /// (yield_to support). The unit must already be out of every pool.
+    void set_next_hint(WorkUnit* unit) noexcept { next_hint_ = unit; }
+
+    /// Scheduler at the top of the stack (base scheduler if none pushed).
+    [[nodiscard]] Scheduler& scheduler() noexcept;
+
+    [[nodiscard]] unsigned rank() const noexcept { return rank_; }
+    [[nodiscard]] bool stop_requested() const noexcept {
+        return stop_.load(std::memory_order_acquire);
+    }
+
+    /// Units executed by this stream (diagnostics/tests).
+    [[nodiscard]] std::uint64_t executed() const noexcept {
+        return executed_.load(std::memory_order_relaxed);
+    }
+
+    /// Execute one specific unit on the calling thread immediately.
+    /// Exposed for personalities with run-inline semantics (work-first
+    /// creation, inlined task cutoffs).
+    void run_unit(WorkUnit* unit);
+
+  private:
+    void loop();
+    void idle_pause() noexcept;
+    void finish_unit(WorkUnit* unit);
+
+    const unsigned rank_;
+    std::atomic<bool> stop_{false};
+    std::atomic<std::uint64_t> executed_{0};
+    WorkUnit* next_hint_ = nullptr;  // touched only by the driving thread
+
+    mutable sync::Spinlock sched_lock_;
+    std::vector<std::unique_ptr<Scheduler>> sched_stack_;
+    std::function<void()> on_start_;
+
+    std::thread thread_;
+};
+
+/// Cooperatively transfer control from the current ULT directly to `target`
+/// (Argobots ABT_thread_yield_to). The current ULT goes back to its home
+/// pool; `target` is removed from its pool and runs next on this stream.
+/// Returns false (and degrades to a plain yield) if `target` is not ready
+/// in a removable pool.
+bool yield_to(Ult* target);
+
+}  // namespace lwt::core

@@ -1,0 +1,193 @@
+// charm.hpp — a miniature Charm++-style chare layer over Converse messages.
+//
+// §III-B: "The implementation of the Charm++ programming model is currently
+// built on top of Converse Threads". This module reproduces that layering:
+// *chares* are message-driven objects anchored to a home PE; entry-method
+// invocations travel as Converse messages to the home PE and execute there.
+// Because each PE executes its queue serially, entry methods of one chare
+// never run concurrently — Charm++'s core execution guarantee — without any
+// locking in user code.
+//
+// ChareArray distributes elements round-robin over PEs and supports
+// broadcast + contribute/reduction, the idioms Charm++ programs live on.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/future.hpp"
+#include "cvt/cvt.hpp"
+#include "sync/spinlock.hpp"
+
+namespace lwt::cvt {
+
+/// Reference to a chare of type T anchored on a PE. Copyable; all copies
+/// denote the same object. The chare is destroyed when the last reference
+/// drops AND its home PE has drained the destruction message.
+template <typename T>
+class ChareRef {
+  public:
+    ChareRef() = default;
+
+    /// Invoke an entry method: runs on the home PE, serialised with every
+    /// other entry method of chares on that PE. Fire-and-forget.
+    template <typename Method, typename... Args>
+    void invoke(Method method, Args... args) const {
+        state_->lib->send_message(
+            state_->home_pe,
+            [obj = state_->object.get(), method,
+             tup = std::make_tuple(std::move(args)...)]() mutable {
+                std::apply(
+                    [obj, method](auto&&... unpacked) {
+                        (obj->*method)(
+                            std::forward<decltype(unpacked)>(unpacked)...);
+                    },
+                    std::move(tup));
+            });
+    }
+
+    /// Invoke an entry method that returns a value; the result arrives via
+    /// a future resolved on the home PE.
+    template <typename R, typename Method, typename... Args>
+    std::shared_ptr<core::Future<R>> ask(Method method, Args... args) const {
+        auto future = std::make_shared<core::Future<R>>();
+        state_->lib->send_message(
+            state_->home_pe,
+            [obj = state_->object.get(), method, future,
+             tup = std::make_tuple(std::move(args)...)]() mutable {
+                future->set(std::apply(
+                    [obj, method](auto&&... unpacked) {
+                        return (obj->*method)(
+                            std::forward<decltype(unpacked)>(unpacked)...);
+                    },
+                    std::move(tup)));
+            });
+        return future;
+    }
+
+    [[nodiscard]] std::size_t home_pe() const { return state_->home_pe; }
+    [[nodiscard]] bool valid() const { return state_ != nullptr; }
+
+  private:
+    template <typename U>
+    friend class ChareArray;
+    friend class ChareRuntime;
+
+    struct State {
+        Library* lib;
+        std::size_t home_pe;
+        std::unique_ptr<T> object;
+    };
+
+    explicit ChareRef(std::shared_ptr<State> state)
+        : state_(std::move(state)) {}
+
+    std::shared_ptr<State> state_;
+};
+
+/// Factory for single chares.
+class ChareRuntime {
+  public:
+    explicit ChareRuntime(Library& lib) : lib_(lib) {}
+    ChareRuntime(const ChareRuntime&) = delete;
+    ChareRuntime& operator=(const ChareRuntime&) = delete;
+
+    /// Create a chare of type T on PE `pe` (round-robin when omitted),
+    /// constructed in place with `args`.
+    template <typename T, typename... Args>
+    ChareRef<T> create_on(std::size_t pe, Args&&... args) {
+        auto state = std::make_shared<typename ChareRef<T>::State>();
+        state->lib = &lib_;
+        state->home_pe = pe % lib_.num_pes();
+        state->object = std::make_unique<T>(std::forward<Args>(args)...);
+        return ChareRef<T>(std::move(state));
+    }
+
+    template <typename T, typename... Args>
+    ChareRef<T> create(Args&&... args) {
+        return create_on<T>(rr_.fetch_add(1, std::memory_order_relaxed),
+                            std::forward<Args>(args)...);
+    }
+
+    /// Drive PE 0 until `pred` holds (the main thread's scheduling duty).
+    template <typename Pred>
+    void run_until(Pred&& pred) {
+        lib_.scheduler_run_until(std::forward<Pred>(pred));
+    }
+
+    [[nodiscard]] Library& library() { return lib_; }
+
+  private:
+    Library& lib_;
+    std::atomic<std::size_t> rr_{0};
+};
+
+/// Indexed collection of chares distributed over the PEs — the Charm++
+/// chare array, with broadcast and sum-reduction.
+template <typename T>
+class ChareArray {
+  public:
+    /// Construct `count` elements; element i receives (i) as its
+    /// constructor argument and lives on PE i % num_pes.
+    ChareArray(ChareRuntime& rt, std::size_t count) : rt_(rt) {
+        elems_.reserve(count);
+        for (std::size_t i = 0; i < count; ++i) {
+            elems_.push_back(rt.create_on<T>(i % rt.library().num_pes(), i));
+        }
+    }
+
+    [[nodiscard]] std::size_t size() const { return elems_.size(); }
+    ChareRef<T>& operator[](std::size_t i) { return elems_[i]; }
+
+    /// Broadcast an entry method to every element; returns once all
+    /// elements executed it (the caller drives PE 0 meanwhile).
+    template <typename Method, typename... Args>
+    void broadcast(Method method, Args... args) {
+        core::EventCounter done(0);
+        done.add(static_cast<std::int64_t>(elems_.size()));
+        for (auto& e : elems_) {
+            e.state_->lib->send_message(
+                e.state_->home_pe,
+                [obj = e.state_->object.get(), method, &done, args...] {
+                    (obj->*method)(args...);
+                    done.signal();
+                });
+        }
+        rt_.run_until([&] { return done.value() == 0; });
+    }
+
+    /// Sum-reduction over an entry method returning double (Charm++
+    /// contribute + reduction client, collapsed into one call).
+    template <typename Method, typename... Args>
+    double reduce_sum(Method method, Args... args) {
+        sync::Spinlock lock;
+        double total = 0.0;
+        core::EventCounter done(0);
+        done.add(static_cast<std::int64_t>(elems_.size()));
+        for (auto& e : elems_) {
+            e.state_->lib->send_message(
+                e.state_->home_pe,
+                [obj = e.state_->object.get(), method, &done, &lock, &total,
+                 args...] {
+                    const double v = (obj->*method)(args...);
+                    {
+                        std::lock_guard g(lock);
+                        total += v;
+                    }
+                    done.signal();
+                });
+        }
+        rt_.run_until([&] { return done.value() == 0; });
+        return total;
+    }
+
+  private:
+    ChareRuntime& rt_;
+    std::vector<ChareRef<T>> elems_;
+};
+
+}  // namespace lwt::cvt

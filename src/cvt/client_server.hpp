@@ -1,0 +1,82 @@
+// client_server.hpp — Converse's client-server module.
+//
+// §III-B notes that "several Converse Threads modules (e.g., client-server)
+// have been implemented" on top of the message layer for Charm++'s
+// interaction. This reproduces that module: handlers registered under
+// stable ids, remote invocation via messages, and reply futures — an
+// RPC-over-messages layer whose only transport is CmiSyncSend.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/future.hpp"
+#include "cvt/cvt.hpp"
+#include "sync/spinlock.hpp"
+
+namespace lwt::cvt {
+
+/// Handler id returned by registration (CmiRegisterHandler).
+using HandlerId = std::uint32_t;
+
+/// RPC layer over a Converse-like Library. Register handlers first (on the
+/// main thread, before any call), then invoke them on any PE.
+class ClientServer {
+  public:
+    /// Payload type: an opaque 64-bit word, as Converse messages carry raw
+    /// bytes; marshal anything richer through it.
+    using Word = std::uint64_t;
+    using Handler = std::function<Word(std::size_t pe, Word arg)>;
+
+    explicit ClientServer(Library& lib) : lib_(lib) {}
+    ClientServer(const ClientServer&) = delete;
+    ClientServer& operator=(const ClientServer&) = delete;
+
+    /// Register a handler; returns its id. Not thread-safe against calls —
+    /// do all registration up front (Converse requires the same).
+    HandlerId register_handler(Handler handler) {
+        handlers_.push_back(std::move(handler));
+        return static_cast<HandlerId>(handlers_.size() - 1);
+    }
+
+    /// Fire-and-forget invocation on PE `pe` (CmiSyncSend of a handler
+    /// message).
+    void call_async(std::size_t pe, HandlerId id, Word arg) {
+        lib_.send_message(pe, [this, pe, id, arg] {
+            (void)handlers_.at(id)(pe, arg);
+        });
+    }
+
+    /// Invocation with a reply future. The handler runs on `pe`; its return
+    /// value resolves the future. Wait from a ULT suspends it; waiting from
+    /// the main thread drives PE 0 (Converse return mode) so self-calls
+    /// cannot deadlock.
+    std::shared_ptr<core::Future<Word>> call(std::size_t pe, HandlerId id,
+                                             Word arg) {
+        auto reply = std::make_shared<core::Future<Word>>();
+        lib_.send_message(pe, [this, pe, id, arg, reply] {
+            reply->set(handlers_.at(id)(pe, arg));
+        });
+        return reply;
+    }
+
+    /// Convenience: call and block for the reply.
+    Word call_wait(std::size_t pe, HandlerId id, Word arg) {
+        auto reply = call(pe, id, arg);
+        if (core::Ult::current() == nullptr) {
+            // Main thread: keep PE 0 draining while we wait.
+            lib_.scheduler_run_until([&] { return reply->ready(); });
+        }
+        return reply->wait();
+    }
+
+    [[nodiscard]] std::size_t num_handlers() const { return handlers_.size(); }
+
+  private:
+    Library& lib_;
+    std::vector<Handler> handlers_;
+};
+
+}  // namespace lwt::cvt

@@ -1,0 +1,159 @@
+#include "cvt/cvt.hpp"
+
+#include <cassert>
+
+#include "core/runtime.hpp"
+#include "core/work_unit.hpp"
+
+namespace lwt::cvt {
+
+// --- CthHandle -----------------------------------------------------------------
+
+CthHandle& CthHandle::operator=(CthHandle&& other) noexcept {
+    if (this != &other) {
+        join();
+        ult_ = std::exchange(other.ult_, nullptr);
+    }
+    return *this;
+}
+
+CthHandle::~CthHandle() { join(); }
+
+void CthHandle::join() {
+    if (ult_ == nullptr) {
+        return;
+    }
+    core::Ult* target = ult_;
+    if (core::Ult::current() != nullptr) {
+        while (!target->terminated()) {
+            core::Ult::current()->yield();
+        }
+    } else if (core::XStream* stream = core::XStream::current()) {
+        // The main thread is PE 0: joining drives its scheduler (Converse
+        // return mode), executing queued work including this Cth thread.
+        stream->run_until([target] { return target->terminated(); });
+    } else {
+        while (!target->terminated()) {
+            std::this_thread::yield();
+        }
+    }
+    delete ult_;
+    ult_ = nullptr;
+}
+
+// --- Library --------------------------------------------------------------------
+
+Library::Library(Config config) : config_(config) {
+    const std::size_t n =
+        core::Runtime::resolve_stream_count(config_.num_pes, "LWT_NUM_PES");
+    config_.num_pes = n;
+    pools_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        pools_.push_back(
+            std::make_unique<core::DequePool>(core::DequePool::PopOrder::kFifo));
+    }
+    auto make_sched = [&](unsigned rank) {
+        return std::make_unique<core::Scheduler>(
+            std::vector<core::Pool*>{pools_[rank].get()});
+    };
+    primary_ = std::make_unique<core::XStream>(0, make_sched(0));
+    primary_->attach_caller();
+    for (std::size_t i = 1; i < n; ++i) {
+        workers_.push_back(std::make_unique<core::XStream>(
+            static_cast<unsigned>(i), make_sched(static_cast<unsigned>(i))));
+        workers_.back()->start();
+    }
+}
+
+Library::~Library() {
+    for (auto& w : workers_) {
+        w->stop_and_join();
+    }
+    primary_->detach_caller();
+}
+
+void Library::send_message(std::size_t pe, core::UniqueFunction handler) {
+    auto* msg = new core::Tasklet(std::move(handler));
+    msg->detached = true;  // messages are one-shot; the PE reclaims them
+    pools_[pe % pools_.size()]->push(msg);
+}
+
+void Library::send_round_robin(std::size_t count,
+                               const std::function<void(std::size_t)>& handler) {
+    for (std::size_t i = 0; i < count; ++i) {
+        // Copy the handler into each message: messages may execute after
+        // this call returns, so a reference could dangle.
+        send_message(i % num_pes(), [handler, i] { handler(i); });
+    }
+}
+
+CthHandle Library::cth_create(core::UniqueFunction fn) {
+    // Cth threads live on the creating PE; from the main thread that is
+    // PE 0. They are never migrated (Converse restriction).
+    core::XStream* stream = core::XStream::current();
+    core::Pool* target = stream != nullptr && stream->scheduler().main_pool()
+                             ? stream->scheduler().main_pool()
+                             : pools_[0].get();
+    auto* ult = new core::Ult(std::move(fn));
+    target->push(ult);
+    return CthHandle(ult);
+}
+
+void Library::cth_yield() { core::yield_anywhere(); }
+
+void Library::barrier() {
+    // One control message per secondary PE; FIFO queues guarantee it runs
+    // after all work sent earlier to that PE. PE 0 (this thread) drains its
+    // own queue while waiting. Cost is inherently linear in the PE count —
+    // the join behaviour Figure 3 shows for Converse Threads.
+    core::EventCounter checked_in(0);
+    checked_in.add(static_cast<std::int64_t>(num_pes()) - 1);
+    for (std::size_t pe = 1; pe < num_pes(); ++pe) {
+        send_message(pe, [&checked_in] { checked_in.signal(); });
+    }
+    primary_->run_until(
+        [&] { return checked_in.value() == 0 && pools_[0]->empty(); });
+}
+
+double Library::reduce_sum(const std::function<double(std::size_t)>& contrib) {
+    sync::Spinlock lock;
+    double total = 0.0;
+    core::EventCounter arrived(0);
+    arrived.add(static_cast<std::int64_t>(num_pes()));
+    for (std::size_t pe = 0; pe < num_pes(); ++pe) {
+        send_message(pe, [&, pe] {
+            const double v = contrib(pe);
+            {
+                std::lock_guard g(lock);
+                total += v;
+            }
+            arrived.signal();
+        });
+    }
+    primary_->run_until([&] { return arrived.value() == 0; });
+    return total;
+}
+
+void Library::broadcast(const std::function<void(std::size_t)>& handler) {
+    core::EventCounter arrived(0);
+    arrived.add(static_cast<std::int64_t>(num_pes()));
+    for (std::size_t pe = 0; pe < num_pes(); ++pe) {
+        send_message(pe, [&, pe] {
+            handler(pe);
+            arrived.signal();
+        });
+    }
+    primary_->run_until([&] { return arrived.value() == 0; });
+}
+
+void Library::msg_track_begin(std::size_t expected) {
+    tracked_.add(static_cast<std::int64_t>(expected));
+}
+
+void Library::msg_signal() { tracked_.signal(); }
+
+void Library::msg_wait() {
+    primary_->run_until([&] { return tracked_.value() == 0; });
+}
+
+}  // namespace lwt::cvt

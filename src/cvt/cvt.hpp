@@ -1,0 +1,120 @@
+// cvt.hpp — Converse Threads-like personality.
+//
+// Reproduces §III-B/§VIII-B.1: processors (PEs), each with a private
+// work-unit queue; two unit types — Cth ULTs (local to their PE) and
+// stackless Messages, the only units that may be pushed into *another*
+// PE's queue (CmiSyncSend with a round-robin dispatch is how the paper's
+// microbenchmarks distribute work); completion via a barrier, which is why
+// the paper sees Converse join times grow linearly with PEs; and the
+// "return mode" scheduler (CsdScheduler) that the main thread drives
+// explicitly.
+//
+// PE 0 is the calling (main) thread, as in Converse: it only executes work
+// while inside scheduler_run_until()/barrier().
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/pool.hpp"
+#include "core/sync_ult.hpp"
+#include "core/ult.hpp"
+#include "core/unique_function.hpp"
+#include "core/xstream.hpp"
+
+namespace lwt::cvt {
+
+struct Config {
+    /// Number of processors (PEs); 0 resolves via LWT_NUM_PES then hardware.
+    std::size_t num_pes = 0;
+};
+
+/// Handle to a Cth ULT (CthThread).
+class CthHandle {
+  public:
+    CthHandle() noexcept = default;
+    CthHandle(CthHandle&& other) noexcept
+        : ult_(std::exchange(other.ult_, nullptr)) {}
+    CthHandle& operator=(CthHandle&& other) noexcept;
+    CthHandle(const CthHandle&) = delete;
+    CthHandle& operator=(const CthHandle&) = delete;
+    ~CthHandle();
+
+    /// Wait for the ULT and reclaim it.
+    void join();
+
+    [[nodiscard]] bool valid() const noexcept { return ult_ != nullptr; }
+    [[nodiscard]] core::Ult* ult() const noexcept { return ult_; }
+
+  private:
+    friend class Library;
+    explicit CthHandle(core::Ult* ult) noexcept : ult_(ult) {}
+    core::Ult* ult_ = nullptr;
+};
+
+/// One initialised Converse-like runtime (ConverseInit .. ConverseExit,
+/// return mode).
+class Library {
+  public:
+    explicit Library(Config config = {});
+    ~Library();
+    Library(const Library&) = delete;
+    Library& operator=(const Library&) = delete;
+
+    [[nodiscard]] std::size_t num_pes() const { return pools_.size(); }
+
+    /// CmiSyncSend: enqueue a stackless Message onto PE `pe`'s queue. The
+    /// only cross-PE work transfer Converse allows before execution.
+    void send_message(std::size_t pe, core::UniqueFunction handler);
+
+    /// Convenience round-robin broadcast of `count` messages (the paper's
+    /// dispatch pattern). Each message runs `handler(i)`.
+    void send_round_robin(std::size_t count,
+                          const std::function<void(std::size_t)>& handler);
+
+    /// CthCreate: a ULT on the *current* PE (PE 0 when called from main).
+    /// Cth threads cannot be pushed to other PEs.
+    CthHandle cth_create(core::UniqueFunction fn);
+
+    /// CthYield.
+    static void cth_yield();
+
+    /// CsdScheduler in return mode: drive PE 0's scheduler on the calling
+    /// thread until `pred()` holds.
+    template <typename Pred>
+    void scheduler_run_until(Pred&& pred) {
+        primary_->run_until(std::forward<Pred>(pred));
+    }
+
+    /// Completion barrier over all PEs: every PE (including PE 0, driven by
+    /// the caller) must drain its queue and check in. This is the linear-
+    /// cost join mechanism the paper measures for Converse Threads.
+    void barrier();
+
+    /// Outstanding-message counter helpers for message-counting joins.
+    void msg_track_begin(std::size_t expected);
+    void msg_signal();
+    /// Drive PE 0 until all tracked messages completed.
+    void msg_wait();
+
+    /// CmiReduce-style global reduction: every PE contributes
+    /// `contrib(pe)`; returns the sum after all PEs (PE 0 driven by the
+    /// caller) have checked in.
+    double reduce_sum(const std::function<double(std::size_t)>& contrib);
+
+    /// Broadcast a handler to every PE (CmiSyncBroadcastAll): runs once per
+    /// PE, including PE 0 (executed while the caller drives its scheduler).
+    /// Returns after all PEs ran it.
+    void broadcast(const std::function<void(std::size_t)>& handler);
+
+  private:
+    Config config_;
+    std::vector<std::unique_ptr<core::DequePool>> pools_;
+    std::vector<std::unique_ptr<core::XStream>> workers_;  // PEs 1..n-1
+    std::unique_ptr<core::XStream> primary_;               // PE 0
+    core::EventCounter tracked_;
+};
+
+}  // namespace lwt::cvt

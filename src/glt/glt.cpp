@@ -1,0 +1,312 @@
+#include "glt/glt.hpp"
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+
+#include "core/channel.hpp"
+
+namespace lwt::glt {
+
+Backend backend_from_name(std::string_view name) {
+    if (name == "abt") return Backend::kAbt;
+    if (name == "qth") return Backend::kQth;
+    if (name == "mth") return Backend::kMth;
+    if (name == "cvt") return Backend::kCvt;
+    if (name == "gol") return Backend::kGol;
+    throw std::invalid_argument("unknown GLT backend: " + std::string(name));
+}
+
+std::string_view backend_name(Backend backend) {
+    switch (backend) {
+        case Backend::kAbt: return "abt";
+        case Backend::kQth: return "qth";
+        case Backend::kMth: return "mth";
+        case Backend::kCvt: return "cvt";
+        case Backend::kGol: return "gol";
+    }
+    return "?";
+}
+
+void Runtime::join_all(std::vector<UnitToken>& tokens) {
+    for (UnitToken& t : tokens) {
+        join(t);
+    }
+}
+
+namespace {
+
+// --- Argobots backend ---------------------------------------------------------
+
+class AbtGlt final : public Runtime {
+    struct Token final : UnitToken::State {
+        abt::UnitHandle handle;
+    };
+
+  public:
+    explicit AbtGlt(std::size_t n) : lib_(make_config(n)) {}
+
+    Backend backend() const override { return Backend::kAbt; }
+    std::size_t num_workers() const override { return lib_.num_xstreams(); }
+    bool has_native_tasklets() const override { return true; }
+
+    UnitToken ult_create(core::UniqueFunction fn, int where) override {
+        auto state = std::make_unique<Token>();
+        state->handle = lib_.thread_create(std::move(fn), where);
+        return UnitToken(std::move(state));
+    }
+
+    UnitToken tasklet_create(core::UniqueFunction fn, int where) override {
+        auto state = std::make_unique<Token>();
+        state->handle = lib_.task_create(std::move(fn), where);
+        return UnitToken(std::move(state));
+    }
+
+    void yield() override { abt::Library::yield(); }
+
+    void join(UnitToken& token) override {
+        if (auto* t = token.state_as<Token>()) {
+            t->handle.free();  // join-and-free, the Argobots idiom
+            token.reset();
+        }
+    }
+
+  private:
+    static abt::Config make_config(std::size_t n) {
+        abt::Config c;
+        c.num_xstreams = n;
+        return c;
+    }
+
+    abt::Library lib_;
+};
+
+// --- Qthreads backend ---------------------------------------------------------
+
+class QthGlt final : public Runtime {
+    struct Token final : UnitToken::State {
+        std::unique_ptr<qth::aligned_t> ret = std::make_unique<qth::aligned_t>(0);
+    };
+
+  public:
+    explicit QthGlt(std::size_t n) : lib_(make_config(n)) {}
+
+    Backend backend() const override { return Backend::kQth; }
+    std::size_t num_workers() const override { return lib_.num_workers(); }
+    bool has_native_tasklets() const override { return false; }
+
+    UnitToken ult_create(core::UniqueFunction fn, int where) override {
+        auto state = std::make_unique<Token>();
+        const std::size_t shepherd =
+            where >= 0 ? static_cast<std::size_t>(where) % lib_.num_shepherds()
+                       : rr_++ % lib_.num_shepherds();
+        lib_.fork_to(std::move(fn), state->ret.get(), shepherd);
+        return UnitToken(std::move(state));
+    }
+
+    UnitToken tasklet_create(core::UniqueFunction fn, int where) override {
+        // Table I: Qthreads has no tasklet type; degrade to a ULT.
+        return ult_create(std::move(fn), where);
+    }
+
+    void yield() override { qth::Library::yield(); }
+
+    void join(UnitToken& token) override {
+        if (auto* t = token.state_as<Token>()) {
+            lib_.read_ff(t->ret.get());  // the qthreads join primitive
+            token.reset();
+        }
+    }
+
+  private:
+    static qth::Config make_config(std::size_t n) {
+        qth::Config c;
+        c.num_shepherds = n;
+        c.workers_per_shepherd = 1;  // the paper's preferred layout
+        return c;
+    }
+
+    qth::Library lib_;
+    std::atomic<std::size_t> rr_{0};
+};
+
+// --- MassiveThreads backend ----------------------------------------------------
+
+class MthGlt final : public Runtime {
+    struct Token final : UnitToken::State {
+        mth::ThreadHandle handle;
+    };
+
+  public:
+    explicit MthGlt(std::size_t n) : lib_(make_config(n)) {}
+
+    Backend backend() const override { return Backend::kMth; }
+    std::size_t num_workers() const override { return lib_.num_workers(); }
+    bool has_native_tasklets() const override { return false; }
+
+    UnitToken ult_create(core::UniqueFunction fn, int /*where*/) override {
+        // MassiveThreads places work via its creation policy + stealing;
+        // there is no explicit target (Table I: no cross-queue creation).
+        auto state = std::make_unique<Token>();
+        state->handle = lib_.create(std::move(fn));
+        return UnitToken(std::move(state));
+    }
+
+    UnitToken tasklet_create(core::UniqueFunction fn, int where) override {
+        return ult_create(std::move(fn), where);
+    }
+
+    void yield() override { mth::Library::yield(); }
+
+    void join(UnitToken& token) override {
+        if (auto* t = token.state_as<Token>()) {
+            t->handle.join();
+            token.reset();
+        }
+    }
+
+  private:
+    static mth::Config make_config(std::size_t n) {
+        mth::Config c;
+        c.num_workers = n;
+        // Help-first: GLT creation happens from the main thread, outside
+        // any ULT, where work-first has no continuation to displace.
+        c.policy = mth::Policy::kHelpFirst;
+        return c;
+    }
+
+    mth::Library lib_;
+};
+
+// --- Converse backend -------------------------------------------------------------
+
+class CvtGlt final : public Runtime {
+    struct Token final : UnitToken::State {
+        std::shared_ptr<std::atomic<bool>> done =
+            std::make_shared<std::atomic<bool>>(false);
+    };
+
+  public:
+    explicit CvtGlt(std::size_t n) : lib_(make_config(n)) {}
+
+    Backend backend() const override { return Backend::kCvt; }
+    std::size_t num_workers() const override { return lib_.num_pes(); }
+    bool has_native_tasklets() const override { return true; }
+
+    UnitToken ult_create(core::UniqueFunction fn, int where) override {
+        // As in the paper's microbenchmarks, cross-PE work travels as
+        // Messages; ULT semantics degrade to message execution for remote
+        // targets (Converse restricts Cth threads to their home PE).
+        return tasklet_create(std::move(fn), where);
+    }
+
+    UnitToken tasklet_create(core::UniqueFunction fn, int where) override {
+        auto state = std::make_unique<Token>();
+        auto done = state->done;
+        const std::size_t pe =
+            where >= 0 ? static_cast<std::size_t>(where) % lib_.num_pes()
+                       : rr_++ % lib_.num_pes();
+        lib_.send_message(pe, [body = std::move(fn), done]() mutable {
+            body();
+            done->store(true, std::memory_order_release);
+        });
+        return UnitToken(std::move(state));
+    }
+
+    void yield() override { cvt::Library::cth_yield(); }
+
+    void join(UnitToken& token) override {
+        if (auto* t = token.state_as<Token>()) {
+            auto done = t->done;
+            lib_.scheduler_run_until(
+                [&] { return done->load(std::memory_order_acquire); });
+            token.reset();
+        }
+    }
+
+  private:
+    static cvt::Config make_config(std::size_t n) {
+        cvt::Config c;
+        c.num_pes = n;
+        return c;
+    }
+
+    cvt::Library lib_;
+    std::atomic<std::size_t> rr_{0};
+};
+
+// --- Go backend --------------------------------------------------------------------
+
+class GolGlt final : public Runtime {
+    struct Token final : UnitToken::State {
+        // Go's join mechanism is a channel receive (Table II row 5).
+        std::shared_ptr<core::Channel<int>> done =
+            std::make_shared<core::Channel<int>>(1);
+    };
+
+  public:
+    explicit GolGlt(std::size_t n) : lib_(make_config(n)) {}
+
+    Backend backend() const override { return Backend::kGol; }
+    std::size_t num_workers() const override { return lib_.num_threads(); }
+    bool has_native_tasklets() const override { return false; }
+
+    UnitToken ult_create(core::UniqueFunction fn, int /*where*/) override {
+        // One global queue: placement hints are meaningless in Go.
+        auto state = std::make_unique<Token>();
+        auto done = state->done;
+        lib_.go([body = std::move(fn), done]() mutable {
+            body();
+            done->send(1);
+        });
+        return UnitToken(std::move(state));
+    }
+
+    UnitToken tasklet_create(core::UniqueFunction fn, int where) override {
+        return ult_create(std::move(fn), where);
+    }
+
+    void yield() override {
+        // Go exposes no yield (Table I); cooperate only inside a unit.
+        if (core::Ult::current() != nullptr) {
+            core::Ult::current()->yield();
+        }
+    }
+
+    void join(UnitToken& token) override {
+        if (auto* t = token.state_as<Token>()) {
+            t->done->recv();
+            token.reset();
+        }
+    }
+
+  private:
+    static gol::Config make_config(std::size_t n) {
+        gol::Config c;
+        c.num_threads = n;
+        return c;
+    }
+
+    gol::Library lib_;
+};
+
+}  // namespace
+
+std::unique_ptr<Runtime> Runtime::create(Backend backend,
+                                         std::size_t num_workers) {
+    switch (backend) {
+        case Backend::kAbt:
+            return std::make_unique<AbtGlt>(num_workers);
+        case Backend::kQth:
+            return std::make_unique<QthGlt>(num_workers);
+        case Backend::kMth:
+            return std::make_unique<MthGlt>(num_workers);
+        case Backend::kCvt:
+            return std::make_unique<CvtGlt>(num_workers);
+        case Backend::kGol:
+            return std::make_unique<GolGlt>(num_workers);
+    }
+    throw std::invalid_argument("unknown GLT backend enum value");
+}
+
+}  // namespace lwt::glt

@@ -1,0 +1,122 @@
+// glt.hpp — the common lightweight-thread API the paper's conclusion
+// proposes as future work ("we plan to design and implement a common API
+// for the LWT libraries"; the authors later published it as GLT).
+//
+// The API surface is exactly the reduced function set of Table II /
+// Listing 4, shown there to suffice for every parallel pattern studied:
+//
+//   initialization  ULT creation  tasklet creation  yield  join  finalize
+//
+// glt::Runtime is a runtime-dispatch wrapper selected by enum or name
+// (e.g. from GLT_BACKEND), so one binary can host every backend — which is
+// how the benchmark harness sweeps libraries. Code that fixes its backend
+// at compile time should use the personality APIs directly (lwt::abt &c.);
+// they are the zero-overhead path this layer adapts.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "abt/abt.hpp"
+#include "core/unique_function.hpp"
+#include "cvt/cvt.hpp"
+#include "gol/gol.hpp"
+#include "mth/mth.hpp"
+#include "qth/qth.hpp"
+
+namespace lwt::glt {
+
+/// Backends a GLT instance can sit on.
+enum class Backend {
+    kAbt,  ///< Argobots-like
+    kQth,  ///< Qthreads-like
+    kMth,  ///< MassiveThreads-like
+    kCvt,  ///< Converse-Threads-like
+    kGol,  ///< Go-like
+};
+
+/// Parse a backend name ("abt", "qth", "mth", "cvt", "gol"); throws
+/// std::invalid_argument on anything else.
+Backend backend_from_name(std::string_view name);
+std::string_view backend_name(Backend backend);
+
+/// Opaque join token returned by creation calls.
+class UnitToken;
+
+/// Runtime-dispatch GLT instance: Table II's six rows as virtual calls.
+///
+/// Semantics follow the least common denominator the paper identifies:
+/// work units are created from the main thread (or any unit), joined
+/// explicitly, and each backend maps the call onto its native mechanism —
+/// e.g. join() is ABT_thread_free for abt, readFF for qth, myth_join for
+/// mth, message-counting for cvt, and a channel receive for gol.
+class Runtime {
+  public:
+    /// `num_workers` = execution streams / shepherds / workers / PEs /
+    /// scheduler threads, uniformly (0 = resolve per backend env).
+    static std::unique_ptr<Runtime> create(Backend backend,
+                                           std::size_t num_workers = 0);
+
+    virtual ~Runtime() = default;
+
+    [[nodiscard]] virtual Backend backend() const = 0;
+    [[nodiscard]] virtual std::size_t num_workers() const = 0;
+
+    /// ULT creation (Table II row 2). `where` hints the target
+    /// worker/queue; -1 lets the backend pick (round-robin where natural).
+    virtual UnitToken ult_create(core::UniqueFunction fn, int where = -1) = 0;
+
+    /// Tasklet creation (Table II row 3). Backends without a stackless
+    /// unit type (qth, mth, gol) fall back to a ULT, which is exactly what
+    /// the paper's Table I says those libraries offer.
+    virtual UnitToken tasklet_create(core::UniqueFunction fn,
+                                     int where = -1) = 0;
+
+    /// True if tasklet_create maps to a genuine stackless unit.
+    [[nodiscard]] virtual bool has_native_tasklets() const = 0;
+
+    /// Cooperative yield (Table II row 4). Go has none; its implementation
+    /// is a no-op from plain code and a scheduler yield inside a unit.
+    virtual void yield() = 0;
+
+    /// Join one unit (Table II row 5), reclaiming it.
+    virtual void join(UnitToken& token) = 0;
+
+    /// Join a batch (the common epilogue of Listing 4).
+    void join_all(std::vector<UnitToken>& tokens);
+
+  protected:
+    Runtime() = default;
+};
+
+/// Join token implementation detail: type-erased state with a deleter.
+class UnitToken {
+  public:
+    UnitToken() noexcept = default;
+    UnitToken(UnitToken&&) noexcept = default;
+    UnitToken& operator=(UnitToken&&) noexcept = default;
+
+    [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+
+    /// Backend-private payload.
+    struct State {
+        virtual ~State() = default;
+    };
+
+    explicit UnitToken(std::unique_ptr<State> state) noexcept
+        : state_(std::move(state)) {}
+
+    template <typename T>
+    [[nodiscard]] T* state_as() const noexcept {
+        return static_cast<T*>(state_.get());
+    }
+
+    void reset() noexcept { state_.reset(); }
+
+  private:
+    std::unique_ptr<State> state_;
+};
+
+}  // namespace lwt::glt

@@ -1,0 +1,34 @@
+#include "gol/gol.hpp"
+
+#include "core/runtime.hpp"
+#include "core/ult.hpp"
+
+namespace lwt::gol {
+
+Library::Library(Config config) : config_(config) {
+    const std::size_t n = core::Runtime::resolve_stream_count(
+        config_.num_threads, "LWT_NUM_THREADS");
+    config_.num_threads = n;
+    // Every scheduler thread pops the same global queue.
+    for (std::size_t i = 0; i < n; ++i) {
+        threads_.push_back(std::make_unique<core::XStream>(
+            static_cast<unsigned>(i),
+            std::make_unique<core::Scheduler>(
+                std::vector<core::Pool*>{&global_})));
+        threads_.back()->start();
+    }
+}
+
+Library::~Library() {
+    for (auto& t : threads_) {
+        t->stop_and_join();
+    }
+}
+
+void Library::go(core::UniqueFunction fn) {
+    auto* g = new core::Ult(std::move(fn));
+    g->detached = true;  // goroutines have no join handle
+    global_.push(g);
+}
+
+}  // namespace lwt::gol

@@ -1,0 +1,70 @@
+// gol.hpp — Go-like personality.
+//
+// Reproduces §III-F/§VIII-B.5: goroutines (ULTs) stored in ONE global
+// shared run queue that every scheduler thread contends on — the mutex
+// contention the paper blames for Go's scaling — channels as the (only)
+// synchronisation mechanism with out-of-order completion, and no public
+// yield. The thread count is the GOMAXPROCS analogue.
+//
+// The main thread is not a scheduler thread; like the paper's Go
+// microbenchmark driver it creates goroutines and blocks on channel
+// receives (which cooperate by OS-yielding).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/channel.hpp"
+#include "core/pool.hpp"
+#include "core/sync_ult.hpp"
+#include "core/unique_function.hpp"
+#include "core/xstream.hpp"
+
+namespace lwt::gol {
+
+/// Re-export: Go channels are the core Channel with Go semantics.
+template <typename T>
+using Chan = core::Channel<T>;
+
+struct Config {
+    /// Scheduler thread count (GOMAXPROCS); 0 resolves via LWT_NUM_THREADS
+    /// then hardware.
+    std::size_t num_threads = 0;
+};
+
+/// sync.WaitGroup equivalent (the idiomatic Go join).
+class WaitGroup {
+  public:
+    void add(std::int64_t n = 1) noexcept { counter_.add(n); }
+    void done() noexcept { counter_.signal(); }
+    void wait() noexcept { counter_.wait(); }
+
+  private:
+    core::EventCounter counter_;
+};
+
+/// One initialised Go-like runtime.
+class Library {
+  public:
+    explicit Library(Config config = {});
+    ~Library();
+    Library(const Library&) = delete;
+    Library& operator=(const Library&) = delete;
+
+    [[nodiscard]] std::size_t num_threads() const { return threads_.size(); }
+
+    /// `go fn()`: spawn a goroutine into the global run queue. Goroutines
+    /// are always detached; synchronise through channels or a WaitGroup.
+    void go(core::UniqueFunction fn);
+
+    /// Number of goroutines currently queued (diagnostics).
+    [[nodiscard]] std::size_t runqueue_len() const { return global_.size(); }
+
+  private:
+    Config config_;
+    mutable core::SharedFifoPool global_;
+    std::vector<std::unique_ptr<core::XStream>> threads_;
+};
+
+}  // namespace lwt::gol

@@ -1,0 +1,120 @@
+// select.hpp — Go's select statement over this library's channels.
+//
+// A select blocks until one of its cases can proceed, picks a ready case
+// (pseudo-randomly among simultaneously-ready ones, like Go), runs its
+// body, and returns its index. A default case makes the select
+// non-blocking. Built purely on the channels' try_* operations plus
+// cooperative yielding, so it works from goroutines and from the main
+// thread alike.
+//
+//   int hit = gol::select(
+//       gol::recv_case(ch1, [&](int v) { ... }),
+//       gol::send_case(ch2, 42, [&] { ... }),
+//       gol::default_case([&] { ... }));   // optional
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <random>
+#include <tuple>
+#include <utility>
+
+#include "core/channel.hpp"
+#include "core/ult.hpp"
+
+namespace lwt::gol {
+
+namespace detail {
+
+/// One polled select arm: try to fire; true if it ran.
+struct Arm {
+    std::function<bool()> poll;
+    bool is_default = false;
+};
+
+inline std::minstd_rand& select_rng() {
+    thread_local std::minstd_rand rng{0x5bd1e995u};
+    return rng;
+}
+
+}  // namespace detail
+
+/// Receive arm: fires when a value (or close) is available.
+/// The body receives the value; closed-and-drained channels fire the arm
+/// with `std::nullopt` semantics via `on_closed` (optional).
+template <typename T, typename Body>
+detail::Arm recv_case(core::Channel<T>& ch, Body body) {
+    return detail::Arm{[&ch, body = std::move(body)]() mutable {
+        if (auto v = ch.try_recv()) {
+            body(std::move(*v));
+            return true;
+        }
+        if (ch.closed() && ch.size() == 0) {
+            // Go: a closed channel is always ready; deliver zero value.
+            body(T{});
+            return true;
+        }
+        return false;
+    }};
+}
+
+/// Send arm: fires when the channel can accept the value.
+template <typename T, typename Body>
+detail::Arm send_case(core::Channel<T>& ch, T value, Body body) {
+    return detail::Arm{[&ch, value = std::move(value),
+                        body = std::move(body)]() mutable {
+        if (ch.try_send(value)) {
+            body();
+            return true;
+        }
+        return false;
+    }};
+}
+
+/// Default arm: fires when no other arm is ready (makes select non-blocking).
+template <typename Body>
+detail::Arm default_case(Body body) {
+    detail::Arm arm{[body = std::move(body)]() mutable {
+        body();
+        return true;
+    }};
+    arm.is_default = true;
+    return arm;
+}
+
+/// Run a select over the given arms. Returns the index of the arm that
+/// fired. Blocks (cooperatively) unless a default arm is present.
+template <typename... Arms>
+std::size_t select(Arms... arms) {
+    detail::Arm list[] = {std::move(arms)...};
+    constexpr std::size_t n = sizeof...(Arms);
+    std::size_t default_idx = n;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (list[i].is_default) {
+            default_idx = i;
+        }
+    }
+    for (;;) {
+        // Poll non-default arms starting at a random offset (Go picks
+        // uniformly among ready cases; a random start approximates that
+        // without double polling).
+        const std::size_t start = detail::select_rng()() % n;
+        for (std::size_t k = 0; k < n; ++k) {
+            const std::size_t i = (start + k) % n;
+            if (list[i].is_default) {
+                continue;
+            }
+            if (list[i].poll()) {
+                return i;
+            }
+        }
+        if (default_idx != n) {
+            list[default_idx].poll();
+            return default_idx;
+        }
+        core::yield_anywhere();
+    }
+}
+
+}  // namespace lwt::gol

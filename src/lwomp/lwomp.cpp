@@ -1,0 +1,180 @@
+#include "lwomp/lwomp.hpp"
+
+#include <cassert>
+
+#include "core/xstream.hpp"
+
+namespace lwt::lwomp {
+
+// --- TeamCtx -----------------------------------------------------------------
+
+std::size_t TeamCtx::num_threads() const noexcept { return team_.size(); }
+
+void TeamCtx::task(core::UniqueFunction fn) {
+    Team& team = team_;
+    team.rt_.units_created_.fetch_add(1, std::memory_order_relaxed);
+    team.tasks_.add(1);
+    auto& counter = team.tasks_;
+    team.rt_.lib_.task_create_detached(
+        [body = std::move(fn), &counter]() mutable {
+            body();
+            counter.signal();
+        });
+}
+
+void TeamCtx::taskwait() {
+    // Conservative taskgroup semantics (as in momp): wait for every
+    // outstanding team task. The wait yields this ULT, so the backing
+    // streams keep executing tasklets meanwhile.
+    team_.tasks_.wait();
+}
+
+void TeamCtx::barrier() { team_.barrier_.arrive_and_wait(); }
+
+bool TeamCtx::single(const std::function<void()>& body) {
+    Team& team = team_;
+    std::size_t idx;
+    bool claimed = false;
+    {
+        std::lock_guard g(team.singles_lock_);
+        idx = team.single_seq_[tid_]++;
+        if (team.singles_claimed_.size() <= idx) {
+            team.singles_claimed_.resize(idx + 1, false);
+        }
+        if (!team.singles_claimed_[idx]) {
+            team.singles_claimed_[idx] = true;
+            claimed = true;
+        }
+    }
+    if (claimed) {
+        body();
+    }
+    return claimed;
+}
+
+void TeamCtx::critical(const std::function<void()>& body) {
+    team_.critical_.lock();
+    body();
+    team_.critical_.unlock();
+}
+
+void TeamCtx::parallel(const std::function<void(TeamCtx&)>& body,
+                       std::size_t nthreads) {
+    // Nested region: a fresh team of ULTs — work units, not OS threads.
+    Team inner(team_.rt_,
+               nthreads != 0 ? nthreads : team_.rt_.default_team_size());
+    inner.run(body);
+}
+
+// --- Team ---------------------------------------------------------------------
+
+Team::Team(Runtime& rt, std::size_t nthreads)
+    : rt_(rt),
+      size_(nthreads == 0 ? rt.default_team_size() : nthreads),
+      barrier_(size_),
+      single_seq_(size_, 0) {}
+
+void Team::run(const std::function<void(TeamCtx&)>& body) {
+    // Placement: a top-level team spreads members round-robin over the
+    // streams (that is where the parallelism comes from). A NESTED team
+    // keeps its members on the creating stream: the outer team already
+    // spread across streams, and local members synchronise purely
+    // cooperatively — no cross-stream rendezvous per (tiny) inner region.
+    // This locality rule is what makes LWT nested parallelism cheap.
+    int place = -1;
+    if (core::Ult::current() != nullptr) {
+        if (core::XStream* stream = core::XStream::current()) {
+            place = static_cast<int>(stream->rank());
+        }
+    }
+    std::vector<abt::UnitHandle> members;
+    members.reserve(size_);
+    for (std::size_t tid = 0; tid < size_; ++tid) {
+        rt_.units_created_.fetch_add(1, std::memory_order_relaxed);
+        members.push_back(rt_.lib_.thread_create(
+            [this, &body, tid] {
+                TeamCtx ctx(*this, tid);
+                body(ctx);
+                // Implicit region end: all tasks complete, then the barrier.
+                tasks_.wait();
+                barrier_.arrive_and_wait();
+            },
+            place));
+    }
+    // Join-and-free every member. From the main thread this drives the
+    // primary stream; from a nested region's ULT it yields cooperatively.
+    for (auto& h : members) {
+        h.free();
+    }
+}
+
+// --- Runtime -------------------------------------------------------------------
+
+namespace {
+
+abt::Config backing_config(std::size_t num_streams) {
+    abt::Config cfg;
+    cfg.num_xstreams = num_streams;
+    cfg.pool_kind = abt::PoolKind::kPrivate;
+    return cfg;
+}
+
+}  // namespace
+
+Runtime::Runtime(Config config)
+    : lib_(backing_config(config.num_streams)),
+      default_team_(lib_.num_xstreams()) {}
+
+Runtime::~Runtime() = default;
+
+std::size_t Runtime::num_streams() const { return lib_.num_xstreams(); }
+
+void Runtime::parallel(const std::function<void(TeamCtx&)>& body,
+                       std::size_t nthreads) {
+    Team team(*this, nthreads);
+    team.run(body);
+}
+
+void Runtime::parallel_for(std::size_t n,
+                           const std::function<void(std::size_t)>& body,
+                           std::size_t nthreads) {
+    parallel(
+        [&](TeamCtx& ctx) {
+            const std::size_t nth = ctx.num_threads();
+            const std::size_t per = (n + nth - 1) / nth;
+            const std::size_t lo = ctx.tid() * per;
+            const std::size_t hi = std::min(n, lo + per);
+            for (std::size_t i = lo; i < hi; ++i) {
+                body(i);
+            }
+        },
+        nthreads);
+}
+
+double Runtime::parallel_reduce_sum(
+    std::size_t n, const std::function<double(std::size_t)>& body,
+    std::size_t nthreads) {
+    const std::size_t team =
+        nthreads == 0 ? default_team_size() : nthreads;
+    std::vector<double> partial(team, 0.0);
+    parallel(
+        [&](TeamCtx& ctx) {
+            const std::size_t nth = ctx.num_threads();
+            const std::size_t per = (n + nth - 1) / nth;
+            const std::size_t lo = ctx.tid() * per;
+            const std::size_t hi = std::min(n, lo + per);
+            double acc = 0.0;
+            for (std::size_t i = lo; i < hi; ++i) {
+                acc += body(i);
+            }
+            partial[ctx.tid()] = acc;
+        },
+        team);
+    double total = 0.0;
+    for (double p : partial) {
+        total += p;
+    }
+    return total;
+}
+
+}  // namespace lwt::lwomp

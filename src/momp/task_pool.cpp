@@ -1,0 +1,107 @@
+#include "momp/task_pool.hpp"
+
+#include <thread>
+
+#include "arch/cpu.hpp"
+
+namespace lwt::momp {
+
+TaskPool::TaskPool(Flavor flavor, std::size_t nthreads)
+    : flavor_(flavor), nthreads_(nthreads == 0 ? 1 : nthreads) {
+    if (flavor_ == Flavor::kIcc) {
+        per_thread_.reserve(nthreads_);
+        for (std::size_t i = 0; i < nthreads_; ++i) {
+            per_thread_.push_back(
+                std::make_unique<queue::ChaseLevDeque<Task*>>(512));
+        }
+    }
+}
+
+TaskPool::~TaskPool() {
+    // Defensive drain: a well-formed region completes all tasks before the
+    // pool dies.
+    if (flavor_ == Flavor::kGcc) {
+        while (auto t = shared_.try_pop()) {
+            delete *t;
+        }
+    } else {
+        for (auto& d : per_thread_) {
+            while (auto t = d->pop_bottom()) {
+                delete *t;
+            }
+        }
+    }
+}
+
+bool TaskPool::over_cutoff(std::size_t tid) const {
+    if (flavor_ == Flavor::kGcc) {
+        return outstanding_.load(std::memory_order_relaxed) >= cutoff();
+    }
+    return per_thread_[tid]->size_approx() >= cutoff();
+}
+
+void TaskPool::submit(std::size_t tid, core::UniqueFunction fn) {
+    if (over_cutoff(tid)) {
+        // Undeferred execution: both runtimes serialise beyond the cutoff.
+        inlined_.fetch_add(1, std::memory_order_relaxed);
+        fn();
+        return;
+    }
+    auto* task = new Task{std::move(fn)};
+    outstanding_.fetch_add(1, std::memory_order_release);
+    if (flavor_ == Flavor::kGcc) {
+        shared_.push(task);
+    } else {
+        per_thread_[tid]->push_bottom(task);  // owner push
+    }
+}
+
+TaskPool::Task* TaskPool::take(std::size_t tid) {
+    if (flavor_ == Flavor::kGcc) {
+        return shared_.try_pop().value_or(nullptr);
+    }
+    if (auto t = per_thread_[tid]->pop_bottom()) {
+        return *t;
+    }
+    // Work stealing: probe the other threads' deques starting from a
+    // pseudo-random victim (icc triggers stealing only when idle).
+    const std::size_t n = per_thread_.size();
+    std::size_t start = (tid * 2654435761u) % n;
+    for (std::size_t k = 0; k < n; ++k) {
+        const std::size_t victim = (start + k) % n;
+        if (victim == tid) {
+            continue;
+        }
+        if (auto t = per_thread_[victim]->steal_top()) {
+            return *t;
+        }
+    }
+    return nullptr;
+}
+
+void TaskPool::execute(Task* task) {
+    task->fn();
+    delete task;
+    outstanding_.fetch_sub(1, std::memory_order_release);
+}
+
+bool TaskPool::run_one(std::size_t tid) {
+    Task* task = take(tid);
+    if (task == nullptr) {
+        return false;
+    }
+    execute(task);
+    return true;
+}
+
+void TaskPool::wait_all(std::size_t tid) {
+    while (outstanding_.load(std::memory_order_acquire) > 0) {
+        if (!run_one(tid)) {
+            // Someone else holds the last tasks; don't burn the core.
+            arch::cpu_relax();
+            std::this_thread::yield();
+        }
+    }
+}
+
+}  // namespace lwt::momp

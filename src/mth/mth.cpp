@@ -1,0 +1,121 @@
+#include "mth/mth.hpp"
+
+#include <cassert>
+#include <thread>
+
+#include "core/runtime.hpp"
+
+namespace lwt::mth {
+
+// --- ThreadHandle -------------------------------------------------------------
+
+ThreadHandle& ThreadHandle::operator=(ThreadHandle&& other) noexcept {
+    if (this != &other) {
+        join();
+        ult_ = std::exchange(other.ult_, nullptr);
+    }
+    return *this;
+}
+
+ThreadHandle::~ThreadHandle() { join(); }
+
+void ThreadHandle::join() {
+    if (ult_ == nullptr) {
+        return;
+    }
+    core::Ult* target = ult_;
+    if (core::Ult::current() != nullptr) {
+        // From inside a ULT: run the joinee directly (myth_join switches to
+        // the target). A plain yield would starve under LIFO deques: the
+        // joiner would be re-popped ahead of the joinee forever.
+        while (!target->terminated()) {
+            core::yield_to(target);
+        }
+    } else if (core::XStream* stream = core::XStream::current()) {
+        // From the attached main thread outside run(): drive worker 0's
+        // scheduler so single-worker configurations cannot deadlock.
+        stream->run_until([target] { return target->terminated(); });
+    } else {
+        while (!target->terminated()) {
+            std::this_thread::yield();
+        }
+    }
+    delete ult_;
+    ult_ = nullptr;
+}
+
+// --- Library -------------------------------------------------------------------
+
+Library::Library(Config config) : config_(config) {
+    const std::size_t n = core::Runtime::resolve_stream_count(
+        config_.num_workers, "LWT_NUM_WORKERS");
+    config_.num_workers = n;
+    pools_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        pools_.push_back(
+            std::make_unique<core::DequePool>(core::DequePool::PopOrder::kLifo));
+    }
+    std::vector<core::Pool*> victims;
+    victims.reserve(n);
+    for (auto& p : pools_) {
+        victims.push_back(p.get());
+    }
+    auto make_sched = [&](unsigned rank) {
+        return std::make_unique<core::StealingScheduler>(
+            pools_[rank].get(), victims, /*seed=*/0x9e3779b9u + rank);
+    };
+    primary_ = std::make_unique<core::XStream>(0, make_sched(0));
+    primary_->attach_caller();
+    for (std::size_t i = 1; i < n; ++i) {
+        workers_.push_back(std::make_unique<core::XStream>(
+            static_cast<unsigned>(i), make_sched(static_cast<unsigned>(i))));
+        workers_.back()->start();
+    }
+}
+
+Library::~Library() {
+    for (auto& w : workers_) {
+        w->stop_and_join();
+    }
+    primary_->detach_caller();
+}
+
+void Library::run(core::UniqueFunction main_fn) {
+    auto main_ult = std::make_unique<core::Ult>(std::move(main_fn));
+    pools_[0]->push(main_ult.get());
+    // Worker 0 (the calling thread) schedules until the main ULT finishes —
+    // possibly on another worker if it gets stolen mid-flight.
+    primary_->run_until([&] { return main_ult->terminated(); });
+}
+
+core::Ult* Library::spawn(core::UniqueFunction fn, bool detached) {
+    auto* child = new core::Ult(std::move(fn));
+    child->detached = detached;
+    core::Ult* self = core::Ult::current();
+    core::XStream* stream = core::XStream::current();
+    if (config_.policy == Policy::kWorkFirst && self != nullptr &&
+        stream != nullptr) {
+        // Work-first: the child runs *now*; the creator parks in the ready
+        // deque where idle workers can steal it (continuation stealing).
+        stream->set_next_hint(child);
+        self->suspend(core::YieldStatus::kYielded);
+        return child;
+    }
+    // Help-first (or no ULT context): queue the child, keep running.
+    core::Pool* target =
+        stream != nullptr ? stream->scheduler().main_pool() : pools_[0].get();
+    target->push(child);
+    return child;
+}
+
+ThreadHandle Library::create(core::UniqueFunction fn) {
+    return ThreadHandle(spawn(std::move(fn), /*detached=*/false));
+}
+
+void Library::create_detached(core::UniqueFunction fn) {
+    spawn(std::move(fn), /*detached=*/true);
+}
+
+void Library::yield() { core::yield_anywhere(); }
+
+}  // namespace lwt::mth

@@ -1,0 +1,97 @@
+// mth.hpp — MassiveThreads-like personality.
+//
+// Reproduces §III-C/§VIII-B.2: workers (one per CPU) with mutex-protected
+// per-worker deques, random work stealing by idle workers, and the two
+// creation policies the paper evaluates:
+//   * work-first (myth default): the creating ULT is pushed to the ready
+//     deque — becoming stealable — and the child runs immediately;
+//   * help-first: the child is pushed and the creator keeps running.
+//
+// Because work-first requires the *creating* control flow itself to be a
+// ULT, the program's main function runs as a ULT on worker 0 (exactly what
+// MassiveThreads does to main()): use Library::run().
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/pool.hpp"
+#include "core/ult.hpp"
+#include "core/unique_function.hpp"
+#include "core/xstream.hpp"
+
+namespace lwt::mth {
+
+/// Creation policy (§VIII-B.2). The paper selects Help-first for the plain
+/// for-loop and Work-first for task/nested patterns.
+enum class Policy {
+    kWorkFirst,
+    kHelpFirst,
+};
+
+struct Config {
+    /// Number of workers; 0 resolves via LWT_NUM_WORKERS then hardware.
+    std::size_t num_workers = 0;
+    Policy policy = Policy::kWorkFirst;
+};
+
+/// Joinable handle to a spawned ULT (myth_thread_t).
+class ThreadHandle {
+  public:
+    ThreadHandle() noexcept = default;
+    ThreadHandle(ThreadHandle&& other) noexcept
+        : ult_(std::exchange(other.ult_, nullptr)) {}
+    ThreadHandle& operator=(ThreadHandle&& other) noexcept;
+    ThreadHandle(const ThreadHandle&) = delete;
+    ThreadHandle& operator=(const ThreadHandle&) = delete;
+    ~ThreadHandle();
+
+    /// myth_join: cooperative wait, then reclaim.
+    void join();
+
+    [[nodiscard]] bool valid() const noexcept { return ult_ != nullptr; }
+
+  private:
+    friend class Library;
+    explicit ThreadHandle(core::Ult* ult) noexcept : ult_(ult) {}
+    core::Ult* ult_ = nullptr;
+};
+
+/// One initialised MassiveThreads-like runtime (myth_init .. myth_fini).
+class Library {
+  public:
+    explicit Library(Config config = {});
+    ~Library();
+    Library(const Library&) = delete;
+    Library& operator=(const Library&) = delete;
+
+    [[nodiscard]] std::size_t num_workers() const { return pools_.size(); }
+    [[nodiscard]] Policy policy() const { return config_.policy; }
+
+    /// Run `main_fn` as the program's main ULT on worker 0 and return when
+    /// it finishes. All create() calls must happen inside this scope (from
+    /// the main ULT or its descendants).
+    void run(core::UniqueFunction main_fn);
+
+    /// myth_create. Under work-first the caller is suspended into the ready
+    /// deque (stealable) and the child starts at once; under help-first the
+    /// child is queued and the caller continues.
+    ThreadHandle create(core::UniqueFunction fn);
+
+    /// Fire-and-forget spawn (no join handle).
+    void create_detached(core::UniqueFunction fn);
+
+    /// myth_yield.
+    static void yield();
+
+  private:
+    core::Ult* spawn(core::UniqueFunction fn, bool detached);
+
+    Config config_;
+    std::vector<std::unique_ptr<core::DequePool>> pools_;
+    std::vector<std::unique_ptr<core::XStream>> workers_;  // ranks 1..n-1
+    std::unique_ptr<core::XStream> primary_;               // worker 0
+};
+
+}  // namespace lwt::mth

@@ -1,0 +1,108 @@
+// dictionary.hpp — Qthreads' concurrent dictionary.
+//
+// §III-D: "A large number of distributed structures such as queues,
+// dictionaries, or pools are offered". This is the dictionary: a sharded
+// concurrent hash map whose blocking lookup (`wait_get`) has full/empty
+// semantics — it parks the caller cooperatively until some producer puts
+// the key, the dataflow idiom Qthreads encourages.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "core/ult.hpp"
+#include "sync/spinlock.hpp"
+
+namespace lwt::qth {
+
+/// Concurrent map of Key -> Value with cooperative blocking lookups.
+/// All operations are safe from any mix of ULTs and plain threads.
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class Dictionary {
+  public:
+    static constexpr std::size_t kShards = 16;
+
+    Dictionary() = default;
+    Dictionary(const Dictionary&) = delete;
+    Dictionary& operator=(const Dictionary&) = delete;
+
+    /// Insert or overwrite.
+    void put(const Key& key, Value value) {
+        Shard& sh = shard_for(key);
+        std::lock_guard g(sh.lock);
+        sh.map.insert_or_assign(key, std::move(value));
+    }
+
+    /// Insert only if absent; returns whether the insert happened.
+    bool put_if_absent(const Key& key, Value value) {
+        Shard& sh = shard_for(key);
+        std::lock_guard g(sh.lock);
+        return sh.map.try_emplace(key, std::move(value)).second;
+    }
+
+    /// Non-blocking lookup.
+    std::optional<Value> get(const Key& key) const {
+        const Shard& sh = shard_for(key);
+        std::lock_guard g(sh.lock);
+        const auto it = sh.map.find(key);
+        if (it == sh.map.end()) {
+            return std::nullopt;
+        }
+        return it->second;
+    }
+
+    /// Blocking lookup: cooperatively waits until the key exists
+    /// (FEB-style dataflow read on the dictionary).
+    Value wait_get(const Key& key) const {
+        for (;;) {
+            if (auto v = get(key)) {
+                return *v;
+            }
+            core::yield_anywhere();
+        }
+    }
+
+    /// Remove; returns the value if present.
+    std::optional<Value> remove(const Key& key) {
+        Shard& sh = shard_for(key);
+        std::lock_guard g(sh.lock);
+        const auto it = sh.map.find(key);
+        if (it == sh.map.end()) {
+            return std::nullopt;
+        }
+        std::optional<Value> out(std::move(it->second));
+        sh.map.erase(it);
+        return out;
+    }
+
+    [[nodiscard]] bool contains(const Key& key) const {
+        return get(key).has_value();
+    }
+
+    [[nodiscard]] std::size_t size() const {
+        std::size_t total = 0;
+        for (const Shard& sh : shards_) {
+            std::lock_guard g(sh.lock);
+            total += sh.map.size();
+        }
+        return total;
+    }
+
+  private:
+    struct Shard {
+        mutable sync::Spinlock lock;
+        std::unordered_map<Key, Value, Hash> map;
+    };
+
+    Shard& shard_for(const Key& key) {
+        return shards_[Hash{}(key) % kShards];
+    }
+    const Shard& shard_for(const Key& key) const {
+        return shards_[Hash{}(key) % kShards];
+    }
+
+    Shard shards_[kShards];
+};
+
+}  // namespace lwt::qth

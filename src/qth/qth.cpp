@@ -1,0 +1,165 @@
+#include "qth/qth.hpp"
+
+#include <functional>
+#include <thread>
+
+#include "core/runtime.hpp"
+#include "core/ult.hpp"
+#include "core/work_unit.hpp"
+
+namespace lwt::qth {
+
+double Sinc::wait() {
+    while (remaining_.load(std::memory_order_acquire) > 0) {
+        core::yield_anywhere();
+    }
+    std::lock_guard g(lock_);
+    return sum_;
+}
+
+Library::Library(Config config) : config_(config) {
+    config_.num_shepherds = core::Runtime::resolve_stream_count(
+        config_.num_shepherds, "LWT_NUM_SHEPHERDS");
+    if (config_.workers_per_shepherd == 0) {
+        config_.workers_per_shepherd = core::Runtime::resolve_stream_count(
+            1, "LWT_NUM_WORKERS_PER_SHEPHERD");
+    }
+    pools_.reserve(config_.num_shepherds);
+    for (std::size_t s = 0; s < config_.num_shepherds; ++s) {
+        pools_.push_back(
+            std::make_unique<core::DequePool>(core::DequePool::PopOrder::kFifo));
+    }
+    // Workers of shepherd s all drain pools_[s]; rank encodes (s, w).
+    const auto plan = arch::Topology::discover().plan(
+        config_.bind,
+        config_.num_shepherds * config_.workers_per_shepherd);
+    for (std::size_t s = 0; s < config_.num_shepherds; ++s) {
+        for (std::size_t w = 0; w < config_.workers_per_shepherd; ++w) {
+            const auto rank =
+                static_cast<unsigned>(s * config_.workers_per_shepherd + w);
+            workers_.push_back(std::make_unique<core::XStream>(
+                rank, std::make_unique<core::Scheduler>(
+                          std::vector<core::Pool*>{pools_[s].get()})));
+            if (!plan.empty()) {
+                workers_.back()->set_on_start(
+                    [plan, rank] { arch::apply_binding(plan, rank); });
+            }
+            workers_.back()->start();
+        }
+    }
+}
+
+Library::~Library() {
+    for (auto& w : workers_) {
+        w->stop_and_join();
+    }
+}
+
+std::size_t Library::current_shepherd() const {
+    if (core::XStream* stream = core::XStream::current()) {
+        return stream->rank() / config_.workers_per_shepherd;
+    }
+    return 0;  // the main thread forks into shepherd 0, as in Qthreads
+}
+
+void Library::fork(Fn fn, aligned_t* ret) {
+    fork_to(std::move(fn), ret, current_shepherd());
+}
+
+void Library::fork_to(Fn fn, aligned_t* ret, std::size_t shepherd) {
+    if (ret != nullptr) {
+        feb_.purge(ret);  // the return word is EMPTY until completion
+    }
+    auto* ult = new core::Ult([this, body = std::move(fn), ret]() mutable {
+        body();
+        if (ret != nullptr) {
+            feb_.write_f(ret, 1);  // fills the word: readFF joiners proceed
+        }
+    });
+    ult->detached = true;  // Qthreads reclaims its qthread_t internally
+    pools_[shepherd % pools_.size()]->push(ult);
+}
+
+void Library::yield() { core::yield_anywhere(); }
+
+void Library::feb_waiter(void* /*ctx*/) { core::yield_anywhere(); }
+
+aligned_t Library::read_ff(const aligned_t* addr) {
+    return feb_.read_ff(addr, &Library::feb_waiter, nullptr);
+}
+
+aligned_t Library::read_fe(aligned_t* addr) {
+    return feb_.read_fe(addr, &Library::feb_waiter, nullptr);
+}
+
+void Library::write_ef(aligned_t* addr, aligned_t value) {
+    feb_.write_ef(addr, value, &Library::feb_waiter, nullptr);
+}
+
+void Library::write_f(aligned_t* addr, aligned_t value) {
+    feb_.write_f(addr, value);
+}
+
+void Library::purge(aligned_t* addr) { feb_.purge(addr); }
+
+bool Library::is_full(const aligned_t* addr) { return feb_.is_full(addr); }
+
+void Library::loop(std::size_t start, std::size_t stop,
+                   const std::function<void(std::size_t)>& fn) {
+    const std::size_t n = stop > start ? stop - start : 0;
+    if (n == 0) {
+        return;
+    }
+    const std::size_t chunks = std::min(n, num_shepherds());
+    std::vector<aligned_t> done(chunks, 0);
+    const std::size_t per = (n + chunks - 1) / chunks;
+    for (std::size_t c = 0; c < chunks; ++c) {
+        const std::size_t lo = start + c * per;
+        const std::size_t hi = std::min(stop, lo + per);
+        fork_to(
+            [&fn, lo, hi] {
+                for (std::size_t i = lo; i < hi; ++i) {
+                    fn(i);
+                }
+            },
+            &done[c], c);
+    }
+    for (std::size_t c = 0; c < chunks; ++c) {
+        read_ff(&done[c]);
+        feb_.forget(&done[c]);  // the word dies with this frame
+    }
+}
+
+double Library::loop_accum_sum(std::size_t start, std::size_t stop,
+                               const std::function<double(std::size_t)>& fn) {
+    const std::size_t n = stop > start ? stop - start : 0;
+    if (n == 0) {
+        return 0.0;
+    }
+    const std::size_t chunks = std::min(n, num_shepherds());
+    std::vector<aligned_t> done(chunks, 0);
+    std::vector<double> partial(chunks, 0.0);
+    const std::size_t per = (n + chunks - 1) / chunks;
+    for (std::size_t c = 0; c < chunks; ++c) {
+        const std::size_t lo = start + c * per;
+        const std::size_t hi = std::min(stop, lo + per);
+        fork_to(
+            [&fn, &partial, c, lo, hi] {
+                double acc = 0.0;
+                for (std::size_t i = lo; i < hi; ++i) {
+                    acc += fn(i);
+                }
+                partial[c] = acc;
+            },
+            &done[c], c);
+    }
+    double total = 0.0;
+    for (std::size_t c = 0; c < chunks; ++c) {
+        read_ff(&done[c]);
+        feb_.forget(&done[c]);
+        total += partial[c];
+    }
+    return total;
+}
+
+}  // namespace lwt::qth

@@ -1,0 +1,144 @@
+// qth.hpp — Qthreads-like personality.
+//
+// Reproduces the model from §III-D/§VIII-B.3: a three-level hierarchy of
+// Shepherds (each owning a work-unit queue) and Workers (OS threads bound to
+// a shepherd that execute units from its queue), full/empty-bit word
+// synchronisation used both for data sync and for joins (qthread_readFF on
+// the return word), and the fork/fork_to pair whose only difference is which
+// shepherd's queue receives the new ULT.
+//
+// The paper's two surviving layouts are expressible directly:
+//   * one shepherd for the whole node: Config{1, N}
+//   * one shepherd per CPU:            Config{N, 1}
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <memory>
+#include <vector>
+
+#include "arch/topology.hpp"
+#include "core/pool.hpp"
+#include "core/unique_function.hpp"
+#include "core/xstream.hpp"
+#include "sync/feb.hpp"
+#include "sync/spinlock.hpp"
+
+namespace lwt::qth {
+
+using aligned_t = sync::aligned_t;
+
+struct Config {
+    /// Number of shepherds (queues). 0 resolves via LWT_NUM_SHEPHERDS, then
+    /// the hardware thread count.
+    std::size_t num_shepherds = 0;
+    /// Workers (OS threads) per shepherd. 0 resolves via
+    /// LWT_NUM_WORKERS_PER_SHEPHERD, then 1.
+    std::size_t workers_per_shepherd = 0;
+    /// Bind workers to CPUs (Qthreads binds shepherds/workers to hardware;
+    /// §III-D). kCompact fills cores in order, kScatter spreads sockets.
+    arch::BindPolicy bind = arch::BindPolicy::kNone;
+};
+
+/// qt_sinc-like completion counter: a scalable way to wait for N
+/// contributions, optionally aggregating a value per contribution
+/// (Qthreads uses sincs to implement its loops and reductions).
+class Sinc {
+  public:
+    /// Expect `n` more submissions.
+    void expect(std::int64_t n) noexcept {
+        remaining_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    /// One contribution with an optional summed value.
+    void submit(double value = 0.0) {
+        {
+            std::lock_guard g(lock_);
+            sum_ += value;
+        }
+        remaining_.fetch_sub(1, std::memory_order_release);
+    }
+
+    /// Cooperatively wait until every expected submission arrived; returns
+    /// the aggregated sum.
+    double wait();
+
+    [[nodiscard]] std::int64_t remaining() const noexcept {
+        return remaining_.load(std::memory_order_acquire);
+    }
+
+    /// Rearm for reuse (qt_sinc_reset).
+    void reset() noexcept {
+        remaining_.store(0, std::memory_order_relaxed);
+        std::lock_guard g(lock_);
+        sum_ = 0.0;
+    }
+
+  private:
+    std::atomic<std::int64_t> remaining_{0};
+    mutable sync::Spinlock lock_;
+    double sum_ = 0.0;
+};
+
+/// One initialised Qthreads-like runtime (qthread_initialize ..
+/// qthread_finalize). The calling (main) thread is *not* a worker; as in
+/// the paper's microbenchmarks it only creates work and joins via readFF.
+class Library {
+  public:
+    /// Task signature: returns the value stored to the return word.
+    using Fn = core::UniqueFunction;
+
+    explicit Library(Config config = {});
+    ~Library();
+    Library(const Library&) = delete;
+    Library& operator=(const Library&) = delete;
+
+    [[nodiscard]] std::size_t num_shepherds() const { return pools_.size(); }
+    [[nodiscard]] std::size_t num_workers() const { return workers_.size(); }
+
+    /// qthread_fork: spawn a ULT into the *current* shepherd's queue (the
+    /// shepherd of the calling worker, or shepherd 0 from outside). When
+    /// `ret` is non-null the word is emptied now and filled with 1 when the
+    /// ULT completes — join with read_ff(ret).
+    void fork(Fn fn, aligned_t* ret);
+
+    /// qthread_fork_to: same, but into shepherd `shepherd`'s queue — the
+    /// round-robin dispatch the paper found necessary for load balance.
+    void fork_to(Fn fn, aligned_t* ret, std::size_t shepherd);
+
+    /// qthread_yield.
+    static void yield();
+
+    // Full/empty-bit operations (qthread_readFF and friends). Blocking
+    // variants cooperate with the scheduler: a waiting ULT yields its
+    // worker instead of spinning it.
+    aligned_t read_ff(const aligned_t* addr);
+    aligned_t read_fe(aligned_t* addr);
+    void write_ef(aligned_t* addr, aligned_t value);
+    void write_f(aligned_t* addr, aligned_t value);
+    void purge(aligned_t* addr);
+    [[nodiscard]] bool is_full(const aligned_t* addr);
+
+    /// qt_loop: execute fn(i) for i in [start, stop) as one ULT per
+    /// shepherd (block distribution), blocking until done.
+    void loop(std::size_t start, std::size_t stop,
+              const std::function<void(std::size_t)>& fn);
+
+    /// qt_loopaccum-style reduction: sums fn(i) over [start, stop).
+    double loop_accum_sum(std::size_t start, std::size_t stop,
+                          const std::function<double(std::size_t)>& fn);
+
+  private:
+    static void feb_waiter(void* ctx);
+    std::size_t current_shepherd() const;
+
+    Config config_;
+    sync::FebTable feb_;
+    std::vector<std::unique_ptr<core::DequePool>> pools_;  // one per shepherd
+    std::vector<std::unique_ptr<core::XStream>> workers_;
+};
+
+}  // namespace lwt::qth

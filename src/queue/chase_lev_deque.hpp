@@ -1,0 +1,147 @@
+// chase_lev_deque.hpp — lock-free work-stealing deque (Chase & Lev), with
+// the C11-memory-model fences from Lê et al., "Correct and Efficient
+// Work-Stealing for Weak Memory Models" (PPoPP'13).
+//
+// The owner pushes and pops at the bottom (LIFO — good locality for
+// recursive task graphs); thieves steal from the top (FIFO — steals the
+// oldest, typically largest, piece of work). This is the engine behind the
+// MassiveThreads-like and icc-OpenMP-like work-stealing paths.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "arch/cpu.hpp"
+
+namespace lwt::queue {
+
+/// T must be cheap to copy (pointers or small trivially-copyable handles):
+/// slots are read concurrently with owner writes into *other* slots, and a
+/// losing thief discards its copy.
+template <typename T>
+class ChaseLevDeque {
+  public:
+    explicit ChaseLevDeque(std::size_t initial_capacity = 1024)
+        : array_(new Array(round_up_pow2(initial_capacity))) {}
+
+    ChaseLevDeque(const ChaseLevDeque&) = delete;
+    ChaseLevDeque& operator=(const ChaseLevDeque&) = delete;
+
+    ~ChaseLevDeque() {
+        delete array_.load(std::memory_order_relaxed);
+        for (Array* a : retired_) {
+            delete a;
+        }
+    }
+
+    /// Owner only. Grows the backing array on demand (old arrays are retired
+    /// until destruction because thieves may still be reading them).
+    void push_bottom(T value) {
+        const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+        const std::int64_t t = top_.load(std::memory_order_acquire);
+        Array* a = array_.load(std::memory_order_relaxed);
+        if (b - t > static_cast<std::int64_t>(a->capacity) - 1) {
+            a = grow(a, b, t);
+        }
+        a->put(b, std::move(value));
+        std::atomic_thread_fence(std::memory_order_release);
+        bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+
+    /// Owner only. LIFO pop; empty optional when the deque is empty.
+    std::optional<T> pop_bottom() {
+        const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+        Array* a = array_.load(std::memory_order_relaxed);
+        bottom_.store(b, std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        std::int64_t t = top_.load(std::memory_order_relaxed);
+        if (t <= b) {
+            T value = a->get(b);
+            if (t == b) {
+                // Last element: race with thieves via CAS on top.
+                if (!top_.compare_exchange_strong(t, t + 1,
+                                                  std::memory_order_seq_cst,
+                                                  std::memory_order_relaxed)) {
+                    bottom_.store(b + 1, std::memory_order_relaxed);
+                    return std::nullopt;  // thief got it
+                }
+                bottom_.store(b + 1, std::memory_order_relaxed);
+            }
+            return value;
+        }
+        bottom_.store(b + 1, std::memory_order_relaxed);
+        return std::nullopt;
+    }
+
+    /// Any thread. FIFO steal; empty optional when empty or when losing a
+    /// race (caller should retry or move to another victim).
+    std::optional<T> steal_top() {
+        std::int64_t t = top_.load(std::memory_order_acquire);
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        const std::int64_t b = bottom_.load(std::memory_order_acquire);
+        if (t >= b) {
+            return std::nullopt;
+        }
+        Array* a = array_.load(std::memory_order_consume);
+        T value = a->get(t);
+        if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                          std::memory_order_relaxed)) {
+            return std::nullopt;  // lost the race
+        }
+        return value;
+    }
+
+    [[nodiscard]] std::size_t size_approx() const noexcept {
+        const std::int64_t b = bottom_.load(std::memory_order_acquire);
+        const std::int64_t t = top_.load(std::memory_order_acquire);
+        return b > t ? static_cast<std::size_t>(b - t) : 0;
+    }
+
+    [[nodiscard]] bool empty() const noexcept { return size_approx() == 0; }
+
+  private:
+    struct Array {
+        explicit Array(std::size_t cap) : capacity(cap), mask(cap - 1),
+                                          slots(new T[cap]) {}
+        ~Array() { delete[] slots; }
+
+        void put(std::int64_t index, T value) noexcept {
+            slots[static_cast<std::size_t>(index) & mask] = std::move(value);
+        }
+        T get(std::int64_t index) const noexcept {
+            return slots[static_cast<std::size_t>(index) & mask];
+        }
+
+        const std::size_t capacity;
+        const std::size_t mask;
+        T* slots;
+    };
+
+    Array* grow(Array* old, std::int64_t b, std::int64_t t) {
+        auto* bigger = new Array(old->capacity * 2);
+        for (std::int64_t i = t; i < b; ++i) {
+            bigger->put(i, old->get(i));
+        }
+        array_.store(bigger, std::memory_order_release);
+        retired_.push_back(old);
+        return bigger;
+    }
+
+    static std::size_t round_up_pow2(std::size_t v) noexcept {
+        std::size_t p = 1;
+        while (p < v) {
+            p <<= 1;
+        }
+        return p;
+    }
+
+    alignas(arch::kCacheLine) std::atomic<std::int64_t> top_{0};
+    alignas(arch::kCacheLine) std::atomic<std::int64_t> bottom_{0};
+    alignas(arch::kCacheLine) std::atomic<Array*> array_;
+    std::vector<Array*> retired_;  // owner-only
+};
+
+}  // namespace lwt::queue

@@ -1,0 +1,65 @@
+// global_queue.hpp — one shared FIFO for all execution streams.
+//
+// This is the topology the paper blames for Go's and gcc-OpenMP's contention:
+// every producer and every consumer serialises on a single mutex. We keep it
+// deliberately simple (lock + std::deque) because the *behaviour under
+// contention* — not a clever implementation — is the phenomenon the
+// benchmarks measure.
+#pragma once
+
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "sync/spinlock.hpp"
+
+namespace lwt::queue {
+
+template <typename T>
+class GlobalQueue {
+  public:
+    GlobalQueue() = default;
+    GlobalQueue(const GlobalQueue&) = delete;
+    GlobalQueue& operator=(const GlobalQueue&) = delete;
+
+    void push(T value) {
+        std::lock_guard guard(lock_);
+        items_.push_back(std::move(value));
+    }
+
+    std::optional<T> try_pop() {
+        std::lock_guard guard(lock_);
+        if (items_.empty()) {
+            return std::nullopt;
+        }
+        std::optional<T> out(std::move(items_.front()));
+        items_.pop_front();
+        return out;
+    }
+
+    /// Remove the first element equal to `value` (O(n)). Returns false when
+    /// absent.
+    bool remove(const T& value) {
+        std::lock_guard guard(lock_);
+        for (auto it = items_.begin(); it != items_.end(); ++it) {
+            if (*it == value) {
+                items_.erase(it);
+                return true;
+            }
+        }
+        return false;
+    }
+
+    [[nodiscard]] std::size_t size() const {
+        std::lock_guard guard(lock_);
+        return items_.size();
+    }
+
+    [[nodiscard]] bool empty() const { return size() == 0; }
+
+  private:
+    mutable sync::Spinlock lock_;
+    std::deque<T> items_;
+};
+
+}  // namespace lwt::queue

@@ -1,0 +1,90 @@
+#include "queue/hazard_pointers.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+namespace lwt::queue {
+
+HazardDomain& HazardDomain::instance() {
+    static HazardDomain domain;
+    return domain;
+}
+
+HazardDomain::ThreadRec& HazardDomain::rec_for_this_thread() {
+    thread_local ThreadRec* tl_rec = nullptr;
+    if (tl_rec == nullptr) {
+        auto* rec = new ThreadRec();  // parked forever; see header note
+        {
+            std::lock_guard g(registry_lock_);
+            registry_.push_back(rec);
+        }
+        tl_rec = rec;
+    }
+    return *tl_rec;
+}
+
+HazardDomain::SlotClaim HazardDomain::acquire_slot() {
+    ThreadRec& rec = rec_for_this_thread();
+    for (std::size_t i = 0; i < kSlotsPerThread; ++i) {
+        // Slots are claimed only by the owning thread; plain exchange is
+        // enough to support re-entrant Guards.
+        if (!rec.slot_claimed[i].exchange(true, std::memory_order_acquire)) {
+            return SlotClaim{&rec.slots[i], &rec.slot_claimed[i]};
+        }
+    }
+    // Out of slots: a structure nested Guards deeper than kSlotsPerThread.
+    std::abort();
+}
+
+HazardDomain::Guard::Guard(HazardDomain& domain) {
+    const SlotClaim claim = domain.acquire_slot();
+    slot_ = claim.slot;
+    claim_ = claim.claim;
+}
+
+HazardDomain::Guard::~Guard() {
+    slot_->store(nullptr, std::memory_order_release);
+    claim_->store(false, std::memory_order_release);
+}
+
+void HazardDomain::retire(void* p, void (*deleter)(void*)) {
+    ThreadRec& rec = rec_for_this_thread();
+    rec.retired.push_back(Retired{p, deleter});
+    if (rec.retired.size() >= kScanThreshold) {
+        scan(rec);
+    }
+}
+
+void HazardDomain::drain_this_thread() { scan(rec_for_this_thread()); }
+
+void HazardDomain::scan(ThreadRec& rec) {
+    // Pairs with the seq_cst fence in Guard::protect.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    // Collect every currently-published hazard.
+    std::vector<void*> hazards;
+    {
+        std::lock_guard g(registry_lock_);
+        hazards.reserve(registry_.size() * kSlotsPerThread);
+        for (ThreadRec* r : registry_) {
+            for (std::size_t i = 0; i < kSlotsPerThread; ++i) {
+                if (void* p = r->slots[i].load(std::memory_order_acquire)) {
+                    hazards.push_back(p);
+                }
+            }
+        }
+    }
+    std::sort(hazards.begin(), hazards.end());
+    std::vector<Retired> keep;
+    keep.reserve(rec.retired.size());
+    for (const Retired& r : rec.retired) {
+        if (std::binary_search(hazards.begin(), hazards.end(), r.ptr)) {
+            keep.push_back(r);  // still protected somewhere
+        } else {
+            r.deleter(r.ptr);
+            reclaimed_.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+    rec.retired.swap(keep);
+}
+
+}  // namespace lwt::queue

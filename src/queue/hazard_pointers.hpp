@@ -1,0 +1,108 @@
+// hazard_pointers.hpp — safe memory reclamation for lock-free structures.
+//
+// Minimal hazard-pointer domain (Michael, 2004): readers publish the node
+// they are about to dereference in a per-thread hazard slot; retiring
+// threads defer deletion until no slot holds the pointer. Backs the
+// unbounded Michael-Scott queue (ms_queue.hpp).
+//
+// Thread records are created on first use and never destroyed (standard HP
+// practice: records are parked, not freed, so scans never race thread
+// exit).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "sync/spinlock.hpp"
+
+namespace lwt::queue {
+
+class HazardDomain {
+  public:
+    /// Hazard slots available to each thread simultaneously.
+    static constexpr std::size_t kSlotsPerThread = 2;
+    /// Retired pointers a thread accumulates before scanning.
+    static constexpr std::size_t kScanThreshold = 64;
+
+    static HazardDomain& instance();
+
+    HazardDomain() = default;
+    HazardDomain(const HazardDomain&) = delete;
+    HazardDomain& operator=(const HazardDomain&) = delete;
+
+    /// RAII hazard slot: protect() publishes a pointer read from `src` and
+    /// re-validates it (the ABA-safe load loop); the slot clears on
+    /// destruction.
+    class Guard {
+      public:
+        explicit Guard(HazardDomain& domain = instance());
+        ~Guard();
+        Guard(const Guard&) = delete;
+        Guard& operator=(const Guard&) = delete;
+
+        /// Atomically snapshot `src` and publish it as hazardous; loops
+        /// until the published value still equals the source (so the
+        /// protected node cannot have been freed in between).
+        template <typename T>
+        T* protect(const std::atomic<T*>& src) {
+            for (;;) {
+                T* p = src.load(std::memory_order_acquire);
+                slot_->store(p, std::memory_order_release);
+                // seq_cst fence pairing with the retire-side scan.
+                std::atomic_thread_fence(std::memory_order_seq_cst);
+                if (src.load(std::memory_order_acquire) == p) {
+                    return p;
+                }
+            }
+        }
+
+        /// Stop protecting (equivalent to destroying the guard early).
+        void reset() { slot_->store(nullptr, std::memory_order_release); }
+
+      private:
+        std::atomic<void*>* slot_;
+        std::atomic<bool>* claim_;
+    };
+
+    /// Schedule `p` for deletion once unprotected. `deleter` must be
+    /// callable as deleter(p).
+    void retire(void* p, void (*deleter)(void*));
+
+    /// Force reclamation of this thread's retired list (best effort:
+    /// still-hazardous pointers stay queued). Call in tests/teardown.
+    void drain_this_thread();
+
+    /// Objects actually deleted so far (diagnostics/tests).
+    [[nodiscard]] std::uint64_t reclaimed() const {
+        return reclaimed_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    struct Retired {
+        void* ptr;
+        void (*deleter)(void*);
+    };
+
+    struct ThreadRec {
+        std::atomic<void*> slots[kSlotsPerThread] = {};
+        std::atomic<bool> slot_claimed[kSlotsPerThread] = {};
+        std::vector<Retired> retired;
+    };
+
+    struct SlotClaim {
+        std::atomic<void*>* slot;
+        std::atomic<bool>* claim;
+    };
+
+    ThreadRec& rec_for_this_thread();
+    SlotClaim acquire_slot();
+    void scan(ThreadRec& rec);
+
+    mutable sync::Spinlock registry_lock_;
+    std::vector<ThreadRec*> registry_;  // never shrinks
+    std::atomic<std::uint64_t> reclaimed_{0};
+};
+
+}  // namespace lwt::queue

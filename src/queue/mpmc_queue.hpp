@@ -1,0 +1,108 @@
+// mpmc_queue.hpp — bounded multi-producer/multi-consumer queue.
+//
+// Vyukov-style: per-slot sequence numbers let producers and consumers claim
+// slots with a single CAS each, with no shared lock. Backs shared pools that
+// many execution streams push to and pop from concurrently.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <optional>
+
+#include "arch/cpu.hpp"
+
+namespace lwt::queue {
+
+template <typename T>
+class MpmcQueue {
+  public:
+    explicit MpmcQueue(std::size_t capacity = 4096)
+        : mask_(round_up_pow2(capacity) - 1),
+          slots_(std::make_unique<Slot[]>(mask_ + 1)) {
+        for (std::size_t i = 0; i <= mask_; ++i) {
+            slots_[i].sequence.store(i, std::memory_order_relaxed);
+        }
+    }
+
+    MpmcQueue(const MpmcQueue&) = delete;
+    MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+    /// Returns false when the queue is full.
+    bool try_push(T value) {
+        std::size_t pos = head_.load(std::memory_order_relaxed);
+        for (;;) {
+            Slot& slot = slots_[pos & mask_];
+            const std::size_t seq = slot.sequence.load(std::memory_order_acquire);
+            const std::ptrdiff_t diff =
+                static_cast<std::ptrdiff_t>(seq) - static_cast<std::ptrdiff_t>(pos);
+            if (diff == 0) {
+                if (head_.compare_exchange_weak(pos, pos + 1,
+                                                std::memory_order_relaxed)) {
+                    slot.value = std::move(value);
+                    slot.sequence.store(pos + 1, std::memory_order_release);
+                    return true;
+                }
+            } else if (diff < 0) {
+                return false;  // full
+            } else {
+                pos = head_.load(std::memory_order_relaxed);
+            }
+        }
+    }
+
+    /// Empty optional when the queue is empty.
+    std::optional<T> try_pop() {
+        std::size_t pos = tail_.load(std::memory_order_relaxed);
+        for (;;) {
+            Slot& slot = slots_[pos & mask_];
+            const std::size_t seq = slot.sequence.load(std::memory_order_acquire);
+            const std::ptrdiff_t diff = static_cast<std::ptrdiff_t>(seq) -
+                                        static_cast<std::ptrdiff_t>(pos + 1);
+            if (diff == 0) {
+                if (tail_.compare_exchange_weak(pos, pos + 1,
+                                                std::memory_order_relaxed)) {
+                    std::optional<T> out(std::move(slot.value));
+                    slot.sequence.store(pos + mask_ + 1, std::memory_order_release);
+                    return out;
+                }
+            } else if (diff < 0) {
+                return std::nullopt;  // empty
+            } else {
+                pos = tail_.load(std::memory_order_relaxed);
+            }
+        }
+    }
+
+    [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
+
+    /// Approximate size; exact only when quiescent.
+    [[nodiscard]] std::size_t size_approx() const noexcept {
+        const std::size_t h = head_.load(std::memory_order_acquire);
+        const std::size_t t = tail_.load(std::memory_order_acquire);
+        return h >= t ? h - t : 0;
+    }
+
+    [[nodiscard]] bool empty() const noexcept { return size_approx() == 0; }
+
+  private:
+    struct Slot {
+        std::atomic<std::size_t> sequence{0};
+        T value{};
+    };
+
+    static std::size_t round_up_pow2(std::size_t v) noexcept {
+        std::size_t p = 1;
+        while (p < v) {
+            p <<= 1;
+        }
+        return p;
+    }
+
+    const std::size_t mask_;
+    std::unique_ptr<Slot[]> slots_;
+    alignas(arch::kCacheLine) std::atomic<std::size_t> head_{0};
+    alignas(arch::kCacheLine) std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace lwt::queue

@@ -1,0 +1,123 @@
+// ms_queue.hpp — unbounded lock-free FIFO (Michael & Scott, 1996) with
+// hazard-pointer reclamation.
+//
+// Complements the bounded Vyukov MPMC queue: no capacity to size up front,
+// at the cost of one allocation per element. An alternative backing store
+// for shared pools when workloads exceed any reasonable bound.
+#pragma once
+
+#include <atomic>
+#include <optional>
+
+#include "queue/hazard_pointers.hpp"
+
+namespace lwt::queue {
+
+template <typename T>
+class MsQueue {
+  public:
+    MsQueue() {
+        Node* dummy = new Node();
+        head_.store(dummy, std::memory_order_relaxed);
+        tail_.store(dummy, std::memory_order_relaxed);
+    }
+
+    MsQueue(const MsQueue&) = delete;
+    MsQueue& operator=(const MsQueue&) = delete;
+
+    ~MsQueue() {
+        // Quiescent destruction: drain remaining nodes directly.
+        Node* n = head_.load(std::memory_order_relaxed);
+        while (n != nullptr) {
+            Node* next = n->next.load(std::memory_order_relaxed);
+            delete n;
+            n = next;
+        }
+    }
+
+    /// Enqueue at the tail. Lock-free; any thread.
+    void push(T value) {
+        Node* node = new Node(std::move(value));
+        HazardDomain::Guard guard;
+        for (;;) {
+            Node* tail = guard.protect(tail_);
+            Node* next = tail->next.load(std::memory_order_acquire);
+            if (tail != tail_.load(std::memory_order_acquire)) {
+                continue;
+            }
+            if (next != nullptr) {
+                // Tail lagging: help swing it forward.
+                tail_.compare_exchange_weak(tail, next,
+                                            std::memory_order_release,
+                                            std::memory_order_relaxed);
+                continue;
+            }
+            Node* expected = nullptr;
+            if (tail->next.compare_exchange_weak(expected, node,
+                                                 std::memory_order_release,
+                                                 std::memory_order_relaxed)) {
+                tail_.compare_exchange_strong(tail, node,
+                                              std::memory_order_release,
+                                              std::memory_order_relaxed);
+                return;
+            }
+        }
+    }
+
+    /// Dequeue from the head; empty optional when the queue is empty.
+    std::optional<T> try_pop() {
+        HazardDomain::Guard head_guard;
+        HazardDomain::Guard next_guard;
+        for (;;) {
+            Node* head = head_guard.protect(head_);
+            Node* tail = tail_.load(std::memory_order_acquire);
+            Node* next = next_guard.protect(head->next);
+            if (head != head_.load(std::memory_order_acquire)) {
+                continue;
+            }
+            if (next == nullptr) {
+                return std::nullopt;  // empty
+            }
+            if (head == tail) {
+                // Tail lagging behind a concurrent push: help.
+                tail_.compare_exchange_weak(tail, next,
+                                            std::memory_order_release,
+                                            std::memory_order_relaxed);
+                continue;
+            }
+            // Read the value *before* the CAS: after it, another consumer
+            // may pop-and-retire `next` (it becomes the new dummy head).
+            std::optional<T> out(next->value);
+            if (head_.compare_exchange_weak(head, next,
+                                            std::memory_order_release,
+                                            std::memory_order_relaxed)) {
+                head_guard.reset();
+                next_guard.reset();
+                HazardDomain::instance().retire(head, &delete_node);
+                return out;
+            }
+        }
+    }
+
+    [[nodiscard]] bool empty() const {
+        HazardDomain::Guard guard;
+        Node* head =
+            guard.protect(const_cast<std::atomic<Node*>&>(head_));
+        return head->next.load(std::memory_order_acquire) == nullptr;
+    }
+
+  private:
+    struct Node {
+        Node() = default;
+        explicit Node(T v) : value(std::move(v)) {}
+        std::atomic<Node*> next{nullptr};
+        T value{};
+    };
+
+    static void delete_node(void* p) { delete static_cast<Node*>(p); }
+
+    alignas(64) std::atomic<Node*> head_;
+    alignas(64) std::atomic<Node*> tail_;
+};
+
+}  // namespace lwt::queue

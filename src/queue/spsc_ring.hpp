@@ -1,0 +1,83 @@
+// spsc_ring.hpp — bounded single-producer/single-consumer ring buffer.
+//
+// Wait-free on both sides; used where one stream feeds exactly one other
+// (e.g. a main thread dispatching work units to a dedicated worker).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <optional>
+
+#include "arch/cpu.hpp"
+
+namespace lwt::queue {
+
+template <typename T>
+class SpscRing {
+  public:
+    /// `capacity` is rounded up to a power of two; the ring holds up to
+    /// `capacity` elements.
+    explicit SpscRing(std::size_t capacity = 1024)
+        : mask_(round_up_pow2(capacity) - 1),
+          slots_(std::make_unique<Slot[]>(mask_ + 1)) {}
+
+    SpscRing(const SpscRing&) = delete;
+    SpscRing& operator=(const SpscRing&) = delete;
+
+    /// Producer side. Returns false when the ring is full.
+    bool try_push(T value) {
+        const std::size_t head = head_.load(std::memory_order_relaxed);
+        const std::size_t tail = tail_.load(std::memory_order_acquire);
+        if (head - tail > mask_) {
+            return false;
+        }
+        slots_[head & mask_].value = std::move(value);
+        head_.store(head + 1, std::memory_order_release);
+        return true;
+    }
+
+    /// Consumer side. Empty optional when the ring is empty.
+    std::optional<T> try_pop() {
+        const std::size_t tail = tail_.load(std::memory_order_relaxed);
+        const std::size_t head = head_.load(std::memory_order_acquire);
+        if (tail == head) {
+            return std::nullopt;
+        }
+        std::optional<T> out(std::move(slots_[tail & mask_].value));
+        tail_.store(tail + 1, std::memory_order_release);
+        return out;
+    }
+
+    [[nodiscard]] bool empty() const noexcept {
+        return tail_.load(std::memory_order_acquire) ==
+               head_.load(std::memory_order_acquire);
+    }
+
+    [[nodiscard]] std::size_t size() const noexcept {
+        return head_.load(std::memory_order_acquire) -
+               tail_.load(std::memory_order_acquire);
+    }
+
+    [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  private:
+    struct Slot {
+        T value{};
+    };
+
+    static std::size_t round_up_pow2(std::size_t v) noexcept {
+        std::size_t p = 1;
+        while (p < v) {
+            p <<= 1;
+        }
+        return p;
+    }
+
+    const std::size_t mask_;
+    std::unique_ptr<Slot[]> slots_;
+    alignas(arch::kCacheLine) std::atomic<std::size_t> head_{0};
+    alignas(arch::kCacheLine) std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace lwt::queue

@@ -1,0 +1,138 @@
+#include "semantics/semantics.hpp"
+
+#include <sstream>
+
+namespace lwt::semantics {
+namespace {
+
+// Table I of the paper, transcribed as data. Columns: Pthreads, Argobots,
+// Qthreads, MassiveThreads, Converse Threads, Go.
+constexpr std::array<Capabilities, 6> kCapabilities{{
+    // library        key    lvl wut thr  tsk   grp    yto    glbq   prvq   plug   stck   grpsch
+    {"Pthreads", "", 1, 1, true, false, false, false, true, true, true, false, false},
+    {"Argobots", "abt", 2, 2, true, true, true, true, true, true, true, true, true},
+    {"Qthreads", "qth", 3, 1, true, false, true, false, false, true, true, false, false},
+    {"MassiveThreads", "mth", 2, 1, true, false, true, false, false, true, true, false, false},
+    {"Converse Threads", "cvt", 2, 2, true, true, true, false, false, true, true, false, false},
+    {"Go", "gol", 2, 1, true, false, true, false, true, false, false, false, false},
+}};
+
+// Table II of the paper (the Go column uses language constructs), plus a
+// final row recording what our unified glt layer calls each function.
+constexpr std::array<FunctionMap, 6> kFunctions{{
+    {"Argobots", "ABT_init", "ABT_thread_create", "ABT_task_create",
+     "ABT_thread_yield", "ABT_thread_free", "ABT_finalize"},
+    {"Qthreads", "qthread_initialize", "qthread_fork", "",
+     "qthread_yield", "qthread_readFF", "qthread_finalize"},
+    {"MassiveThreads", "myth_init", "myth_create", "", "myth_yield",
+     "myth_join", "myth_fini"},
+    {"Converse Threads", "ConverseInit", "CthCreate", "CmiSyncSend",
+     "CthYield", "", "ConverseExit"},
+    {"Go", "", "go function", "", "", "channel", ""},
+    {"glt (this library)", "glt::Runtime::create", "ult_create",
+     "tasklet_create", "yield", "join", "~Runtime"},
+}};
+
+void append_mark(std::ostringstream& out, bool value) {
+    out << (value ? "  X  " : "     ");
+}
+
+}  // namespace
+
+const std::array<Capabilities, 6>& capability_matrix() { return kCapabilities; }
+
+const std::array<FunctionMap, 6>& function_matrix() { return kFunctions; }
+
+const Capabilities* find_capabilities(std::string_view name) {
+    for (const Capabilities& c : kCapabilities) {
+        if (c.library == name || (!c.glt_key.empty() && c.glt_key == name)) {
+            return &c;
+        }
+    }
+    return nullptr;
+}
+
+std::string render_table1() {
+    std::ostringstream out;
+    out << "Table I: Execution and scheduling functionality of the LWT "
+           "libraries\n\n";
+    out << "Concept                  ";
+    for (const auto& c : kCapabilities) {
+        out << "| " << c.library << " ";
+    }
+    out << "\n";
+    auto row = [&](std::string_view label, auto getter) {
+        out << label;
+        for (std::size_t pad = label.size(); pad < 25; ++pad) {
+            out << ' ';
+        }
+        for (const auto& c : kCapabilities) {
+            out << "| ";
+            getter(c);
+            for (std::size_t pad = 0; pad + 3 < c.library.size(); ++pad) {
+                out << ' ';
+            }
+        }
+        out << "\n";
+    };
+    row("Levels of Hierarchy", [&](const Capabilities& c) {
+        out << ' ' << c.levels_of_hierarchy << ' ';
+    });
+    row("# Work Unit Types", [&](const Capabilities& c) {
+        out << ' ' << c.work_unit_types << ' ';
+    });
+    row("Thread Support",
+        [&](const Capabilities& c) { append_mark(out, c.thread_support); });
+    row("Tasklet Support",
+        [&](const Capabilities& c) { append_mark(out, c.tasklet_support); });
+    row("Group Control",
+        [&](const Capabilities& c) { append_mark(out, c.group_control); });
+    row("Yield To",
+        [&](const Capabilities& c) { append_mark(out, c.yield_to); });
+    row("Global Work Unit Queue", [&](const Capabilities& c) {
+        append_mark(out, c.global_work_unit_queue);
+    });
+    row("Private Work Unit Queue", [&](const Capabilities& c) {
+        append_mark(out, c.private_work_unit_queue);
+    });
+    row("Plug-in Scheduler",
+        [&](const Capabilities& c) { append_mark(out, c.plugin_scheduler); });
+    row("Stackable Scheduler", [&](const Capabilities& c) {
+        append_mark(out, c.stackable_scheduler);
+    });
+    row("Group Scheduler",
+        [&](const Capabilities& c) { append_mark(out, c.group_scheduler); });
+    return out.str();
+}
+
+std::string render_table2() {
+    std::ostringstream out;
+    out << "Table II: Most used functions in the microbenchmark "
+           "implementations\n\n";
+    auto cell = [&](std::string_view s) {
+        out << (s.empty() ? std::string_view{"-"} : s);
+        for (std::size_t pad = s.empty() ? 1 : s.size(); pad < 22; ++pad) {
+            out << ' ';
+        }
+    };
+    out << "Library               ";
+    for (std::string_view head :
+         {"Initialization", "ULT creation", "Tasklet creation", "Yield",
+          "Join", "Finalization"}) {
+        cell(head);
+    }
+    out << "\n";
+    for (const auto& f : kFunctions) {
+        cell(f.library);
+        cell(f.initialization);
+        cell(f.ult_creation);
+        cell(f.tasklet_creation);
+        cell(f.yield);
+        cell(f.join);
+        cell(f.finalization);
+        out << "\n";
+    }
+    return out.str();
+}
+
+}  // namespace lwt::semantics

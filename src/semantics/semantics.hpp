@@ -1,0 +1,62 @@
+// semantics.hpp — machine-readable capability descriptors for every
+// threading library the paper analyses.
+//
+// Regenerates Table I (execution/scheduling functionality matrix) and
+// Table II (the per-library names of the six common functions) from data,
+// and lets tests cross-check the descriptors against what the backends
+// actually implement (e.g. "Tasklet Support" must agree with
+// glt::Runtime::has_native_tasklets()).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lwt::semantics {
+
+/// Rows of Table I.
+struct Capabilities {
+    std::string_view library;       // display name
+    std::string_view glt_key;       // GLT backend key ("" if none: pthreads)
+    int levels_of_hierarchy;        // execution-unit concept levels
+    int work_unit_types;            // ULT / tasklet kinds
+    bool thread_support;            // stackful ULTs (or OS threads)
+    bool tasklet_support;           // stackless atomic units
+    bool group_control;             // user controls the worker group size
+    bool yield_to;                  // direct ULT-to-ULT transfer
+    bool global_work_unit_queue;    // one queue shared by all workers
+    bool private_work_unit_queue;   // per-worker queue(s)
+    bool plugin_scheduler;          // replaceable scheduling policy
+    bool stackable_scheduler;       // schedulers stack at run time
+    bool group_scheduler;           // scheduler shared by worker groups
+};
+
+/// Rows of Table II: the reduced common function set.
+struct FunctionMap {
+    std::string_view library;
+    std::string_view initialization;
+    std::string_view ult_creation;
+    std::string_view tasklet_creation;  // "" when unsupported
+    std::string_view yield;             // "" when unsupported
+    std::string_view join;
+    std::string_view finalization;
+};
+
+/// The six columns of Table I, in paper order (Pthreads first).
+const std::array<Capabilities, 6>& capability_matrix();
+
+/// The five LWT columns of Table II plus our glt layer's own names.
+const std::array<FunctionMap, 6>& function_matrix();
+
+/// Look up one library's capabilities by display name or glt key.
+/// Returns nullptr when unknown.
+const Capabilities* find_capabilities(std::string_view name);
+
+/// Render Table I / Table II as the paper lays them out (rows = concepts,
+/// columns = libraries), using "X" marks. Ready to print.
+std::string render_table1();
+std::string render_table2();
+
+}  // namespace lwt::semantics

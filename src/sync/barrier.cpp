@@ -1,0 +1,36 @@
+#include "sync/barrier.hpp"
+
+namespace lwt::sync {
+namespace {
+
+std::size_t rounds_for(std::size_t n) noexcept {
+    std::size_t r = 0;
+    for (std::size_t span = 1; span < n; span <<= 1) {
+        ++r;
+    }
+    return r == 0 ? 1 : r;
+}
+
+}  // namespace
+
+DisseminationBarrier::DisseminationBarrier(std::size_t participants)
+    : n_(participants == 0 ? 1 : participants),
+      rounds_(rounds_for(n_)),
+      flags_(n_ * rounds_),
+      generation_(n_, 0) {}
+
+void DisseminationBarrier::arrive_and_wait(std::size_t rank) noexcept {
+    const std::size_t episode = ++generation_[rank];
+    std::size_t span = 1;
+    for (std::size_t round = 0; round < rounds_; ++round, span <<= 1) {
+        const std::size_t partner = (rank + span) % n_;
+        flags_[partner * rounds_ + round].value.fetch_add(1, std::memory_order_release);
+        auto& mine = flags_[rank * rounds_ + round].value;
+        arch::Backoff backoff;
+        while (mine.load(std::memory_order_acquire) < episode) {
+            backoff.pause();
+        }
+    }
+}
+
+}  // namespace lwt::sync

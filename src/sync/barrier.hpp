@@ -1,0 +1,73 @@
+// barrier.hpp — OS-thread barriers used by the OpenMP-like baseline and by
+// the Converse-style join path (the paper attributes their linear join cost
+// to exactly this mechanism).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "arch/cpu.hpp"
+
+namespace lwt::sync {
+
+/// Sense-reversing centralized barrier. All arrivals decrement one counter;
+/// the last flips the shared sense. Simple and compact, but every waiter
+/// spins on the same line — cost grows with participant count, which is the
+/// linear join growth the paper reports for gcc OpenMP and Converse Threads.
+class CentralBarrier {
+  public:
+    explicit CentralBarrier(std::size_t participants) noexcept
+        : participants_(participants), remaining_(participants) {}
+    CentralBarrier(const CentralBarrier&) = delete;
+    CentralBarrier& operator=(const CentralBarrier&) = delete;
+
+    /// Block (spin) until all participants have arrived.
+    void arrive_and_wait() noexcept {
+        const bool my_sense = !sense_.load(std::memory_order_relaxed);
+        if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            remaining_.store(participants_, std::memory_order_relaxed);
+            sense_.store(my_sense, std::memory_order_release);
+            return;
+        }
+        arch::Backoff backoff;
+        while (sense_.load(std::memory_order_acquire) != my_sense) {
+            backoff.pause();
+        }
+    }
+
+    [[nodiscard]] std::size_t participants() const noexcept { return participants_; }
+
+  private:
+    const std::size_t participants_;
+    alignas(arch::kCacheLine) std::atomic<std::size_t> remaining_;
+    alignas(arch::kCacheLine) std::atomic<bool> sense_{false};
+};
+
+/// Dissemination barrier: log2(N) rounds of pairwise flag exchanges, no
+/// single hot line. Participants must pass stable, distinct ranks.
+class DisseminationBarrier {
+  public:
+    explicit DisseminationBarrier(std::size_t participants);
+    DisseminationBarrier(const DisseminationBarrier&) = delete;
+    DisseminationBarrier& operator=(const DisseminationBarrier&) = delete;
+
+    /// Block (spin) until all participants have arrived. `rank` must be a
+    /// unique value in [0, participants) fixed for the barrier's lifetime.
+    void arrive_and_wait(std::size_t rank) noexcept;
+
+    [[nodiscard]] std::size_t participants() const noexcept { return n_; }
+
+  private:
+    struct alignas(arch::kCacheLine) Flag {
+        std::atomic<std::size_t> value{0};
+    };
+
+    std::size_t n_;
+    std::size_t rounds_;
+    // flags_[rank * rounds_ + round]
+    std::vector<Flag> flags_;
+    std::vector<std::size_t> generation_;  // per-rank local round counter
+};
+
+}  // namespace lwt::sync

@@ -1,0 +1,110 @@
+#include "sync/feb.hpp"
+
+namespace lwt::sync {
+
+FebTable& FebTable::instance() {
+    static FebTable table;
+    return table;
+}
+
+bool FebTable::is_full(const aligned_t* addr) {
+    Shard& sh = shard_for(addr);
+    std::lock_guard guard(sh.lock);
+    const auto it = sh.state.find(reinterpret_cast<std::uintptr_t>(addr));
+    return it == sh.state.end() || it->second;
+}
+
+void FebTable::fill(aligned_t* addr) {
+    Shard& sh = shard_for(addr);
+    std::lock_guard guard(sh.lock);
+    sh.state[reinterpret_cast<std::uintptr_t>(addr)] = true;
+}
+
+void FebTable::purge(aligned_t* addr) {
+    Shard& sh = shard_for(addr);
+    std::lock_guard guard(sh.lock);
+    sh.state[reinterpret_cast<std::uintptr_t>(addr)] = false;
+}
+
+void FebTable::write_f(aligned_t* addr, aligned_t value) {
+    Shard& sh = shard_for(addr);
+    std::lock_guard guard(sh.lock);
+    *addr = value;
+    sh.state[reinterpret_cast<std::uintptr_t>(addr)] = true;
+}
+
+void FebTable::write_ef(aligned_t* addr, aligned_t value,
+                        FebWaiter waiter, void* ctx) {
+    if (waiter == nullptr) {
+        waiter = &default_wait;
+    }
+    Shard& sh = shard_for(addr);
+    const auto key = reinterpret_cast<std::uintptr_t>(addr);
+    for (;;) {
+        {
+            std::lock_guard guard(sh.lock);
+            auto [it, inserted] = sh.state.try_emplace(key, true);
+            if (!it->second) {  // EMPTY: we may write
+                *addr = value;
+                it->second = true;
+                return;
+            }
+        }
+        waiter(ctx);
+    }
+}
+
+aligned_t FebTable::read_ff(const aligned_t* addr, FebWaiter waiter, void* ctx) {
+    if (waiter == nullptr) {
+        waiter = &default_wait;
+    }
+    Shard& sh = shard_for(addr);
+    const auto key = reinterpret_cast<std::uintptr_t>(addr);
+    for (;;) {
+        {
+            std::lock_guard guard(sh.lock);
+            const auto it = sh.state.find(key);
+            if (it == sh.state.end() || it->second) {  // FULL
+                return *addr;
+            }
+        }
+        waiter(ctx);
+    }
+}
+
+aligned_t FebTable::read_fe(aligned_t* addr, FebWaiter waiter, void* ctx) {
+    if (waiter == nullptr) {
+        waiter = &default_wait;
+    }
+    Shard& sh = shard_for(addr);
+    const auto key = reinterpret_cast<std::uintptr_t>(addr);
+    for (;;) {
+        {
+            std::lock_guard guard(sh.lock);
+            auto [it, inserted] = sh.state.try_emplace(key, true);
+            if (it->second) {  // FULL: consume
+                const aligned_t value = *addr;
+                it->second = false;
+                return value;
+            }
+        }
+        waiter(ctx);
+    }
+}
+
+void FebTable::forget(const aligned_t* addr) {
+    Shard& sh = shard_for(addr);
+    std::lock_guard guard(sh.lock);
+    sh.state.erase(reinterpret_cast<std::uintptr_t>(addr));
+}
+
+std::size_t FebTable::tracked() const {
+    std::size_t total = 0;
+    for (const Shard& sh : shards_) {
+        std::lock_guard guard(sh.lock);
+        total += sh.state.size();
+    }
+    return total;
+}
+
+}  // namespace lwt::sync

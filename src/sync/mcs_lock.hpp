@@ -1,0 +1,76 @@
+// mcs_lock.hpp — Mellor-Crummey/Scott queue lock.
+//
+// Each waiter spins on its own node, so handoff causes exactly one cache-line
+// transfer regardless of the waiter count — the classic scalable alternative
+// to the TTAS lock when critical sections are contended by many cores.
+#pragma once
+
+#include <atomic>
+
+#include "arch/cpu.hpp"
+
+namespace lwt::sync {
+
+class McsLock {
+  public:
+    /// Per-acquisition queue node. Stack-allocate one per lock/unlock pair;
+    /// it must outlive the critical section.
+    struct Node {
+        alignas(arch::kCacheLine) std::atomic<Node*> next{nullptr};
+        alignas(arch::kCacheLine) std::atomic<bool> locked{false};
+    };
+
+    McsLock() noexcept = default;
+    McsLock(const McsLock&) = delete;
+    McsLock& operator=(const McsLock&) = delete;
+
+    void lock(Node& node) noexcept {
+        node.next.store(nullptr, std::memory_order_relaxed);
+        node.locked.store(true, std::memory_order_relaxed);
+        Node* prev = tail_.exchange(&node, std::memory_order_acq_rel);
+        if (prev == nullptr) {
+            return;  // uncontended
+        }
+        prev->next.store(&node, std::memory_order_release);
+        arch::Backoff backoff;
+        while (node.locked.load(std::memory_order_acquire)) {
+            backoff.pause();
+        }
+    }
+
+    void unlock(Node& node) noexcept {
+        Node* succ = node.next.load(std::memory_order_acquire);
+        if (succ == nullptr) {
+            Node* expected = &node;
+            if (tail_.compare_exchange_strong(expected, nullptr,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_acquire)) {
+                return;  // no successor; lock released
+            }
+            // A successor is mid-enqueue; wait for its link.
+            arch::Backoff backoff;
+            while ((succ = node.next.load(std::memory_order_acquire)) == nullptr) {
+                backoff.pause();
+            }
+        }
+        succ->locked.store(false, std::memory_order_release);
+    }
+
+    /// RAII guard carrying its own node.
+    class Guard {
+      public:
+        explicit Guard(McsLock& lock) noexcept : lock_(lock) { lock_.lock(node_); }
+        ~Guard() { lock_.unlock(node_); }
+        Guard(const Guard&) = delete;
+        Guard& operator=(const Guard&) = delete;
+
+      private:
+        McsLock& lock_;
+        Node node_;
+    };
+
+  private:
+    std::atomic<Node*> tail_{nullptr};
+};
+
+}  // namespace lwt::sync

@@ -1,0 +1,77 @@
+// spinlock.hpp — busy-wait locks for short critical sections.
+//
+// Both locks satisfy the Lockable requirements and work with std::lock_guard.
+#pragma once
+
+#include <atomic>
+
+#include "arch/cpu.hpp"
+
+namespace lwt::sync {
+
+/// Test-and-test-and-set spinlock: spins on a read so the cache line stays
+/// shared until the lock is actually free. The workhorse lock for queue and
+/// pool protection throughout the kernel.
+class Spinlock {
+  public:
+    Spinlock() noexcept = default;
+    Spinlock(const Spinlock&) = delete;
+    Spinlock& operator=(const Spinlock&) = delete;
+
+    void lock() noexcept {
+        arch::Backoff backoff;
+        for (;;) {
+            if (!flag_.exchange(true, std::memory_order_acquire)) {
+                return;
+            }
+            while (flag_.load(std::memory_order_relaxed)) {
+                backoff.pause();
+            }
+        }
+    }
+
+    bool try_lock() noexcept {
+        return !flag_.load(std::memory_order_relaxed) &&
+               !flag_.exchange(true, std::memory_order_acquire);
+    }
+
+    void unlock() noexcept { flag_.store(false, std::memory_order_release); }
+
+  private:
+    std::atomic<bool> flag_{false};
+};
+
+/// FIFO ticket lock: fair under contention, at the cost of all waiters
+/// spinning on the same now-serving counter.
+class TicketLock {
+  public:
+    TicketLock() noexcept = default;
+    TicketLock(const TicketLock&) = delete;
+    TicketLock& operator=(const TicketLock&) = delete;
+
+    void lock() noexcept {
+        const std::uint32_t my = next_.fetch_add(1, std::memory_order_relaxed);
+        arch::Backoff backoff;
+        while (serving_.load(std::memory_order_acquire) != my) {
+            backoff.pause();
+        }
+    }
+
+    bool try_lock() noexcept {
+        std::uint32_t serving = serving_.load(std::memory_order_relaxed);
+        std::uint32_t expected = serving;
+        return next_.compare_exchange_strong(expected, serving + 1,
+                                             std::memory_order_acquire,
+                                             std::memory_order_relaxed);
+    }
+
+    void unlock() noexcept {
+        serving_.fetch_add(1, std::memory_order_release);
+    }
+
+  private:
+    alignas(arch::kCacheLine) std::atomic<std::uint32_t> next_{0};
+    alignas(arch::kCacheLine) std::atomic<std::uint32_t> serving_{0};
+};
+
+}  // namespace lwt::sync

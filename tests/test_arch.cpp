@@ -1,0 +1,218 @@
+// Tests for the machine layer: context switching, stacks, CPU helpers.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "arch/cpu.hpp"
+#include "arch/fcontext.hpp"
+#include "arch/stack.hpp"
+
+namespace {
+
+using lwt::arch::fcontext_t;
+using lwt::arch::Stack;
+using lwt::arch::StackPool;
+using lwt::arch::transfer_t;
+
+// --- fcontext -------------------------------------------------------------
+
+struct PingPongState {
+    fcontext_t main_ctx = nullptr;
+    std::vector<int> trace;
+};
+
+void pingpong_entry(transfer_t t) {
+    auto* st = static_cast<PingPongState*>(t.data);
+    st->trace.push_back(1);
+    t = lwt::arch::lwt_jump_fcontext(t.fctx, st);
+    st->trace.push_back(3);
+    lwt::arch::lwt_jump_fcontext(t.fctx, st);
+    ADD_FAILURE() << "returned past final jump";
+}
+
+TEST(Fcontext, PingPongSwitchesBothWays) {
+    Stack stack = Stack::allocate(64 * 1024);
+    PingPongState st;
+    fcontext_t ctx = lwt::arch::lwt_make_fcontext(stack.top(), stack.usable(),
+                                                  &pingpong_entry);
+    transfer_t t = lwt::arch::lwt_jump_fcontext(ctx, &st);
+    st.trace.push_back(2);
+    t = lwt::arch::lwt_jump_fcontext(t.fctx, &st);
+    (void)t;
+    st.trace.push_back(4);
+    EXPECT_EQ(st.trace, (std::vector<int>{1, 2, 3, 4}));
+}
+
+void data_echo_entry(transfer_t t) {
+    // Echo whatever pointer value the resumer passes, N times.
+    for (;;) {
+        t = lwt::arch::lwt_jump_fcontext(t.fctx, t.data);
+    }
+}
+
+TEST(Fcontext, TransfersDataPointerEachDirection) {
+    Stack stack = Stack::allocate(64 * 1024);
+    fcontext_t ctx = lwt::arch::lwt_make_fcontext(stack.top(), stack.usable(),
+                                                  &data_echo_entry);
+    std::uintptr_t values[] = {0xdead, 0xbeef, 0x1234};
+    transfer_t t{ctx, nullptr};
+    for (std::uintptr_t v : values) {
+        t = lwt::arch::lwt_jump_fcontext(t.fctx, reinterpret_cast<void*>(v));
+        EXPECT_EQ(reinterpret_cast<std::uintptr_t>(t.data), v);
+    }
+}
+
+void deep_counter_entry(transfer_t t) {
+    auto* counter = static_cast<int*>(t.data);
+    for (;;) {
+        ++*counter;
+        t = lwt::arch::lwt_jump_fcontext(t.fctx, counter);
+    }
+}
+
+TEST(Fcontext, ManySwitchesPreserveState) {
+    Stack stack = Stack::allocate(64 * 1024);
+    fcontext_t ctx = lwt::arch::lwt_make_fcontext(stack.top(), stack.usable(),
+                                                  &deep_counter_entry);
+    int counter = 0;
+    transfer_t t{ctx, nullptr};
+    constexpr int kIters = 10000;
+    for (int i = 0; i < kIters; ++i) {
+        t = lwt::arch::lwt_jump_fcontext(t.fctx, &counter);
+    }
+    EXPECT_EQ(counter, kIters);
+}
+
+struct CalleeSavedProbe {
+    fcontext_t main_ctx = nullptr;
+};
+
+void clobber_entry(transfer_t t) {
+    // Touch lots of registers via volatile computation before returning.
+    volatile std::uint64_t a = 1, b = 2, c = 3, d = 4, e = 5, f = 6;
+    for (int i = 0; i < 100; ++i) {
+        a = a + b * c;
+        d = d ^ (e + f);
+        b = a - d;
+    }
+    lwt::arch::lwt_jump_fcontext(t.fctx, reinterpret_cast<void*>(a + d));
+}
+
+TEST(Fcontext, CalleeSavedRegistersSurviveSwitch) {
+    // Registers the caller expects preserved across the call must come back
+    // intact even though the other context clobbers everything it can.
+    std::uint64_t r12 = 0x1212, r13 = 0x1313, r14 = 0x1414, r15 = 0x1515;
+    Stack stack = Stack::allocate(64 * 1024);
+    fcontext_t ctx = lwt::arch::lwt_make_fcontext(stack.top(), stack.usable(),
+                                                  &clobber_entry);
+    lwt::arch::lwt_jump_fcontext(ctx, nullptr);
+    // If callee-saved registers were corrupted, these locals (likely held in
+    // them at -O2) would be wrong.
+    EXPECT_EQ(r12, 0x1212u);
+    EXPECT_EQ(r13, 0x1313u);
+    EXPECT_EQ(r14, 0x1414u);
+    EXPECT_EQ(r15, 0x1515u);
+}
+
+// A context suspended on one OS thread must be resumable from another
+// (work stealing migrates ULTs between streams). The migrated context
+// observes its host through the transfer data — NOT through TLS-derived
+// values like std::this_thread::get_id(), which compilers legitimately
+// cache across suspension points (the classic ULT/TLS caveat).
+void migration_entry(transfer_t t) {
+    // Each resume hands us the current host's marker; echo it back so the
+    // host can verify the context really ran on it.
+    int first_host = *static_cast<int*>(t.data);
+    t = lwt::arch::lwt_jump_fcontext(t.fctx,
+                                     reinterpret_cast<void*>(
+                                         static_cast<std::uintptr_t>(first_host)));
+    int second_host = *static_cast<int*>(t.data);
+    lwt::arch::lwt_jump_fcontext(
+        t.fctx,
+        reinterpret_cast<void*>(static_cast<std::uintptr_t>(second_host)));
+}
+
+TEST(Fcontext, ContextMigratesAcrossOsThreads) {
+    Stack stack = Stack::allocate(64 * 1024);
+    fcontext_t ctx = lwt::arch::lwt_make_fcontext(stack.top(), stack.usable(),
+                                                  &migration_entry);
+    int host_marker = 111;
+    transfer_t t = lwt::arch::lwt_jump_fcontext(ctx, &host_marker);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(t.data), 111u);
+
+    std::uintptr_t echoed_on_other = 0;
+    std::thread other([&] {
+        int other_marker = 222;
+        transfer_t t2 = lwt::arch::lwt_jump_fcontext(t.fctx, &other_marker);
+        echoed_on_other = reinterpret_cast<std::uintptr_t>(t2.data);
+    });
+    other.join();
+    EXPECT_EQ(echoed_on_other, 222u);
+}
+
+// --- stacks ----------------------------------------------------------------
+
+TEST(Stack, AllocateGivesUsableAlignedStack) {
+    Stack s = Stack::allocate(10000);
+    ASSERT_TRUE(s.valid());
+    EXPECT_GE(s.usable(), 10000u);
+    EXPECT_EQ(s.usable() % 4096, 0u);
+    // Stack memory is writable right below top.
+    auto* p = static_cast<char*>(s.top()) - 64;
+    *p = 42;
+    EXPECT_EQ(*p, 42);
+}
+
+TEST(Stack, MoveTransfersOwnership) {
+    Stack a = Stack::allocate(4096);
+    void* top = a.top();
+    Stack b = std::move(a);
+    EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move)
+    EXPECT_TRUE(b.valid());
+    EXPECT_EQ(b.top(), top);
+}
+
+TEST(StackPool, RecyclesStacks) {
+    StackPool pool(16 * 1024, 4);
+    Stack s1 = pool.acquire();
+    void* top1 = s1.top();
+    pool.recycle(std::move(s1));
+    EXPECT_EQ(pool.cached(), 1u);
+    Stack s2 = pool.acquire();
+    EXPECT_EQ(s2.top(), top1);  // same mapping came back
+    EXPECT_EQ(pool.cached(), 0u);
+}
+
+TEST(StackPool, CapsCachedStacks) {
+    StackPool pool(4096, 2);
+    pool.recycle(Stack::allocate(4096));
+    pool.recycle(Stack::allocate(4096));
+    pool.recycle(Stack::allocate(4096));  // beyond cap: unmapped
+    EXPECT_EQ(pool.cached(), 2u);
+}
+
+TEST(StackPool, DefaultStackSizeIsSane) {
+    const std::size_t n = lwt::arch::default_stack_size();
+    EXPECT_GE(n, 4096u);
+}
+
+// --- cpu helpers -------------------------------------------------------------
+
+TEST(Cpu, HardwareThreadsPositive) {
+    EXPECT_GE(lwt::arch::hardware_threads(), 1u);
+}
+
+TEST(Cpu, BindThisThreadSucceedsOnCpu0) {
+    EXPECT_TRUE(lwt::arch::bind_this_thread(0));
+}
+
+TEST(Cpu, RelaxAndRdtscDoNotCrash) {
+    lwt::arch::cpu_relax();
+    const auto a = lwt::arch::rdtsc();
+    const auto b = lwt::arch::rdtsc();
+    EXPECT_GE(b, a);
+}
+
+}  // namespace

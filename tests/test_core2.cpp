@@ -1,0 +1,196 @@
+// Tests for the kernel extensions: futures/events (Argobots eventuals) and
+// the priority pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/future.hpp"
+#include "core/priority_pool.hpp"
+#include "core/scheduler.hpp"
+#include "core/xstream.hpp"
+
+namespace {
+
+using namespace lwt::core;
+
+// --- Future / Event ---------------------------------------------------------
+
+TEST(Future, SetThenWaitReturnsValue) {
+    Future<int> f;
+    EXPECT_FALSE(f.ready());
+    EXPECT_FALSE(f.try_get().has_value());
+    f.set(42);
+    EXPECT_TRUE(f.ready());
+    EXPECT_EQ(f.wait(), 42);
+    EXPECT_EQ(f.try_get().value_or(-1), 42);
+}
+
+TEST(Future, PlainThreadWaitBlocksUntilSet) {
+    Future<int> f;
+    std::atomic<bool> got{false};
+    int value = 0;
+    std::thread waiter([&] {
+        value = f.wait();
+        got.store(true);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    EXPECT_FALSE(got.load());
+    f.set(7);
+    waiter.join();
+    EXPECT_TRUE(got.load());
+    EXPECT_EQ(value, 7);
+}
+
+TEST(Future, UltWaitSuspendsNotSpins) {
+    // A ULT waiting on a future must leave its stream free to run other
+    // units (suspension, not a yield storm).
+    DequePool pool;
+    XStream stream(1, std::make_unique<Scheduler>(std::vector<Pool*>{&pool}));
+    stream.start();
+    Future<int> f;
+    std::atomic<int> waiter_result{0};
+    std::atomic<bool> other_ran{false};
+
+    auto* waiter = new Ult([&] { waiter_result.store(f.wait()); });
+    waiter->detached = true;
+    pool.push(waiter);
+    auto* other = new Ult([&] { other_ran.store(true); });
+    other->detached = true;
+    pool.push(other);
+
+    while (!other_ran.load()) {
+        std::this_thread::yield();
+    }
+    EXPECT_EQ(waiter_result.load(), 0);  // still blocked
+    f.set(99);
+    while (waiter_result.load() == 0) {
+        std::this_thread::yield();
+    }
+    stream.stop_and_join();
+    EXPECT_EQ(waiter_result.load(), 99);
+}
+
+TEST(Future, ManyUltWaitersAllWake) {
+    DequePool pool;
+    XStream stream(1, std::make_unique<Scheduler>(std::vector<Pool*>{&pool}));
+    stream.start();
+    Future<int> f;
+    constexpr int kWaiters = 16;
+    std::atomic<int> sum{0};
+    std::atomic<int> done{0};
+    for (int i = 0; i < kWaiters; ++i) {
+        auto* u = new Ult([&] {
+            sum.fetch_add(f.wait());
+            done.fetch_add(1);
+        });
+        u->detached = true;
+        pool.push(u);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_EQ(done.load(), 0);
+    f.set(3);
+    while (done.load() < kWaiters) {
+        std::this_thread::yield();
+    }
+    stream.stop_and_join();
+    EXPECT_EQ(sum.load(), 3 * kWaiters);
+}
+
+TEST(Event, SignalsCompletion) {
+    Event e;
+    EXPECT_FALSE(e.ready());
+    std::thread setter([&] { e.set(); });
+    e.wait();
+    setter.join();
+    EXPECT_TRUE(e.ready());
+}
+
+// --- PriorityPool ------------------------------------------------------------
+
+std::unique_ptr<Tasklet> noop() { return std::make_unique<Tasklet>([] {}); }
+
+TEST(PriorityPool, PopsMostUrgentFirst) {
+    PriorityPool<4> pool;
+    auto low = noop();
+    auto mid = noop();
+    auto high = noop();
+    pool.push_with(low.get(), 3);
+    pool.push_with(mid.get(), 1);
+    pool.push_with(high.get(), 0);
+    EXPECT_EQ(pool.size(), 3u);
+    EXPECT_EQ(pool.pop(), high.get());
+    EXPECT_EQ(pool.pop(), mid.get());
+    EXPECT_EQ(pool.pop(), low.get());
+    EXPECT_EQ(pool.pop(), nullptr);
+}
+
+TEST(PriorityPool, PlainPushLandsOnLowestLevel) {
+    PriorityPool<2> pool;
+    auto a = noop();
+    pool.push(a.get());
+    EXPECT_EQ(pool.size_at(1), 1u);
+    EXPECT_EQ(pool.size_at(0), 0u);
+    pool.pop();
+}
+
+TEST(PriorityPool, FifoWithinOneLevel) {
+    PriorityPool<2> pool;
+    auto a = noop();
+    auto b = noop();
+    pool.push_with(a.get(), 0);
+    pool.push_with(b.get(), 0);
+    EXPECT_EQ(pool.pop(), a.get());
+    EXPECT_EQ(pool.pop(), b.get());
+}
+
+TEST(PriorityPool, StealTakesLeastUrgent) {
+    PriorityPool<3> pool;
+    auto urgent = noop();
+    auto lazy = noop();
+    pool.push_with(urgent.get(), 0);
+    pool.push_with(lazy.get(), 2);
+    EXPECT_EQ(pool.steal(), lazy.get());
+    EXPECT_EQ(pool.pop(), urgent.get());
+}
+
+TEST(PriorityPool, RemoveSearchesAllLevels) {
+    PriorityPool<3> pool;
+    auto a = noop();
+    auto b = noop();
+    pool.push_with(a.get(), 0);
+    pool.push_with(b.get(), 2);
+    EXPECT_TRUE(pool.remove(b.get()));
+    EXPECT_FALSE(pool.remove(b.get()));
+    EXPECT_EQ(pool.pop(), a.get());
+}
+
+TEST(PriorityPool, LevelClampsOutOfRange) {
+    PriorityPool<2> pool;
+    auto a = noop();
+    pool.push_with(a.get(), 99);  // clamped to level 1
+    EXPECT_EQ(pool.size_at(1), 1u);
+    pool.pop();
+}
+
+TEST(PriorityPool, DrivesAStreamEndToEnd) {
+    auto pool = std::make_unique<PriorityPool<2>>();
+    std::vector<int> order;
+    XStream stream(0, std::make_unique<Scheduler>(
+                          std::vector<Pool*>{pool.get()}));
+    stream.attach_caller();
+    auto* background = new Tasklet([&] { order.push_back(2); });
+    background->detached = true;
+    auto* urgent = new Tasklet([&] { order.push_back(1); });
+    urgent->detached = true;
+    pool->push_with(background, 1);
+    pool->push_with(urgent, 0);
+    while (stream.progress()) {
+    }
+    stream.detach_caller();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+}  // namespace

@@ -1,0 +1,155 @@
+// Tests for the Converse-Threads-like personality.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "cvt/cvt.hpp"
+
+namespace {
+
+using lwt::cvt::Config;
+using lwt::cvt::CthHandle;
+using lwt::cvt::Library;
+
+Config cfg(std::size_t pes) {
+    Config c;
+    c.num_pes = pes;
+    return c;
+}
+
+TEST(Cvt, InitCreatesProcessors) {
+    Library lib(cfg(3));
+    EXPECT_EQ(lib.num_pes(), 3u);
+}
+
+TEST(Cvt, SendMessageExecutesOnTargetPe) {
+    Library lib(cfg(2));
+    std::atomic<bool> ran{false};
+    lib.send_message(1, [&] { ran.store(true); });
+    while (!ran.load()) {
+        std::this_thread::yield();
+    }
+    EXPECT_TRUE(ran.load());
+}
+
+TEST(Cvt, MessagesToPe0RunDuringBarrier) {
+    Library lib(cfg(2));
+    std::atomic<int> ran{0};
+    lib.send_message(0, [&] { ran.fetch_add(1); });
+    lib.send_message(0, [&] { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 0);  // PE 0 is the main thread: nothing ran yet
+    lib.barrier();
+    EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(Cvt, BarrierWaitsForAllPes) {
+    Library lib(cfg(4));
+    std::atomic<int> ran{0};
+    constexpr int kMsgs = 100;
+    for (int i = 0; i < kMsgs; ++i) {
+        lib.send_message(static_cast<std::size_t>(i) % 4, [&] { ran.fetch_add(1); });
+    }
+    lib.barrier();
+    EXPECT_EQ(ran.load(), kMsgs);
+}
+
+TEST(Cvt, RoundRobinDispatchCoversCount) {
+    Library lib(cfg(3));
+    constexpr std::size_t kN = 99;
+    std::vector<std::atomic<int>> hits(kN);
+    lib.send_round_robin(kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+    lib.barrier();
+    for (std::size_t i = 0; i < kN; ++i) {
+        ASSERT_EQ(hits[i].load(), 1) << i;
+    }
+}
+
+TEST(Cvt, MessageCountingJoin) {
+    Library lib(cfg(2));
+    std::atomic<int> ran{0};
+    constexpr int kMsgs = 50;
+    lib.msg_track_begin(kMsgs);
+    for (int i = 0; i < kMsgs; ++i) {
+        lib.send_message(static_cast<std::size_t>(i) % 2, [&] {
+            ran.fetch_add(1);
+            lib.msg_signal();
+        });
+    }
+    lib.msg_wait();
+    EXPECT_EQ(ran.load(), kMsgs);
+}
+
+TEST(Cvt, CthThreadsYieldOnTheirPe) {
+    Library lib(cfg(1));
+    std::vector<int> order;
+    CthHandle a = lib.cth_create([&] {
+        order.push_back(1);
+        Library::cth_yield();
+        order.push_back(3);
+    });
+    CthHandle b = lib.cth_create([&] { order.push_back(2); });
+    // PE 0 executes both during the joins.
+    a.join();
+    b.join();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Cvt, MessagesCanSendMessages) {
+    // The two-step pattern from §VIII-B.1: first-step messages spawn the
+    // second step.
+    Library lib(cfg(2));
+    std::atomic<int> second{0};
+    constexpr int kParents = 10;
+    constexpr int kChildren = 4;
+    lib.msg_track_begin(kParents * kChildren);
+    for (int p = 0; p < kParents; ++p) {
+        lib.send_message(static_cast<std::size_t>(p) % 2, [&] {
+            for (int c = 0; c < kChildren; ++c) {
+                lib.send_message(static_cast<std::size_t>(c) % 2, [&] {
+                    second.fetch_add(1);
+                    lib.msg_signal();
+                });
+            }
+        });
+    }
+    lib.msg_wait();
+    EXPECT_EQ(second.load(), kParents * kChildren);
+}
+
+TEST(Cvt, SchedulerRunUntilReturnMode) {
+    Library lib(cfg(1));
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 5; ++i) {
+        lib.send_message(0, [&] { ran.fetch_add(1); });
+    }
+    // Return-mode scheduling: the caller drives PE 0 until its condition.
+    lib.scheduler_run_until([&] { return ran.load() >= 5; });
+    EXPECT_EQ(ran.load(), 5);
+}
+
+TEST(Cvt, RepeatedBarriersStayConsistent) {
+    Library lib(cfg(3));
+    std::atomic<int> total{0};
+    for (int round = 0; round < 10; ++round) {
+        for (int i = 0; i < 9; ++i) {
+            lib.send_message(static_cast<std::size_t>(i) % 3,
+                             [&] { total.fetch_add(1); });
+        }
+        lib.barrier();
+        EXPECT_EQ(total.load(), 9 * (round + 1));
+    }
+}
+
+TEST(Cvt, SscalViaMessages) {
+    Library lib(cfg(2));
+    constexpr std::size_t kN = 256;
+    std::vector<float> v(kN, 8.0f);
+    lib.send_round_robin(kN, [&](std::size_t i) { v[i] *= 0.25f; });
+    lib.barrier();
+    for (float x : v) {
+        ASSERT_FLOAT_EQ(x, 2.0f);
+    }
+}
+
+}  // namespace

@@ -1,0 +1,111 @@
+// Tests for the unified GLT API (the paper's future-work common API),
+// exercised over every backend.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "glt/glt.hpp"
+
+namespace {
+
+using lwt::glt::Backend;
+using lwt::glt::backend_from_name;
+using lwt::glt::backend_name;
+using lwt::glt::Runtime;
+using lwt::glt::UnitToken;
+
+TEST(GltNames, RoundTrip) {
+    for (Backend b : {Backend::kAbt, Backend::kQth, Backend::kMth,
+                      Backend::kCvt, Backend::kGol}) {
+        EXPECT_EQ(backend_from_name(backend_name(b)), b);
+    }
+    EXPECT_THROW(backend_from_name("nope"), std::invalid_argument);
+}
+
+class GltBackendTest : public ::testing::TestWithParam<Backend> {};
+
+TEST_P(GltBackendTest, CreateReportsBackend) {
+    auto rt = Runtime::create(GetParam(), 2);
+    ASSERT_NE(rt, nullptr);
+    EXPECT_EQ(rt->backend(), GetParam());
+    EXPECT_GE(rt->num_workers(), 1u);
+}
+
+TEST_P(GltBackendTest, UltCreateJoinRunsBody) {
+    auto rt = Runtime::create(GetParam(), 2);
+    std::atomic<int> ran{0};
+    UnitToken t = rt->ult_create([&] { ran.fetch_add(1); });
+    ASSERT_TRUE(t.valid());
+    rt->join(t);
+    EXPECT_EQ(ran.load(), 1);
+    EXPECT_FALSE(t.valid());
+}
+
+TEST_P(GltBackendTest, TaskletCreateJoinRunsBody) {
+    auto rt = Runtime::create(GetParam(), 2);
+    std::atomic<int> ran{0};
+    UnitToken t = rt->tasklet_create([&] { ran.fetch_add(1); });
+    rt->join(t);
+    EXPECT_EQ(ran.load(), 1);
+}
+
+TEST_P(GltBackendTest, ListingFourPseudoCode) {
+    // The paper's Listing 4: N creations, a yield, N joins.
+    auto rt = Runtime::create(GetParam(), 2);
+    constexpr int kN = 100;
+    std::atomic<int> ran{0};
+    std::vector<UnitToken> tokens;
+    tokens.reserve(kN);
+    for (int i = 0; i < kN; ++i) {
+        tokens.push_back(rt->ult_create([&] { ran.fetch_add(1); }));
+    }
+    rt->yield();
+    rt->join_all(tokens);
+    EXPECT_EQ(ran.load(), kN);
+}
+
+TEST_P(GltBackendTest, PlacementHintsAccepted) {
+    auto rt = Runtime::create(GetParam(), 3);
+    std::atomic<int> ran{0};
+    std::vector<UnitToken> tokens;
+    for (int i = 0; i < 12; ++i) {
+        tokens.push_back(
+            rt->ult_create([&] { ran.fetch_add(1); }, i % 3));
+    }
+    rt->join_all(tokens);
+    EXPECT_EQ(ran.load(), 12);
+}
+
+TEST_P(GltBackendTest, SscalKernelMatchesSerial) {
+    auto rt = Runtime::create(GetParam(), 2);
+    constexpr std::size_t kN = 200;
+    std::vector<float> v(kN, 6.0f);
+    std::vector<UnitToken> tokens;
+    tokens.reserve(kN);
+    for (std::size_t i = 0; i < kN; ++i) {
+        tokens.push_back(rt->tasklet_create([&v, i] { v[i] /= 3.0f; }));
+    }
+    rt->join_all(tokens);
+    for (float x : v) {
+        ASSERT_FLOAT_EQ(x, 2.0f);
+    }
+}
+
+TEST_P(GltBackendTest, TaskletCapabilityMatchesTableOne) {
+    auto rt = Runtime::create(GetParam(), 2);
+    // Table I: only Argobots and Converse Threads support tasklets.
+    const bool expect_native =
+        GetParam() == Backend::kAbt || GetParam() == Backend::kCvt;
+    EXPECT_EQ(rt->has_native_tasklets(), expect_native);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, GltBackendTest,
+                         ::testing::Values(Backend::kAbt, Backend::kQth,
+                                           Backend::kMth, Backend::kCvt,
+                                           Backend::kGol),
+                         [](const auto& info) {
+                             return std::string(backend_name(info.param));
+                         });
+
+}  // namespace

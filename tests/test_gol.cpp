@@ -1,0 +1,171 @@
+// Tests for the Go-like personality.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "gol/gol.hpp"
+
+namespace {
+
+using lwt::gol::Chan;
+using lwt::gol::Config;
+using lwt::gol::Library;
+using lwt::gol::WaitGroup;
+
+Config cfg(std::size_t threads) {
+    Config c;
+    c.num_threads = threads;
+    return c;
+}
+
+TEST(Gol, SchedulerThreadsBoot) {
+    Library lib(cfg(3));
+    EXPECT_EQ(lib.num_threads(), 3u);
+}
+
+TEST(Gol, GoroutineRuns) {
+    Library lib(cfg(2));
+    Chan<int> done(1);
+    lib.go([&] { done.send(42); });
+    EXPECT_EQ(done.recv().value_or(-1), 42);
+}
+
+TEST(Gol, ChannelJoinIdiom) {
+    // The paper's Go microbenchmark join: N goroutines each send one token;
+    // main receives N (out-of-order completion).
+    Library lib(cfg(4));
+    constexpr int kGoroutines = 100;
+    Chan<int> ch(kGoroutines);
+    for (int i = 0; i < kGoroutines; ++i) {
+        lib.go([&ch, i] { ch.send(i); });
+    }
+    std::set<int> got;
+    for (int i = 0; i < kGoroutines; ++i) {
+        auto v = ch.recv();
+        ASSERT_TRUE(v.has_value());
+        got.insert(*v);
+    }
+    EXPECT_EQ(got.size(), static_cast<std::size_t>(kGoroutines));
+}
+
+TEST(Gol, WaitGroupJoins) {
+    Library lib(cfg(3));
+    WaitGroup wg;
+    std::atomic<int> ran{0};
+    constexpr int kGoroutines = 64;
+    wg.add(kGoroutines);
+    for (int i = 0; i < kGoroutines; ++i) {
+        lib.go([&] {
+            ran.fetch_add(1);
+            wg.done();
+        });
+    }
+    wg.wait();
+    EXPECT_EQ(ran.load(), kGoroutines);
+}
+
+TEST(Gol, GoroutinesCanSpawnGoroutines) {
+    Library lib(cfg(2));
+    WaitGroup wg;
+    std::atomic<int> leaves{0};
+    constexpr int kParents = 10;
+    constexpr int kChildren = 5;
+    wg.add(kParents * kChildren);
+    for (int p = 0; p < kParents; ++p) {
+        lib.go([&] {
+            for (int c = 0; c < kChildren; ++c) {
+                lib.go([&] {
+                    leaves.fetch_add(1);
+                    wg.done();
+                });
+            }
+        });
+    }
+    wg.wait();
+    EXPECT_EQ(leaves.load(), kParents * kChildren);
+}
+
+TEST(Gol, UnbufferedChannelRendezvousWithGoroutine) {
+    Library lib(cfg(2));
+    Chan<int> ch(0);
+    lib.go([&] {
+        for (int i = 1; i <= 10; ++i) {
+            ch.send(i);
+        }
+    });
+    int sum = 0;
+    for (int i = 0; i < 10; ++i) {
+        sum += ch.recv().value_or(0);
+    }
+    EXPECT_EQ(sum, 55);
+}
+
+TEST(Gol, PipelineOfChannels) {
+    // generator -> squarer -> main, the canonical Go pipeline.
+    Library lib(cfg(2));
+    Chan<int> nums(8);
+    Chan<int> squares(8);
+    lib.go([&] {
+        for (int i = 1; i <= 20; ++i) {
+            nums.send(i);
+        }
+        nums.close();
+    });
+    lib.go([&] {
+        while (auto v = nums.recv()) {
+            squares.send(*v * *v);
+        }
+        squares.close();
+    });
+    long sum = 0;
+    while (auto v = squares.recv()) {
+        sum += *v;
+    }
+    EXPECT_EQ(sum, 20L * 21 * 41 / 6);  // sum of squares 1..20
+}
+
+TEST(Gol, SharedQueueIsTheOnlyQueue) {
+    Library lib(cfg(2));
+    WaitGroup wg;
+    std::atomic<bool> block{true};
+    wg.add(1);
+    lib.go([&] {
+        while (block.load()) {
+            std::this_thread::yield();
+        }
+        wg.done();
+    });
+    // While the first goroutine blocks a scheduler thread, more goroutines
+    // pile into the single global run queue.
+    WaitGroup wg2;
+    wg2.add(8);
+    for (int i = 0; i < 8; ++i) {
+        lib.go([&] { wg2.done(); });
+    }
+    wg2.wait();  // the second thread drains them despite the blocked first
+    block.store(false);
+    wg.wait();
+    SUCCEED();
+}
+
+TEST(Gol, SscalOneGoroutinePerElement) {
+    Library lib(cfg(3));
+    constexpr std::size_t kN = 500;
+    std::vector<float> v(kN, 10.0f);
+    WaitGroup wg;
+    wg.add(kN);
+    for (std::size_t i = 0; i < kN; ++i) {
+        lib.go([&v, &wg, i] {
+            v[i] *= 0.1f;
+            wg.done();
+        });
+    }
+    wg.wait();
+    for (float x : v) {
+        ASSERT_FLOAT_EQ(x, 1.0f);
+    }
+}
+
+}  // namespace

@@ -1,0 +1,146 @@
+// Tests for Go-style select over channels.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "gol/gol.hpp"
+#include "gol/select.hpp"
+
+namespace {
+
+using lwt::gol::Chan;
+using lwt::gol::Config;
+using lwt::gol::default_case;
+using lwt::gol::Library;
+using lwt::gol::recv_case;
+using lwt::gol::select;
+using lwt::gol::send_case;
+
+Config cfg(std::size_t threads) {
+    Config c;
+    c.num_threads = threads;
+    return c;
+}
+
+TEST(Select, PicksReadyRecvCase) {
+    Chan<int> a(1), b(1);
+    b.send(5);
+    int got = -1;
+    const std::size_t idx = select(
+        recv_case(a, [&](int v) { got = v; }),
+        recv_case(b, [&](int v) { got = v; }));
+    EXPECT_EQ(idx, 1u);
+    EXPECT_EQ(got, 5);
+}
+
+TEST(Select, DefaultFiresWhenNothingReady) {
+    Chan<int> a(1);
+    bool hit_default = false;
+    const std::size_t idx = select(
+        recv_case(a, [&](int) { FAIL() << "channel was empty"; }),
+        default_case([&] { hit_default = true; }));
+    EXPECT_EQ(idx, 1u);
+    EXPECT_TRUE(hit_default);
+}
+
+TEST(Select, SendCaseFiresWhenCapacityAvailable) {
+    Chan<int> full(1), open(1);
+    full.send(1);
+    bool sent = false;
+    const std::size_t idx = select(
+        send_case(full, 9, [&] { FAIL() << "channel was full"; }),
+        send_case(open, 9, [&] { sent = true; }));
+    EXPECT_EQ(idx, 1u);
+    EXPECT_TRUE(sent);
+    EXPECT_EQ(open.recv().value_or(-1), 9);
+}
+
+TEST(Select, ClosedChannelIsAlwaysReady) {
+    Chan<int> closed(1);
+    closed.close();
+    int got = -1;
+    const std::size_t idx =
+        select(recv_case(closed, [&](int v) { got = v; }));
+    EXPECT_EQ(idx, 0u);
+    EXPECT_EQ(got, 0);  // zero value, as in Go
+}
+
+TEST(Select, BlocksUntilGoroutineSends) {
+    Library lib(cfg(2));
+    Chan<int> ch(1);
+    lib.go([&] {
+        for (int spin = 0; spin < 10000; ++spin) {
+            asm volatile("");  // spin without being optimised away
+        }
+        ch.send(77);
+    });
+    int got = -1;
+    const std::size_t idx = select(recv_case(ch, [&](int v) { got = v; }));
+    EXPECT_EQ(idx, 0u);
+    EXPECT_EQ(got, 77);
+}
+
+TEST(Select, FairishAmongReadyCases) {
+    Chan<int> a(64), b(64);
+    for (int i = 0; i < 32; ++i) {
+        a.send(1);
+        b.send(2);
+    }
+    std::set<std::size_t> hit;
+    for (int i = 0; i < 64; ++i) {
+        hit.insert(select(recv_case(a, [](int) {}),
+                          recv_case(b, [](int) {})));
+    }
+    // Both arms were ready throughout; random start must hit both.
+    EXPECT_EQ(hit.size(), 2u);
+}
+
+TEST(Select, MultiplexerGoroutine) {
+    // Fan-in: a goroutine selects from two producers into one output.
+    Library lib(cfg(2));
+    Chan<int> a(8), b(8), out(32);
+    lib.go([&] {
+        for (int i = 0; i < 8; ++i) {
+            a.send(i);
+        }
+        a.close();
+    });
+    lib.go([&] {
+        for (int i = 100; i < 108; ++i) {
+            b.send(i);
+        }
+        b.close();
+    });
+    lib.go([&] {
+        // Track real receives per channel so post-close zero values (a
+        // closed channel is always select-ready) are ignored.
+        int from_a = 0, from_b = 0;
+        while (from_a < 8 || from_b < 8) {
+            select(recv_case(a,
+                             [&](int v) {
+                                 if (from_a < 8) {
+                                     out.send(v);
+                                     ++from_a;
+                                 }
+                             }),
+                   recv_case(b, [&](int v) {
+                       if (from_b < 8) {
+                           out.send(v);
+                           ++from_b;
+                       }
+                   }));
+        }
+        out.close();
+    });
+    int count = 0;
+    long sum = 0;
+    while (auto v = out.recv()) {
+        ++count;
+        sum += *v;
+    }
+    EXPECT_EQ(count, 16);
+    EXPECT_EQ(sum, (0 + 1 + 2 + 3 + 4 + 5 + 6 + 7) + (100 + 107) * 8 / 2);
+}
+
+}  // namespace

@@ -1,0 +1,208 @@
+// Tests for lwomp — the OpenMP-over-LWT runtime (the paper's future-work
+// proposal, realised).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "lwomp/lwomp.hpp"
+
+namespace {
+
+using lwt::lwomp::Config;
+using lwt::lwomp::Runtime;
+using lwt::lwomp::TeamCtx;
+
+Config cfg(std::size_t streams) {
+    Config c;
+    c.num_streams = streams;
+    return c;
+}
+
+TEST(Lwomp, ParallelRunsEveryMemberOnce) {
+    Runtime rt(cfg(2));
+    std::vector<std::atomic<int>> hits(4);
+    rt.parallel(
+        [&](TeamCtx& ctx) {
+            EXPECT_EQ(ctx.num_threads(), 4u);
+            hits[ctx.tid()].fetch_add(1);
+        },
+        4);
+    for (auto& h : hits) {
+        EXPECT_EQ(h.load(), 1);
+    }
+}
+
+TEST(Lwomp, TeamSizeIndependentOfStreams) {
+    // More team members than streams is fine: members are ULTs.
+    Runtime rt(cfg(2));
+    std::atomic<int> members{0};
+    rt.parallel([&](TeamCtx&) { members.fetch_add(1); }, 16);
+    EXPECT_EQ(members.load(), 16);
+    EXPECT_EQ(rt.os_threads_created(), 1u);  // streams-1, nothing else
+}
+
+TEST(Lwomp, ParallelForCoversRange) {
+    Runtime rt(cfg(2));
+    constexpr std::size_t kN = 1000;
+    std::vector<std::atomic<int>> hits(kN);
+    rt.parallel_for(kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < kN; ++i) {
+        ASSERT_EQ(hits[i].load(), 1) << i;
+    }
+}
+
+TEST(Lwomp, ReduceSumMatchesClosedForm) {
+    Runtime rt(cfg(2));
+    constexpr std::size_t kN = 5000;
+    const double got = rt.parallel_reduce_sum(
+        kN, [](std::size_t i) { return static_cast<double>(i); });
+    EXPECT_DOUBLE_EQ(got, static_cast<double>(kN - 1) * kN / 2);
+}
+
+TEST(Lwomp, TasksRunBeforeRegionEnds) {
+    Runtime rt(cfg(2));
+    std::atomic<int> ran{0};
+    rt.parallel(
+        [&](TeamCtx& ctx) {
+            if (ctx.tid() == 0) {
+                for (int i = 0; i < 100; ++i) {
+                    ctx.task([&] { ran.fetch_add(1); });
+                }
+            }
+        },
+        3);
+    EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(Lwomp, TaskwaitDrainsInsideRegion) {
+    Runtime rt(cfg(2));
+    bool saw_all = false;
+    std::atomic<int> done{0};
+    rt.parallel(
+        [&](TeamCtx& ctx) {
+            if (ctx.tid() == 0) {
+                for (int i = 0; i < 32; ++i) {
+                    ctx.task([&] { done.fetch_add(1); });
+                }
+                ctx.taskwait();
+                saw_all = done.load() == 32;
+            }
+        },
+        2);
+    EXPECT_TRUE(saw_all);
+}
+
+TEST(Lwomp, SingleClaimedByExactlyOneMember) {
+    Runtime rt(cfg(2));
+    std::atomic<int> ran{0};
+    std::atomic<int> claims{0};
+    rt.parallel(
+        [&](TeamCtx& ctx) {
+            if (ctx.single([&] { ran.fetch_add(1); })) {
+                claims.fetch_add(1);
+            }
+        },
+        4);
+    EXPECT_EQ(ran.load(), 1);
+    EXPECT_EQ(claims.load(), 1);
+}
+
+TEST(Lwomp, CriticalSerialisesTeamMembers) {
+    Runtime rt(cfg(3));
+    long counter = 0;
+    rt.parallel(
+        [&](TeamCtx& ctx) {
+            for (int i = 0; i < 1000; ++i) {
+                ctx.critical([&] { ++counter; });
+            }
+        },
+        4);
+    EXPECT_EQ(counter, 4 * 1000);
+}
+
+TEST(Lwomp, BarrierSynchronisesTeam) {
+    Runtime rt(cfg(2));
+    std::atomic<int> before{0};
+    rt.parallel(
+        [&](TeamCtx& ctx) {
+            before.fetch_add(1);
+            ctx.barrier();
+            EXPECT_EQ(before.load(), 4);
+        },
+        4);
+}
+
+TEST(Lwomp, NestedParallelCreatesNoOsThreads) {
+    // THE claim of the extension: nested regions are pure work units.
+    Runtime rt(cfg(2));
+    const auto base_threads = rt.os_threads_created();
+    std::atomic<int> inner_runs{0};
+    rt.parallel(
+        [&](TeamCtx& ctx) {
+            ctx.parallel([&](TeamCtx&) { inner_runs.fetch_add(1); }, 3);
+        },
+        3);
+    EXPECT_EQ(inner_runs.load(), 9);
+    EXPECT_EQ(rt.os_threads_created(), base_threads);  // zero new threads
+    EXPECT_GE(rt.work_units_created(), 3u + 9u);       // only work units
+}
+
+TEST(Lwomp, DeeplyNestedRegions) {
+    Runtime rt(cfg(2));
+    std::atomic<int> leaves{0};
+    rt.parallel(
+        [&](TeamCtx& l1) {
+            l1.parallel(
+                [&](TeamCtx& l2) {
+                    l2.parallel([&](TeamCtx&) { leaves.fetch_add(1); }, 2);
+                },
+                2);
+        },
+        2);
+    EXPECT_EQ(leaves.load(), 8);
+    EXPECT_EQ(rt.os_threads_created(), 1u);
+}
+
+TEST(Lwomp, NestedForLoopsMatchSerial) {
+    Runtime rt(cfg(2));
+    constexpr std::size_t kN = 24;
+    std::vector<std::atomic<int>> hits(kN * kN);
+    rt.parallel(
+        [&](TeamCtx& outer) {
+            const std::size_t per = (kN + outer.num_threads() - 1) /
+                                    outer.num_threads();
+            const std::size_t lo = outer.tid() * per;
+            const std::size_t hi = std::min(kN, lo + per);
+            for (std::size_t i = lo; i < hi; ++i) {
+                outer.parallel(
+                    [&, i](TeamCtx& inner) {
+                        const std::size_t iper =
+                            (kN + inner.num_threads() - 1) /
+                            inner.num_threads();
+                        const std::size_t jlo = inner.tid() * iper;
+                        const std::size_t jhi = std::min(kN, jlo + iper);
+                        for (std::size_t j = jlo; j < jhi; ++j) {
+                            hits[i * kN + j].fetch_add(1);
+                        }
+                    },
+                    2);
+            }
+        },
+        2);
+    for (std::size_t k = 0; k < hits.size(); ++k) {
+        ASSERT_EQ(hits[k].load(), 1) << k;
+    }
+}
+
+TEST(Lwomp, RegionsAreRepeatable) {
+    Runtime rt(cfg(2));
+    std::atomic<int> total{0};
+    for (int i = 0; i < 10; ++i) {
+        rt.parallel_for(50, [&](std::size_t) { total.fetch_add(1); });
+    }
+    EXPECT_EQ(total.load(), 500);
+}
+
+}  // namespace

@@ -1,0 +1,199 @@
+// Tests for the library-module extensions: Converse client-server,
+// Qthreads dictionary, momp sections.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cvt/client_server.hpp"
+#include "momp/momp.hpp"
+#include "qth/dictionary.hpp"
+#include "qth/qth.hpp"
+
+namespace {
+
+// --- cvt::ClientServer ----------------------------------------------------------
+
+TEST(CvtClientServer, RegisterAndCallWait) {
+    lwt::cvt::Config cfg;
+    cfg.num_pes = 2;
+    lwt::cvt::Library lib(cfg);
+    lwt::cvt::ClientServer cs(lib);
+    const auto doubler = cs.register_handler(
+        [](std::size_t, lwt::cvt::ClientServer::Word arg) { return arg * 2; });
+    EXPECT_EQ(cs.num_handlers(), 1u);
+    EXPECT_EQ(cs.call_wait(1, doubler, 21), 42u);
+}
+
+TEST(CvtClientServer, HandlerSeesTargetPe) {
+    lwt::cvt::Config cfg;
+    cfg.num_pes = 3;
+    lwt::cvt::Library lib(cfg);
+    lwt::cvt::ClientServer cs(lib);
+    const auto which_pe = cs.register_handler(
+        [](std::size_t pe, lwt::cvt::ClientServer::Word) {
+            return static_cast<lwt::cvt::ClientServer::Word>(pe);
+        });
+    for (std::size_t pe = 0; pe < 3; ++pe) {
+        EXPECT_EQ(cs.call_wait(pe, which_pe, 0), pe);
+    }
+}
+
+TEST(CvtClientServer, SelfCallOnPe0DoesNotDeadlock) {
+    lwt::cvt::Config cfg;
+    cfg.num_pes = 1;  // only PE 0, driven by the caller
+    lwt::cvt::Library lib(cfg);
+    lwt::cvt::ClientServer cs(lib);
+    const auto echo = cs.register_handler(
+        [](std::size_t, lwt::cvt::ClientServer::Word arg) { return arg; });
+    EXPECT_EQ(cs.call_wait(0, echo, 99), 99u);
+}
+
+TEST(CvtClientServer, AsyncCallsAllExecute) {
+    lwt::cvt::Config cfg;
+    cfg.num_pes = 2;
+    lwt::cvt::Library lib(cfg);
+    lwt::cvt::ClientServer cs(lib);
+    std::atomic<int> hits{0};
+    const auto bump = cs.register_handler(
+        [&hits](std::size_t, lwt::cvt::ClientServer::Word) {
+            hits.fetch_add(1);
+            return lwt::cvt::ClientServer::Word{0};
+        });
+    constexpr int kCalls = 40;
+    for (int i = 0; i < kCalls; ++i) {
+        cs.call_async(static_cast<std::size_t>(i) % 2, bump, 0);
+    }
+    lib.barrier();
+    EXPECT_EQ(hits.load(), kCalls);
+}
+
+TEST(CvtClientServer, HandlersCanCallHandlers) {
+    // Two-hop RPC: handler on PE 1 calls a handler on PE 0 and combines.
+    lwt::cvt::Config cfg;
+    cfg.num_pes = 2;
+    lwt::cvt::Library lib(cfg);
+    lwt::cvt::ClientServer cs(lib);
+    const auto add_ten = cs.register_handler(
+        [](std::size_t, lwt::cvt::ClientServer::Word arg) { return arg + 10; });
+    const auto chain = cs.register_handler(
+        [&cs, add_ten](std::size_t, lwt::cvt::ClientServer::Word arg) {
+            // Handler context is a tasklet on a worker PE: poll the reply
+            // future cooperatively.
+            auto reply = cs.call(0, add_ten, arg);
+            return reply->wait() * 2;
+        });
+    EXPECT_EQ(cs.call_wait(1, chain, 5), 30u);  // (5+10)*2
+}
+
+// --- qth::Dictionary --------------------------------------------------------------
+
+TEST(QthDictionary, PutGetRemove) {
+    lwt::qth::Dictionary<std::string, int> dict;
+    EXPECT_FALSE(dict.get("a").has_value());
+    dict.put("a", 1);
+    dict.put("b", 2);
+    EXPECT_EQ(dict.get("a").value_or(-1), 1);
+    EXPECT_EQ(dict.size(), 2u);
+    dict.put("a", 10);  // overwrite
+    EXPECT_EQ(dict.get("a").value_or(-1), 10);
+    EXPECT_EQ(dict.remove("a").value_or(-1), 10);
+    EXPECT_FALSE(dict.contains("a"));
+    EXPECT_EQ(dict.size(), 1u);
+}
+
+TEST(QthDictionary, PutIfAbsentSemantics) {
+    lwt::qth::Dictionary<int, int> dict;
+    EXPECT_TRUE(dict.put_if_absent(1, 100));
+    EXPECT_FALSE(dict.put_if_absent(1, 200));
+    EXPECT_EQ(dict.get(1).value_or(-1), 100);
+}
+
+TEST(QthDictionary, WaitGetBlocksUntilProducerPuts) {
+    lwt::qth::Config cfg;
+    cfg.num_shepherds = 2;
+    cfg.workers_per_shepherd = 1;
+    lwt::qth::Library lib(cfg);
+    lwt::qth::Dictionary<int, int> dict;
+    lwt::qth::aligned_t consumer_done = 0;
+    int got = 0;
+    lib.fork_to([&] { got = dict.wait_get(7); }, &consumer_done, 0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_FALSE(lib.is_full(&consumer_done));
+    lib.fork_to([&] { dict.put(7, 77); }, nullptr, 1);
+    lib.read_ff(&consumer_done);
+    EXPECT_EQ(got, 77);
+}
+
+TEST(QthDictionary, ConcurrentPutsFromManyUlts) {
+    lwt::qth::Config cfg;
+    cfg.num_shepherds = 4;
+    cfg.workers_per_shepherd = 1;
+    lwt::qth::Library lib(cfg);
+    lwt::qth::Dictionary<int, int> dict;
+    constexpr int kKeys = 400;
+    std::vector<lwt::qth::aligned_t> done(kKeys, 0);
+    for (int k = 0; k < kKeys; ++k) {
+        lib.fork_to([&dict, k] { dict.put(k, k * k); }, &done[k],
+                    static_cast<std::size_t>(k) % 4);
+    }
+    for (auto& d : done) {
+        lib.read_ff(&d);
+    }
+    EXPECT_EQ(dict.size(), static_cast<std::size_t>(kKeys));
+    for (int k = 0; k < kKeys; ++k) {
+        ASSERT_EQ(dict.get(k).value_or(-1), k * k);
+    }
+}
+
+// --- momp sections ------------------------------------------------------------------
+
+TEST(MompSections, EachSectionRunsExactlyOnce) {
+    lwt::momp::Config cfg;
+    cfg.flavor = lwt::momp::Flavor::kGcc;
+    cfg.num_threads = 3;
+    cfg.wait_policy = lwt::momp::WaitPolicy::kPassive;
+    lwt::momp::Runtime rt(cfg);
+    std::vector<std::atomic<int>> hits(5);
+    std::vector<std::function<void()>> sections;
+    for (int i = 0; i < 5; ++i) {
+        sections.push_back([&hits, i] { hits[i].fetch_add(1); });
+    }
+    rt.parallel_sections(sections);
+    for (auto& h : hits) {
+        EXPECT_EQ(h.load(), 1);
+    }
+}
+
+TEST(MompSections, MoreSectionsThanThreads) {
+    lwt::momp::Config cfg;
+    cfg.flavor = lwt::momp::Flavor::kIcc;
+    cfg.num_threads = 2;
+    cfg.wait_policy = lwt::momp::WaitPolicy::kPassive;
+    lwt::momp::Runtime rt(cfg);
+    std::atomic<int> total{0};
+    std::vector<std::function<void()>> sections(17,
+                                                [&] { total.fetch_add(1); });
+    rt.parallel_sections(sections);
+    EXPECT_EQ(total.load(), 17);
+}
+
+TEST(MompSections, SectionsCanCreateTasks) {
+    lwt::momp::Config cfg;
+    cfg.flavor = lwt::momp::Flavor::kIcc;
+    cfg.num_threads = 2;
+    cfg.wait_policy = lwt::momp::WaitPolicy::kPassive;
+    lwt::momp::Runtime rt(cfg);
+    std::atomic<int> task_runs{0};
+    std::vector<std::function<void()>> sections(4, [&] {
+        for (int i = 0; i < 10; ++i) {
+            lwt::momp::Runtime::task([&] { task_runs.fetch_add(1); });
+        }
+    });
+    rt.parallel_sections(sections);
+    EXPECT_EQ(task_runs.load(), 40);
+}
+
+}  // namespace

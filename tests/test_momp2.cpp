@@ -1,0 +1,186 @@
+// Tests for the mini-OpenMP constructs added beyond the paper's core set:
+// critical, single, dynamic scheduling, reductions.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "momp/momp.hpp"
+
+namespace {
+
+using lwt::momp::Config;
+using lwt::momp::Flavor;
+using lwt::momp::Runtime;
+using lwt::momp::WaitPolicy;
+
+Config cfg(Flavor flavor, std::size_t threads) {
+    Config c;
+    c.flavor = flavor;
+    c.num_threads = threads;
+    c.wait_policy = WaitPolicy::kPassive;
+    return c;
+}
+
+class Momp2FlavorTest : public ::testing::TestWithParam<Flavor> {};
+
+TEST_P(Momp2FlavorTest, CriticalSerialisesBody) {
+    Runtime rt(cfg(GetParam(), 4));
+    long counter = 0;  // unguarded: only correct if critical serialises
+    rt.parallel([&](std::size_t, std::size_t) {
+        for (int i = 0; i < 2000; ++i) {
+            rt.critical("counter", [&] { ++counter; });
+        }
+    });
+    EXPECT_EQ(counter, 4 * 2000);
+}
+
+TEST_P(Momp2FlavorTest, DistinctCriticalNamesAreIndependentLocks) {
+    Runtime rt(cfg(GetParam(), 2));
+    std::atomic<bool> a_held{false};
+    std::atomic<bool> overlap_seen{false};
+    rt.parallel([&](std::size_t tid, std::size_t) {
+        if (tid == 0) {
+            rt.critical("lock_a", [&] {
+                a_held.store(true);
+                for (int spin = 0; spin < 200000; ++spin) {
+                    asm volatile("");
+                }
+                a_held.store(false);
+            });
+        } else {
+            // Different name: must be able to run while lock_a is held.
+            for (int tries = 0; tries < 1000 && !overlap_seen.load(); ++tries) {
+                rt.critical("lock_b", [&] {
+                    if (a_held.load()) {
+                        overlap_seen.store(true);
+                    }
+                });
+            }
+        }
+    });
+    // Not guaranteed on every schedule, but with 200k spins under lock_a on
+    // this host the second thread virtually always observes the overlap.
+    // Keep it as a soft property: no deadlock + counter semantics above.
+    SUCCEED();
+}
+
+TEST_P(Momp2FlavorTest, SingleRunsExactlyOnce) {
+    Runtime rt(cfg(GetParam(), 4));
+    std::atomic<int> ran{0};
+    std::atomic<int> claimed{0};
+    rt.parallel([&](std::size_t, std::size_t) {
+        if (Runtime::single([&] { ran.fetch_add(1); })) {
+            claimed.fetch_add(1);
+        }
+    });
+    EXPECT_EQ(ran.load(), 1);
+    EXPECT_EQ(claimed.load(), 1);
+}
+
+TEST_P(Momp2FlavorTest, ConsecutiveSinglesAreIndependent) {
+    Runtime rt(cfg(GetParam(), 3));
+    std::atomic<int> first{0}, second{0};
+    rt.parallel([&](std::size_t, std::size_t) {
+        Runtime::single([&] { first.fetch_add(1); });
+        Runtime::single([&] { second.fetch_add(1); });
+    });
+    EXPECT_EQ(first.load(), 1);
+    EXPECT_EQ(second.load(), 1);
+}
+
+TEST_P(Momp2FlavorTest, SingleResetsBetweenRegions) {
+    Runtime rt(cfg(GetParam(), 2));
+    std::atomic<int> ran{0};
+    for (int region = 0; region < 3; ++region) {
+        rt.parallel([&](std::size_t, std::size_t) {
+            Runtime::single([&] { ran.fetch_add(1); });
+        });
+    }
+    EXPECT_EQ(ran.load(), 3);
+}
+
+TEST_P(Momp2FlavorTest, DynamicForCoversRangeOnce) {
+    Runtime rt(cfg(GetParam(), 3));
+    constexpr std::size_t kN = 1000;
+    std::vector<std::atomic<int>> hits(kN);
+    rt.parallel_for_dynamic(kN, 7, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < kN; ++i) {
+        ASSERT_EQ(hits[i].load(), 1) << i;
+    }
+}
+
+TEST_P(Momp2FlavorTest, DynamicForChunkLargerThanRange) {
+    Runtime rt(cfg(GetParam(), 2));
+    std::atomic<int> hits{0};
+    rt.parallel_for_dynamic(5, 100, [&](std::size_t) { hits.fetch_add(1); });
+    EXPECT_EQ(hits.load(), 5);
+}
+
+TEST_P(Momp2FlavorTest, DynamicForZeroChunkIsClampedToOne) {
+    Runtime rt(cfg(GetParam(), 2));
+    std::atomic<int> hits{0};
+    rt.parallel_for_dynamic(10, 0, [&](std::size_t) { hits.fetch_add(1); });
+    EXPECT_EQ(hits.load(), 10);
+}
+
+TEST_P(Momp2FlavorTest, ReduceSumMatchesClosedForm) {
+    Runtime rt(cfg(GetParam(), 4));
+    constexpr std::size_t kN = 10000;
+    const double got = rt.parallel_reduce_sum(
+        kN, [](std::size_t i) { return static_cast<double>(i); });
+    EXPECT_DOUBLE_EQ(got, static_cast<double>(kN - 1) * kN / 2);
+}
+
+TEST_P(Momp2FlavorTest, ReduceSumEmptyRangeIsZero) {
+    Runtime rt(cfg(GetParam(), 2));
+    EXPECT_DOUBLE_EQ(rt.parallel_reduce_sum(0, [](std::size_t) { return 1.0; }),
+                     0.0);
+}
+
+TEST_P(Momp2FlavorTest, SingleDrivenTaskPatternStillWorks) {
+    // The canonical OpenMP idiom: single creates, team executes.
+    Runtime rt(cfg(GetParam(), 4));
+    std::atomic<int> ran{0};
+    rt.parallel([&](std::size_t, std::size_t) {
+        Runtime::single([&] {
+            for (int i = 0; i < 200; ++i) {
+                Runtime::task([&] { ran.fetch_add(1); });
+            }
+        });
+    });
+    EXPECT_EQ(ran.load(), 200);
+}
+
+INSTANTIATE_TEST_SUITE_P(Flavors, Momp2FlavorTest,
+                         ::testing::Values(Flavor::kGcc, Flavor::kIcc));
+
+}  // namespace
+
+namespace {
+
+class GuidedScheduleTest : public ::testing::TestWithParam<Flavor> {};
+
+TEST_P(GuidedScheduleTest, GuidedForCoversRangeOnce) {
+    Runtime rt(cfg(GetParam(), 3));
+    constexpr std::size_t kN = 1000;
+    std::vector<std::atomic<int>> hits(kN);
+    rt.parallel_for_guided(kN, 4, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < kN; ++i) {
+        ASSERT_EQ(hits[i].load(), 1) << i;
+    }
+}
+
+TEST_P(GuidedScheduleTest, GuidedForSmallRangesAndChunks) {
+    Runtime rt(cfg(GetParam(), 2));
+    std::atomic<int> hits{0};
+    rt.parallel_for_guided(7, 0, [&](std::size_t) { hits.fetch_add(1); });
+    EXPECT_EQ(hits.load(), 7);
+    rt.parallel_for_guided(0, 4, [&](std::size_t) { FAIL(); });
+}
+
+INSTANTIATE_TEST_SUITE_P(Flavors, GuidedScheduleTest,
+                         ::testing::Values(Flavor::kGcc, Flavor::kIcc));
+
+}  // namespace

@@ -1,0 +1,205 @@
+// Tests for the MassiveThreads-like personality.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "mth/mth.hpp"
+
+namespace {
+
+using lwt::mth::Config;
+using lwt::mth::Library;
+using lwt::mth::Policy;
+using lwt::mth::ThreadHandle;
+
+Config cfg(std::size_t workers, Policy policy) {
+    Config c;
+    c.num_workers = workers;
+    c.policy = policy;
+    return c;
+}
+
+TEST(Mth, RunExecutesMainAsUlt) {
+    Library lib(cfg(2, Policy::kHelpFirst));
+    bool main_was_ult = false;
+    lib.run([&] { main_was_ult = lwt::core::Ult::current() != nullptr; });
+    EXPECT_TRUE(main_was_ult);
+}
+
+TEST(Mth, HelpFirstCreatorContinuesBeforeChild) {
+    Library lib(cfg(1, Policy::kHelpFirst));
+    std::vector<int> order;
+    lib.run([&] {
+        ThreadHandle child = lib.create([&] { order.push_back(2); });
+        order.push_back(1);  // creator continues: child is only queued
+        child.join();
+    });
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Mth, WorkFirstChildRunsImmediately) {
+    Library lib(cfg(1, Policy::kWorkFirst));
+    std::vector<int> order;
+    lib.run([&] {
+        ThreadHandle child = lib.create([&] { order.push_back(1); });
+        order.push_back(2);  // creator was suspended; child went first
+        child.join();
+    });
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+class MthPolicyTest : public ::testing::TestWithParam<Policy> {};
+
+TEST_P(MthPolicyTest, ManyThreadsAllRunOnce) {
+    Library lib(cfg(4, GetParam()));
+    constexpr int kThreads = 300;
+    std::vector<std::atomic<int>> counts(kThreads);
+    lib.run([&] {
+        std::vector<ThreadHandle> handles;
+        handles.reserve(kThreads);
+        for (int i = 0; i < kThreads; ++i) {
+            handles.push_back(lib.create([&counts, i] { counts[i]++; }));
+        }
+        for (auto& h : handles) {
+            h.join();
+        }
+    });
+    for (int i = 0; i < kThreads; ++i) {
+        EXPECT_EQ(counts[i].load(), 1) << i;
+    }
+}
+
+TEST_P(MthPolicyTest, RecursiveFibComputesCorrectly) {
+    // The recursion-oriented workload MassiveThreads was designed for.
+    Library lib(cfg(4, GetParam()));
+    struct Fib {
+        Library& lib;
+        long operator()(int n) const {
+            if (n < 2) {
+                return n;
+            }
+            long a = 0, b = 0;
+            ThreadHandle left = lib.create([&, n] { a = (*this)(n - 1); });
+            b = (*this)(n - 2);
+            left.join();
+            return a + b;
+        }
+    };
+    long result = 0;
+    lib.run([&] { result = Fib{lib}(15); });
+    EXPECT_EQ(result, 610);
+}
+
+TEST_P(MthPolicyTest, SscalOneUltPerElement) {
+    Library lib(cfg(3, GetParam()));
+    constexpr std::size_t kN = 512;
+    std::vector<float> v(kN, 4.0f);
+    lib.run([&] {
+        std::vector<ThreadHandle> handles;
+        handles.reserve(kN);
+        for (std::size_t i = 0; i < kN; ++i) {
+            handles.push_back(lib.create([&v, i] { v[i] *= 0.5f; }));
+        }
+        for (auto& h : handles) {
+            h.join();
+        }
+    });
+    for (float x : v) {
+        ASSERT_FLOAT_EQ(x, 2.0f);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, MthPolicyTest,
+                         ::testing::Values(Policy::kWorkFirst,
+                                           Policy::kHelpFirst));
+
+TEST(Mth, WorkStealingSpreadsAcrossWorkers) {
+    // With several workers and many long-ish ULTs created from one worker,
+    // stealing must engage: at least one other worker executes work.
+    Library lib(cfg(4, Policy::kHelpFirst));
+    std::atomic<int> done{0};
+    constexpr int kUlts = 200;
+    lib.run([&] {
+        std::vector<ThreadHandle> handles;
+        for (int i = 0; i < kUlts; ++i) {
+            handles.push_back(lib.create([&] {
+                for (int spin = 0; spin < 2000; ++spin) {
+                    asm volatile("");
+                }
+                done.fetch_add(1);
+            }));
+        }
+        for (auto& h : handles) {
+            h.join();
+        }
+    });
+    EXPECT_EQ(done.load(), kUlts);
+}
+
+TEST(Mth, YieldInsideUltIsCooperative) {
+    Library lib(cfg(1, Policy::kHelpFirst));
+    std::vector<int> order;
+    lib.run([&] {
+        ThreadHandle other = lib.create([&] {
+            order.push_back(2);
+            Library::yield();
+            order.push_back(4);
+        });
+        order.push_back(1);
+        Library::yield();  // let `other` run
+        order.push_back(3);
+        Library::yield();
+        other.join();
+    });
+    ASSERT_EQ(order.size(), 4u);
+    EXPECT_EQ(order[0], 1);
+}
+
+TEST(Mth, DetachedThreadsComplete) {
+    Library lib(cfg(2, Policy::kHelpFirst));
+    std::atomic<int> ran{0};
+    lib.run([&] {
+        for (int i = 0; i < 32; ++i) {
+            lib.create_detached([&] { ran.fetch_add(1); });
+        }
+        while (ran.load() < 32) {
+            Library::yield();
+        }
+    });
+    EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(Mth, NestedCreateFromChildren) {
+    Library lib(cfg(3, Policy::kWorkFirst));
+    std::atomic<int> grandchildren{0};
+    lib.run([&] {
+        std::vector<ThreadHandle> kids;
+        for (int i = 0; i < 10; ++i) {
+            kids.push_back(lib.create([&] {
+                std::vector<ThreadHandle> gk;
+                for (int j = 0; j < 4; ++j) {
+                    gk.push_back(lib.create([&] { grandchildren.fetch_add(1); }));
+                }
+                for (auto& h : gk) {
+                    h.join();
+                }
+            }));
+        }
+        for (auto& h : kids) {
+            h.join();
+        }
+    });
+    EXPECT_EQ(grandchildren.load(), 40);
+}
+
+TEST(Mth, SequentialRunsReuseLibrary) {
+    Library lib(cfg(2, Policy::kHelpFirst));
+    int total = 0;
+    for (int round = 0; round < 3; ++round) {
+        lib.run([&] { ++total; });
+    }
+    EXPECT_EQ(total, 3);
+}
+
+}  // namespace

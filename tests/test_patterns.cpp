@@ -1,0 +1,145 @@
+// Integration tests: every §VIII pattern on every backend variant must
+// produce the same result as serial execution (Sscal kernel, hit counts).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "patterns/patterns.hpp"
+
+namespace {
+
+using lwt::patterns::all_variants;
+using lwt::patterns::make_runner;
+using lwt::patterns::PatternRunner;
+using lwt::patterns::Sscal;
+using lwt::patterns::Variant;
+using lwt::patterns::variant_name;
+
+constexpr std::size_t kThreads = 2;
+
+std::string param_name(const ::testing::TestParamInfo<Variant>& info) {
+    std::string n(variant_name(info.param));
+    std::string out;
+    for (char c : n) {
+        if (std::isalnum(static_cast<unsigned char>(c)) != 0) {
+            out += c;
+        }
+    }
+    return out;
+}
+
+class PatternVariantTest : public ::testing::TestWithParam<Variant> {};
+
+TEST_P(PatternVariantTest, RunnerBootsWithRequestedThreads) {
+    auto runner = make_runner(GetParam(), kThreads);
+    ASSERT_NE(runner, nullptr);
+    EXPECT_EQ(runner->variant(), GetParam());
+    EXPECT_EQ(runner->threads(), kThreads);
+}
+
+TEST_P(PatternVariantTest, CreateJoinTimesAreNonNegativeAndBodiesRun) {
+    auto runner = make_runner(GetParam(), kThreads);
+    std::atomic<int> ran{0};
+    const auto [create_ms, join_ms] =
+        runner->create_join_times([&] { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), static_cast<int>(kThreads));
+    EXPECT_GE(create_ms, 0.0);
+    EXPECT_GE(join_ms, 0.0);
+}
+
+TEST_P(PatternVariantTest, ForLoopSscal) {
+    auto runner = make_runner(GetParam(), kThreads);
+    Sscal problem(1000);
+    runner->for_loop(problem.v.size(),
+                     [&](std::size_t i) { problem.apply(i); });
+    EXPECT_TRUE(problem.verify_once());
+}
+
+TEST_P(PatternVariantTest, TaskSingleSscal) {
+    auto runner = make_runner(GetParam(), kThreads);
+    Sscal problem(500);
+    runner->task_single(problem.v.size(),
+                        [&](std::size_t i) { problem.apply(i); });
+    EXPECT_TRUE(problem.verify_once());
+}
+
+TEST_P(PatternVariantTest, TaskParallelSscal) {
+    auto runner = make_runner(GetParam(), kThreads);
+    Sscal problem(500);
+    runner->task_parallel(problem.v.size(),
+                          [&](std::size_t i) { problem.apply(i); });
+    EXPECT_TRUE(problem.verify_once());
+}
+
+TEST_P(PatternVariantTest, NestedForEveryPairOnce) {
+    auto runner = make_runner(GetParam(), kThreads);
+    constexpr std::size_t kOuter = 20;
+    constexpr std::size_t kInner = 20;
+    std::vector<std::atomic<int>> hits(kOuter * kInner);
+    runner->nested_for(kOuter, kInner, [&](std::size_t i, std::size_t j) {
+        hits[i * kInner + j].fetch_add(1);
+    });
+    for (std::size_t k = 0; k < hits.size(); ++k) {
+        ASSERT_EQ(hits[k].load(), 1) << "cell " << k;
+    }
+}
+
+TEST_P(PatternVariantTest, NestedTaskEveryChildOnce) {
+    auto runner = make_runner(GetParam(), kThreads);
+    constexpr std::size_t kParents = 20;
+    constexpr std::size_t kChildren = 4;
+    std::vector<std::atomic<int>> hits(kParents * kChildren);
+    runner->nested_task(kParents, kChildren,
+                        [&](std::size_t p, std::size_t c) {
+                            hits[p * kChildren + c].fetch_add(1);
+                        });
+    for (std::size_t k = 0; k < hits.size(); ++k) {
+        ASSERT_EQ(hits[k].load(), 1) << "cell " << k;
+    }
+}
+
+TEST_P(PatternVariantTest, PatternsAreRepeatable) {
+    auto runner = make_runner(GetParam(), kThreads);
+    Sscal problem(200);
+    for (int round = 0; round < 3; ++round) {
+        problem.reset();
+        runner->for_loop(problem.v.size(),
+                         [&](std::size_t i) { problem.apply(i); });
+        ASSERT_TRUE(problem.verify_once()) << "round " << round;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, PatternVariantTest,
+                         ::testing::ValuesIn(all_variants()), param_name);
+
+TEST(PatternMeta, VariantNamesAreUniqueAndNonEmpty) {
+    std::vector<std::string> names;
+    for (Variant v : all_variants()) {
+        names.emplace_back(variant_name(v));
+    }
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        EXPECT_FALSE(names[i].empty());
+        for (std::size_t j = i + 1; j < names.size(); ++j) {
+            EXPECT_NE(names[i], names[j]);
+        }
+    }
+}
+
+TEST(PatternMeta, AllVariantsCoversPaperLegend) {
+    EXPECT_EQ(all_variants().size(), 13u);
+}
+
+TEST(SscalKernel, VerifyAndReset) {
+    Sscal p(4, 2.0f, 0.5f);
+    EXPECT_FALSE(p.verify_once());
+    for (std::size_t i = 0; i < 4; ++i) {
+        p.apply(i);
+    }
+    EXPECT_TRUE(p.verify_once());
+    p.reset();
+    EXPECT_FALSE(p.verify_once());
+}
+
+}  // namespace

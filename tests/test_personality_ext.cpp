@@ -1,0 +1,180 @@
+// Tests for the personality extensions: Qthreads-like sincs, Converse-like
+// reductions/broadcast, Argobots-like eventuals and sync objects.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "abt/abt.hpp"
+#include "cvt/cvt.hpp"
+#include "qth/qth.hpp"
+
+namespace {
+
+// --- qth::Sinc ----------------------------------------------------------------
+
+TEST(QthSinc, AggregatesSubmittedValues) {
+    lwt::qth::Config cfg;
+    cfg.num_shepherds = 2;
+    cfg.workers_per_shepherd = 1;
+    lwt::qth::Library lib(cfg);
+
+    lwt::qth::Sinc sinc;
+    constexpr int kUnits = 40;
+    sinc.expect(kUnits);
+    for (int i = 0; i < kUnits; ++i) {
+        lib.fork_to([&sinc, i] { sinc.submit(static_cast<double>(i)); },
+                    nullptr, static_cast<std::size_t>(i) % 2);
+    }
+    EXPECT_DOUBLE_EQ(sinc.wait(), 39.0 * 40 / 2);
+    EXPECT_EQ(sinc.remaining(), 0);
+}
+
+TEST(QthSinc, ResetAllowsReuse) {
+    lwt::qth::Sinc sinc;
+    sinc.expect(1);
+    sinc.submit(5.0);
+    EXPECT_DOUBLE_EQ(sinc.wait(), 5.0);
+    sinc.reset();
+    sinc.expect(1);
+    sinc.submit(7.0);
+    EXPECT_DOUBLE_EQ(sinc.wait(), 7.0);
+}
+
+TEST(QthSinc, WaitFromUltYieldsWorker) {
+    lwt::qth::Config cfg;
+    cfg.num_shepherds = 1;
+    cfg.workers_per_shepherd = 1;
+    lwt::qth::Library lib(cfg);
+
+    lwt::qth::Sinc sinc;
+    sinc.expect(1);
+    lwt::qth::aligned_t done = 0;
+    // The waiter ULT runs first on the only worker; the submitter must
+    // still get scheduled (wait() yields).
+    lib.fork([&] { sinc.wait(); }, &done);
+    lib.fork([&] { sinc.submit(1.0); }, nullptr);
+    lib.read_ff(&done);
+    EXPECT_EQ(sinc.remaining(), 0);
+}
+
+// --- cvt reductions -----------------------------------------------------------
+
+TEST(CvtReduce, SumsContributionsFromAllPes) {
+    lwt::cvt::Config cfg;
+    cfg.num_pes = 3;
+    lwt::cvt::Library lib(cfg);
+    const double got =
+        lib.reduce_sum([](std::size_t pe) { return static_cast<double>(pe + 1); });
+    EXPECT_DOUBLE_EQ(got, 1.0 + 2.0 + 3.0);
+}
+
+TEST(CvtReduce, RepeatedReductionsAreIndependent) {
+    lwt::cvt::Config cfg;
+    cfg.num_pes = 2;
+    lwt::cvt::Library lib(cfg);
+    for (int round = 1; round <= 5; ++round) {
+        const double got = lib.reduce_sum(
+            [round](std::size_t) { return static_cast<double>(round); });
+        EXPECT_DOUBLE_EQ(got, 2.0 * round);
+    }
+}
+
+TEST(CvtBroadcast, RunsOncePerPe) {
+    lwt::cvt::Config cfg;
+    cfg.num_pes = 4;
+    lwt::cvt::Library lib(cfg);
+    std::vector<std::atomic<int>> hits(4);
+    lib.broadcast([&](std::size_t pe) { hits[pe].fetch_add(1); });
+    for (auto& h : hits) {
+        EXPECT_EQ(h.load(), 1);
+    }
+}
+
+// --- abt eventuals / sync objects ------------------------------------------------
+
+TEST(AbtEventual, UltSetsMainWaits) {
+    lwt::abt::Config cfg;
+    cfg.num_xstreams = 2;
+    lwt::abt::Library lib(cfg);
+    lwt::abt::Eventual<int> ev;
+    lib.thread_create_detached([&] { ev.set(123); }, 1);
+    EXPECT_EQ(ev.wait(), 123);
+}
+
+TEST(AbtEventual, UltWaitsUltSets) {
+    lwt::abt::Config cfg;
+    cfg.num_xstreams = 2;
+    lwt::abt::Library lib(cfg);
+    lwt::abt::Eventual<int> ev;
+    std::atomic<int> got{0};
+    lwt::abt::UnitHandle waiter = lib.thread_create(
+        [&] { got.store(ev.wait()); }, 1);
+    lwt::abt::UnitHandle setter = lib.thread_create([&] { ev.set(55); }, 1);
+    waiter.free();
+    setter.free();
+    EXPECT_EQ(got.load(), 55);
+}
+
+TEST(AbtMutex, ProtectsSharedCounterAcrossStreams) {
+    lwt::abt::Config cfg;
+    cfg.num_xstreams = 3;
+    lwt::abt::Library lib(cfg);
+    lwt::abt::Mutex mutex;
+    long counter = 0;
+    std::vector<lwt::abt::UnitHandle> handles;
+    constexpr int kUlts = 12;
+    constexpr int kIncr = 500;
+    for (int i = 0; i < kUlts; ++i) {
+        handles.push_back(lib.thread_create([&] {
+            for (int k = 0; k < kIncr; ++k) {
+                mutex.lock();
+                ++counter;
+                mutex.unlock();
+            }
+        }));
+    }
+    for (auto& h : handles) {
+        h.free();
+    }
+    EXPECT_EQ(counter, static_cast<long>(kUlts) * kIncr);
+}
+
+TEST(AbtBarrier, SynchronisesUltsAcrossStreams) {
+    lwt::abt::Config cfg;
+    cfg.num_xstreams = 2;
+    lwt::abt::Library lib(cfg);
+    constexpr int kUlts = 6;
+    lwt::abt::Barrier barrier(kUlts);
+    std::atomic<int> arrived{0};
+    std::vector<lwt::abt::UnitHandle> handles;
+    for (int i = 0; i < kUlts; ++i) {
+        handles.push_back(lib.thread_create([&] {
+            arrived.fetch_add(1);
+            barrier.arrive_and_wait();
+            EXPECT_EQ(arrived.load(), kUlts);
+        }));
+    }
+    for (auto& h : handles) {
+        h.free();
+    }
+}
+
+TEST(AbtEvent, CompletionEventAcrossUnits) {
+    lwt::abt::Config cfg;
+    cfg.num_xstreams = 2;
+    lwt::abt::Library lib(cfg);
+    lwt::abt::Event ev;
+    std::atomic<bool> waiter_done{false};
+    lwt::abt::UnitHandle waiter = lib.thread_create([&] {
+        ev.wait();
+        waiter_done.store(true);
+    });
+    EXPECT_FALSE(waiter_done.load());
+    lib.task_create_detached([&] { ev.set(); }, 1);
+    waiter.free();
+    EXPECT_TRUE(waiter_done.load());
+}
+
+}  // namespace

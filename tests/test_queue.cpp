@@ -1,0 +1,323 @@
+// Tests for the work-unit containers: SPSC ring, MPMC queue, Chase-Lev
+// deque, locked deque, global queue.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "queue/chase_lev_deque.hpp"
+#include "queue/global_queue.hpp"
+#include "queue/locked_deque.hpp"
+#include "queue/mpmc_queue.hpp"
+#include "queue/spsc_ring.hpp"
+
+namespace {
+
+using lwt::queue::ChaseLevDeque;
+using lwt::queue::GlobalQueue;
+using lwt::queue::LockedDeque;
+using lwt::queue::MpmcQueue;
+using lwt::queue::SpscRing;
+
+// --- SPSC ring ---------------------------------------------------------------
+
+TEST(SpscRing, FifoOrderSingleThread) {
+    SpscRing<int> ring(8);
+    for (int i = 0; i < 5; ++i) {
+        ASSERT_TRUE(ring.try_push(i));
+    }
+    for (int i = 0; i < 5; ++i) {
+        auto v = ring.try_pop();
+        ASSERT_TRUE(v.has_value());
+        EXPECT_EQ(*v, i);
+    }
+    EXPECT_FALSE(ring.try_pop().has_value());
+}
+
+TEST(SpscRing, RejectsPushWhenFull) {
+    SpscRing<int> ring(4);  // rounded to 4
+    EXPECT_EQ(ring.capacity(), 4u);
+    for (int i = 0; i < 4; ++i) {
+        ASSERT_TRUE(ring.try_push(i));
+    }
+    EXPECT_FALSE(ring.try_push(99));
+    EXPECT_EQ(ring.size(), 4u);
+}
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+    SpscRing<int> ring(5);
+    EXPECT_EQ(ring.capacity(), 8u);
+}
+
+TEST(SpscRing, ProducerConsumerTransfersEverything) {
+    SpscRing<int> ring(64);
+    constexpr int kItems = 100000;
+    std::int64_t sum = 0;
+    std::thread consumer([&] {
+        int received = 0;
+        while (received < kItems) {
+            if (auto v = ring.try_pop()) {
+                sum += *v;
+                ++received;
+            }
+        }
+    });
+    for (int i = 1; i <= kItems; ++i) {
+        while (!ring.try_push(i)) {
+        }
+    }
+    consumer.join();
+    EXPECT_EQ(sum, static_cast<std::int64_t>(kItems) * (kItems + 1) / 2);
+}
+
+// --- MPMC queue ----------------------------------------------------------------
+
+TEST(MpmcQueue, FifoOrderSingleThread) {
+    MpmcQueue<int> q(16);
+    for (int i = 0; i < 10; ++i) {
+        ASSERT_TRUE(q.try_push(i));
+    }
+    for (int i = 0; i < 10; ++i) {
+        auto v = q.try_pop();
+        ASSERT_TRUE(v.has_value());
+        EXPECT_EQ(*v, i);
+    }
+    EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(MpmcQueue, RejectsPushWhenFull) {
+    MpmcQueue<int> q(4);
+    for (int i = 0; i < 4; ++i) {
+        ASSERT_TRUE(q.try_push(i));
+    }
+    EXPECT_FALSE(q.try_push(4));
+}
+
+TEST(MpmcQueue, ManyProducersManyConsumersConserveItems) {
+    MpmcQueue<int> q(1024);
+    constexpr int kProducers = 3;
+    constexpr int kConsumers = 3;
+    constexpr int kPerProducer = 30000;
+    std::atomic<std::int64_t> sum{0};
+    std::atomic<int> consumed{0};
+    std::vector<std::thread> threads;
+    for (int p = 0; p < kProducers; ++p) {
+        threads.emplace_back([&, p] {
+            for (int i = 0; i < kPerProducer; ++i) {
+                const int value = p * kPerProducer + i + 1;
+                while (!q.try_push(value)) {
+                    std::this_thread::yield();
+                }
+            }
+        });
+    }
+    for (int c = 0; c < kConsumers; ++c) {
+        threads.emplace_back([&] {
+            for (;;) {
+                if (consumed.load() >= kProducers * kPerProducer) {
+                    break;
+                }
+                if (auto v = q.try_pop()) {
+                    sum.fetch_add(*v);
+                    consumed.fetch_add(1);
+                } else {
+                    std::this_thread::yield();
+                }
+            }
+        });
+    }
+    for (auto& t : threads) {
+        t.join();
+    }
+    const std::int64_t n = static_cast<std::int64_t>(kProducers) * kPerProducer;
+    EXPECT_EQ(consumed.load(), n);
+    EXPECT_EQ(sum.load(), n * (n + 1) / 2);
+}
+
+// --- Chase-Lev deque -------------------------------------------------------------
+
+TEST(ChaseLev, OwnerLifoThiefFifo) {
+    ChaseLevDeque<int> d(8);
+    d.push_bottom(1);
+    d.push_bottom(2);
+    d.push_bottom(3);
+    EXPECT_EQ(d.steal_top().value_or(-1), 1);   // oldest
+    EXPECT_EQ(d.pop_bottom().value_or(-1), 3);  // newest
+    EXPECT_EQ(d.pop_bottom().value_or(-1), 2);
+    EXPECT_FALSE(d.pop_bottom().has_value());
+}
+
+TEST(ChaseLev, GrowsBeyondInitialCapacity) {
+    ChaseLevDeque<int> d(2);
+    constexpr int kItems = 1000;
+    for (int i = 0; i < kItems; ++i) {
+        d.push_bottom(i);
+    }
+    EXPECT_EQ(d.size_approx(), static_cast<std::size_t>(kItems));
+    for (int i = kItems - 1; i >= 0; --i) {
+        EXPECT_EQ(d.pop_bottom().value_or(-1), i);
+    }
+}
+
+TEST(ChaseLev, OwnerAndThievesConserveItems) {
+    ChaseLevDeque<int> d(64);
+    constexpr int kItems = 200000;
+    constexpr int kThieves = 3;
+    std::atomic<std::int64_t> stolen_sum{0};
+    std::atomic<int> taken{0};
+    std::atomic<bool> done_pushing{false};
+    std::vector<std::thread> thieves;
+    for (int t = 0; t < kThieves; ++t) {
+        thieves.emplace_back([&] {
+            while (taken.load() < kItems) {
+                if (auto v = d.steal_top()) {
+                    stolen_sum.fetch_add(*v);
+                    taken.fetch_add(1);
+                } else if (done_pushing.load() && d.empty()) {
+                    if (taken.load() >= kItems) {
+                        break;
+                    }
+                    std::this_thread::yield();
+                }
+            }
+        });
+    }
+    std::int64_t owner_sum = 0;
+    for (int i = 1; i <= kItems; ++i) {
+        d.push_bottom(i);
+        if (i % 3 == 0) {
+            if (auto v = d.pop_bottom()) {
+                owner_sum += *v;
+                taken.fetch_add(1);
+            }
+        }
+    }
+    done_pushing.store(true);
+    // Owner drains the rest.
+    while (taken.load() < kItems) {
+        if (auto v = d.pop_bottom()) {
+            owner_sum += *v;
+            taken.fetch_add(1);
+        }
+    }
+    for (auto& t : thieves) {
+        t.join();
+    }
+    const std::int64_t expect =
+        static_cast<std::int64_t>(kItems) * (kItems + 1) / 2;
+    EXPECT_EQ(owner_sum + stolen_sum.load(), expect);
+}
+
+// --- locked deque ------------------------------------------------------------------
+
+TEST(LockedDeque, BothEndsBehave) {
+    LockedDeque<int> d;
+    d.push_back(1);
+    d.push_back(2);
+    d.push_front(0);
+    EXPECT_EQ(d.size(), 3u);
+    EXPECT_EQ(d.pop_front().value_or(-1), 0);
+    EXPECT_EQ(d.pop_back().value_or(-1), 2);
+    EXPECT_EQ(d.pop_back().value_or(-1), 1);
+    EXPECT_TRUE(d.empty());
+}
+
+TEST(LockedDeque, RemoveSpecificElement) {
+    LockedDeque<int> d;
+    d.push_back(1);
+    d.push_back(2);
+    d.push_back(3);
+    EXPECT_TRUE(d.remove(2));
+    EXPECT_FALSE(d.remove(2));
+    EXPECT_EQ(d.pop_front().value_or(-1), 1);
+    EXPECT_EQ(d.pop_front().value_or(-1), 3);
+}
+
+TEST(LockedDeque, ConcurrentMixedEndsConserveItems) {
+    LockedDeque<int> d;
+    constexpr int kItems = 50000;
+    std::atomic<std::int64_t> sum{0};
+    std::atomic<int> got{0};
+    std::thread thief([&] {
+        while (got.load() < kItems) {
+            if (auto v = d.pop_front()) {
+                sum.fetch_add(*v);
+                got.fetch_add(1);
+            } else {
+                std::this_thread::yield();
+            }
+        }
+    });
+    std::thread owner_pop([&] {
+        while (got.load() < kItems) {
+            if (auto v = d.pop_back()) {
+                sum.fetch_add(*v);
+                got.fetch_add(1);
+            } else {
+                std::this_thread::yield();
+            }
+        }
+    });
+    for (int i = 1; i <= kItems; ++i) {
+        d.push_back(i);
+    }
+    thief.join();
+    owner_pop.join();
+    EXPECT_EQ(sum.load(), static_cast<std::int64_t>(kItems) * (kItems + 1) / 2);
+}
+
+// --- global queue ------------------------------------------------------------------
+
+TEST(GlobalQueue, FifoOrder) {
+    GlobalQueue<int> q;
+    q.push(1);
+    q.push(2);
+    q.push(3);
+    EXPECT_EQ(q.try_pop().value_or(-1), 1);
+    EXPECT_EQ(q.try_pop().value_or(-1), 2);
+    EXPECT_EQ(q.try_pop().value_or(-1), 3);
+    EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(GlobalQueue, RemoveSpecificElement) {
+    GlobalQueue<int> q;
+    q.push(10);
+    q.push(20);
+    EXPECT_TRUE(q.remove(10));
+    EXPECT_FALSE(q.remove(10));
+    EXPECT_EQ(q.try_pop().value_or(-1), 20);
+}
+
+TEST(GlobalQueue, ManyThreadsShareOneQueue) {
+    GlobalQueue<int> q;
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 20000;
+    std::atomic<int> popped{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            for (int i = 0; i < kPerThread; ++i) {
+                q.push(i);
+            }
+            while (popped.load() < kThreads * kPerThread) {
+                if (q.try_pop()) {
+                    popped.fetch_add(1);
+                } else if (q.empty() && popped.load() >= kThreads * kPerThread) {
+                    break;
+                } else {
+                    std::this_thread::yield();
+                }
+            }
+        });
+    }
+    for (auto& t : threads) {
+        t.join();
+    }
+    EXPECT_EQ(popped.load(), kThreads * kPerThread);
+    EXPECT_TRUE(q.empty());
+}
+
+}  // namespace

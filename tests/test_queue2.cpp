@@ -1,0 +1,185 @@
+// Tests for the hazard-pointer domain and the Michael-Scott queue.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "queue/hazard_pointers.hpp"
+#include "queue/ms_queue.hpp"
+
+namespace {
+
+using lwt::queue::HazardDomain;
+using lwt::queue::MsQueue;
+
+// --- HazardDomain -------------------------------------------------------------
+
+TEST(HazardDomain, RetireEventuallyReclaims) {
+    HazardDomain& domain = HazardDomain::instance();
+    const auto before = domain.reclaimed();
+    constexpr int kObjects = 200;  // > kScanThreshold: forces scans
+    for (int i = 0; i < kObjects; ++i) {
+        domain.retire(new int(i),
+                      [](void* p) { delete static_cast<int*>(p); });
+    }
+    domain.drain_this_thread();
+    EXPECT_GE(domain.reclaimed() - before, static_cast<std::uint64_t>(kObjects));
+}
+
+TEST(HazardDomain, ProtectedPointerSurvivesScan) {
+    static std::atomic<int> deleted{0};
+    deleted = 0;
+    std::atomic<int*> shared{new int(42)};
+
+    HazardDomain::Guard guard;
+    int* protected_ptr = guard.protect(shared);
+    ASSERT_EQ(*protected_ptr, 42);
+
+    // Another thread retires the object while we hold the hazard.
+    std::thread retirer([&] {
+        HazardDomain::instance().retire(protected_ptr, [](void* p) {
+            deleted.fetch_add(1);
+            delete static_cast<int*>(p);
+        });
+        HazardDomain::instance().drain_this_thread();
+    });
+    retirer.join();
+    // Still protected: must not have been deleted.
+    EXPECT_EQ(deleted.load(), 0);
+    EXPECT_EQ(*protected_ptr, 42);  // safe dereference
+
+    guard.reset();
+    // After releasing the hazard the retirer's NEXT scan may free it; force
+    // one from this thread won't help (retired list is per-thread), so do
+    // it from a fresh thread owning nothing.
+    std::thread finisher(
+        [] { HazardDomain::instance().drain_this_thread(); });
+    finisher.join();
+    // The object sits on the retirer thread's (now dead) list; this is the
+    // documented leak-until-scan behaviour. The invariant under test is
+    // only that deletion never happened while protected.
+    SUCCEED();
+}
+
+TEST(HazardDomain, GuardsAreReusableAndNestable) {
+    std::atomic<int*> a{new int(1)};
+    std::atomic<int*> b{new int(2)};
+    {
+        HazardDomain::Guard g1;
+        HazardDomain::Guard g2;  // second slot of this thread
+        EXPECT_EQ(*g1.protect(a), 1);
+        EXPECT_EQ(*g2.protect(b), 2);
+    }
+    {
+        HazardDomain::Guard g3;  // slots released: claimable again
+        EXPECT_EQ(*g3.protect(a), 1);
+    }
+    delete a.load();
+    delete b.load();
+}
+
+// --- MsQueue -----------------------------------------------------------------
+
+TEST(MsQueue, FifoOrderSingleThread) {
+    MsQueue<int> q;
+    EXPECT_TRUE(q.empty());
+    for (int i = 0; i < 100; ++i) {
+        q.push(i);
+    }
+    EXPECT_FALSE(q.empty());
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(q.try_pop().value_or(-1), i);
+    }
+    EXPECT_FALSE(q.try_pop().has_value());
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(MsQueue, UnboundedGrowth) {
+    MsQueue<int> q;
+    constexpr int kItems = 100000;  // far beyond any small bound
+    for (int i = 0; i < kItems; ++i) {
+        q.push(i);
+    }
+    int count = 0;
+    while (q.try_pop()) {
+        ++count;
+    }
+    EXPECT_EQ(count, kItems);
+}
+
+TEST(MsQueue, InterleavedPushPop) {
+    MsQueue<int> q;
+    for (int round = 0; round < 1000; ++round) {
+        q.push(round);
+        q.push(round + 1000000);
+        EXPECT_EQ(q.try_pop().value_or(-1), round);
+        EXPECT_EQ(q.try_pop().value_or(-1), round + 1000000);
+    }
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(MsQueue, MpmcConservation) {
+    MsQueue<int> q;
+    constexpr int kProducers = 3;
+    constexpr int kConsumers = 3;
+    constexpr int kPerProducer = 20000;
+    std::atomic<std::int64_t> sum{0};
+    std::atomic<int> consumed{0};
+    std::vector<std::thread> threads;
+    for (int p = 0; p < kProducers; ++p) {
+        threads.emplace_back([&, p] {
+            for (int i = 0; i < kPerProducer; ++i) {
+                q.push(p * kPerProducer + i + 1);
+            }
+        });
+    }
+    for (int c = 0; c < kConsumers; ++c) {
+        threads.emplace_back([&] {
+            while (consumed.load() < kProducers * kPerProducer) {
+                if (auto v = q.try_pop()) {
+                    sum.fetch_add(*v);
+                    consumed.fetch_add(1);
+                } else {
+                    std::this_thread::yield();
+                }
+            }
+        });
+    }
+    for (auto& t : threads) {
+        t.join();
+    }
+    const std::int64_t n =
+        static_cast<std::int64_t>(kProducers) * kPerProducer;
+    EXPECT_EQ(consumed.load(), n);
+    EXPECT_EQ(sum.load(), n * (n + 1) / 2);
+}
+
+TEST(MsQueue, PerProducerOrderUnderConcurrency) {
+    MsQueue<std::pair<int, int>> q;
+    constexpr int kProducers = 2;
+    constexpr int kPerProducer = 10000;
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&, p] {
+            for (int i = 0; i < kPerProducer; ++i) {
+                q.push({p, i});
+            }
+        });
+    }
+    std::vector<int> last(kProducers, -1);
+    int got = 0;
+    while (got < kProducers * kPerProducer) {
+        if (auto v = q.try_pop()) {
+            ASSERT_EQ(v->second, last[static_cast<std::size_t>(v->first)] + 1);
+            last[static_cast<std::size_t>(v->first)] = v->second;
+            ++got;
+        }
+    }
+    for (auto& t : producers) {
+        t.join();
+    }
+}
+
+}  // namespace

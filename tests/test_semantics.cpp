@@ -1,0 +1,122 @@
+// Tests for the Table I / Table II data and rendering, including
+// cross-checks against the live backends.
+#include <gtest/gtest.h>
+
+#include "glt/glt.hpp"
+#include "semantics/semantics.hpp"
+
+namespace {
+
+using lwt::semantics::capability_matrix;
+using lwt::semantics::Capabilities;
+using lwt::semantics::find_capabilities;
+using lwt::semantics::function_matrix;
+
+TEST(TableOne, HasSixLibrariesInPaperOrder) {
+    const auto& m = capability_matrix();
+    ASSERT_EQ(m.size(), 6u);
+    EXPECT_EQ(m[0].library, "Pthreads");
+    EXPECT_EQ(m[1].library, "Argobots");
+    EXPECT_EQ(m[2].library, "Qthreads");
+    EXPECT_EQ(m[3].library, "MassiveThreads");
+    EXPECT_EQ(m[4].library, "Converse Threads");
+    EXPECT_EQ(m[5].library, "Go");
+}
+
+TEST(TableOne, HierarchyLevelsMatchPaper) {
+    EXPECT_EQ(find_capabilities("Pthreads")->levels_of_hierarchy, 1);
+    EXPECT_EQ(find_capabilities("Argobots")->levels_of_hierarchy, 2);
+    EXPECT_EQ(find_capabilities("Qthreads")->levels_of_hierarchy, 3);
+    EXPECT_EQ(find_capabilities("MassiveThreads")->levels_of_hierarchy, 2);
+    EXPECT_EQ(find_capabilities("Converse Threads")->levels_of_hierarchy, 2);
+    EXPECT_EQ(find_capabilities("Go")->levels_of_hierarchy, 2);
+}
+
+TEST(TableOne, WorkUnitTypeCountsMatchPaper) {
+    EXPECT_EQ(find_capabilities("Argobots")->work_unit_types, 2);
+    EXPECT_EQ(find_capabilities("Converse Threads")->work_unit_types, 2);
+    for (const char* lib : {"Pthreads", "Qthreads", "MassiveThreads", "Go"}) {
+        EXPECT_EQ(find_capabilities(lib)->work_unit_types, 1) << lib;
+    }
+}
+
+TEST(TableOne, OnlyArgobotsHasYieldToAndStackableScheduler) {
+    for (const Capabilities& c : capability_matrix()) {
+        const bool is_abt = c.library == "Argobots";
+        EXPECT_EQ(c.yield_to, is_abt) << c.library;
+        EXPECT_EQ(c.stackable_scheduler, is_abt) << c.library;
+        EXPECT_EQ(c.group_scheduler, is_abt) << c.library;
+    }
+}
+
+TEST(TableOne, GoIsGlobalQueueOnlyWithNoPluginScheduler) {
+    const Capabilities* go = find_capabilities("Go");
+    ASSERT_NE(go, nullptr);
+    EXPECT_TRUE(go->global_work_unit_queue);
+    EXPECT_FALSE(go->private_work_unit_queue);
+    EXPECT_FALSE(go->plugin_scheduler);
+}
+
+TEST(TableOne, GroupControlEverywhereExceptPthreads) {
+    for (const Capabilities& c : capability_matrix()) {
+        EXPECT_EQ(c.group_control, c.library != "Pthreads") << c.library;
+    }
+}
+
+TEST(TableOne, LookupByGltKeyWorks) {
+    EXPECT_EQ(find_capabilities("abt"), find_capabilities("Argobots"));
+    EXPECT_EQ(find_capabilities("gol"), find_capabilities("Go"));
+    EXPECT_EQ(find_capabilities("bogus"), nullptr);
+}
+
+TEST(TableOne, TaskletSupportAgreesWithLiveBackends) {
+    // The descriptor table must not drift from what the code implements.
+    using lwt::glt::Backend;
+    for (Backend b : {Backend::kAbt, Backend::kQth, Backend::kMth,
+                      Backend::kCvt, Backend::kGol}) {
+        auto rt = lwt::glt::Runtime::create(b, 1);
+        const Capabilities* caps =
+            find_capabilities(lwt::glt::backend_name(b));
+        ASSERT_NE(caps, nullptr);
+        EXPECT_EQ(rt->has_native_tasklets(), caps->tasklet_support)
+            << lwt::glt::backend_name(b);
+    }
+}
+
+TEST(TableTwo, FunctionNamesMatchPaper) {
+    const auto& m = function_matrix();
+    ASSERT_GE(m.size(), 5u);
+    EXPECT_EQ(m[0].ult_creation, "ABT_thread_create");
+    EXPECT_EQ(m[0].tasklet_creation, "ABT_task_create");
+    EXPECT_EQ(m[1].join, "qthread_readFF");
+    EXPECT_EQ(m[2].initialization, "myth_init");
+    EXPECT_EQ(m[3].tasklet_creation, "CmiSyncSend");
+    EXPECT_EQ(m[4].join, "channel");
+}
+
+TEST(TableTwo, UnsupportedCellsAreEmpty) {
+    const auto& m = function_matrix();
+    EXPECT_TRUE(m[1].tasklet_creation.empty());  // Qthreads: no tasklets
+    EXPECT_TRUE(m[4].yield.empty());             // Go: no yield
+}
+
+TEST(Render, TableOneContainsEveryRowLabel) {
+    const std::string table = lwt::semantics::render_table1();
+    for (const char* label :
+         {"Levels of Hierarchy", "# Work Unit Types", "Thread Support",
+          "Tasklet Support", "Group Control", "Yield To",
+          "Global Work Unit Queue", "Private Work Unit Queue",
+          "Plug-in Scheduler", "Stackable Scheduler", "Group Scheduler"}) {
+        EXPECT_NE(table.find(label), std::string::npos) << label;
+    }
+}
+
+TEST(Render, TableTwoContainsAllLibraries) {
+    const std::string table = lwt::semantics::render_table2();
+    for (const char* lib : {"Argobots", "Qthreads", "MassiveThreads",
+                            "Converse Threads", "Go", "glt"}) {
+        EXPECT_NE(table.find(lib), std::string::npos) << lib;
+    }
+}
+
+}  // namespace

@@ -1,0 +1,267 @@
+// Tests for OS-thread-level synchronisation: locks, barriers, FEB table.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "sync/barrier.hpp"
+#include "sync/feb.hpp"
+#include "sync/mcs_lock.hpp"
+#include "sync/spinlock.hpp"
+
+namespace {
+
+using lwt::sync::aligned_t;
+using lwt::sync::CentralBarrier;
+using lwt::sync::DisseminationBarrier;
+using lwt::sync::FebTable;
+using lwt::sync::McsLock;
+using lwt::sync::Spinlock;
+using lwt::sync::TicketLock;
+
+constexpr int kThreads = 4;
+constexpr int kIncrementsPerThread = 20000;
+
+// --- locks: mutual exclusion under contention -------------------------------
+
+template <typename Lock>
+long contended_count() {
+    Lock lock;
+    long counter = 0;
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&] {
+            for (int i = 0; i < kIncrementsPerThread; ++i) {
+                std::lock_guard guard(lock);
+                ++counter;
+            }
+        });
+    }
+    for (auto& w : workers) {
+        w.join();
+    }
+    return counter;
+}
+
+TEST(Spinlock, MutualExclusionUnderContention) {
+    EXPECT_EQ(contended_count<Spinlock>(), kThreads * kIncrementsPerThread);
+}
+
+TEST(TicketLock, MutualExclusionUnderContention) {
+    EXPECT_EQ(contended_count<TicketLock>(), kThreads * kIncrementsPerThread);
+}
+
+TEST(Spinlock, TryLockReflectsState) {
+    Spinlock lock;
+    EXPECT_TRUE(lock.try_lock());
+    EXPECT_FALSE(lock.try_lock());
+    lock.unlock();
+    EXPECT_TRUE(lock.try_lock());
+    lock.unlock();
+}
+
+TEST(TicketLock, TryLockReflectsState) {
+    TicketLock lock;
+    EXPECT_TRUE(lock.try_lock());
+    EXPECT_FALSE(lock.try_lock());
+    lock.unlock();
+    EXPECT_TRUE(lock.try_lock());
+    lock.unlock();
+}
+
+TEST(McsLock, MutualExclusionUnderContention) {
+    McsLock lock;
+    long counter = 0;
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&] {
+            for (int i = 0; i < kIncrementsPerThread; ++i) {
+                McsLock::Guard guard(lock);
+                ++counter;
+            }
+        });
+    }
+    for (auto& w : workers) {
+        w.join();
+    }
+    EXPECT_EQ(counter, kThreads * kIncrementsPerThread);
+}
+
+// --- barriers ---------------------------------------------------------------
+
+TEST(CentralBarrier, NoThreadPassesEarly) {
+    constexpr int kN = 4;
+    constexpr int kRounds = 200;
+    CentralBarrier barrier(kN);
+    std::atomic<int> phase_counts[kRounds] = {};
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kN; ++t) {
+        workers.emplace_back([&] {
+            for (int r = 0; r < kRounds; ++r) {
+                phase_counts[r].fetch_add(1);
+                barrier.arrive_and_wait();
+                // After the barrier everyone must have bumped this round.
+                EXPECT_EQ(phase_counts[r].load(), kN);
+            }
+        });
+    }
+    for (auto& w : workers) {
+        w.join();
+    }
+}
+
+TEST(CentralBarrier, SingleParticipantNeverBlocks) {
+    CentralBarrier barrier(1);
+    for (int i = 0; i < 100; ++i) {
+        barrier.arrive_and_wait();
+    }
+    SUCCEED();
+}
+
+TEST(DisseminationBarrier, NoThreadPassesEarly) {
+    constexpr int kN = 5;  // deliberately not a power of two
+    constexpr int kRounds = 200;
+    DisseminationBarrier barrier(kN);
+    std::atomic<int> phase_counts[kRounds] = {};
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kN; ++t) {
+        workers.emplace_back([&, t] {
+            for (int r = 0; r < kRounds; ++r) {
+                phase_counts[r].fetch_add(1);
+                barrier.arrive_and_wait(static_cast<std::size_t>(t));
+                EXPECT_EQ(phase_counts[r].load(), kN);
+            }
+        });
+    }
+    for (auto& w : workers) {
+        w.join();
+    }
+}
+
+// --- FEB table ----------------------------------------------------------------
+
+TEST(Feb, WordsStartImplicitlyFull) {
+    FebTable table;
+    aligned_t word = 77;
+    EXPECT_TRUE(table.is_full(&word));
+    EXPECT_EQ(table.read_ff(&word), 77u);
+}
+
+TEST(Feb, PurgeThenFillRoundTrip) {
+    FebTable table;
+    aligned_t word = 0;
+    table.purge(&word);
+    EXPECT_FALSE(table.is_full(&word));
+    table.fill(&word);
+    EXPECT_TRUE(table.is_full(&word));
+}
+
+TEST(Feb, WriteFSetsValueAndFull) {
+    FebTable table;
+    aligned_t word = 0;
+    table.purge(&word);
+    table.write_f(&word, 123);
+    EXPECT_TRUE(table.is_full(&word));
+    EXPECT_EQ(word, 123u);
+}
+
+TEST(Feb, ReadFeEmptiesTheWord) {
+    FebTable table;
+    aligned_t word = 55;
+    EXPECT_EQ(table.read_fe(&word), 55u);
+    EXPECT_FALSE(table.is_full(&word));
+}
+
+TEST(Feb, WriteEfBlocksUntilEmpty) {
+    FebTable table;
+    aligned_t word = 1;  // implicitly FULL
+    std::atomic<bool> wrote{false};
+    std::thread writer([&] {
+        table.write_ef(&word, 99);  // must wait for an EMPTY state
+        wrote.store(true);
+    });
+    // Give the writer a chance to (incorrectly) complete.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(wrote.load());
+    table.purge(&word);  // now EMPTY -> writer proceeds
+    writer.join();
+    EXPECT_TRUE(wrote.load());
+    EXPECT_EQ(word, 99u);
+    EXPECT_TRUE(table.is_full(&word));
+}
+
+TEST(Feb, ReadFfBlocksUntilFull) {
+    FebTable table;
+    aligned_t word = 0;
+    table.purge(&word);
+    std::atomic<bool> read{false};
+    aligned_t got = 0;
+    std::thread reader([&] {
+        got = table.read_ff(&word);
+        read.store(true);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(read.load());
+    table.write_f(&word, 42);
+    reader.join();
+    EXPECT_TRUE(read.load());
+    EXPECT_EQ(got, 42u);
+}
+
+TEST(Feb, ProducerConsumerHandoffChain) {
+    // readFE/writeEF alternation acts as a 1-slot channel.
+    FebTable table;
+    aligned_t word = 0;
+    table.purge(&word);
+    constexpr aligned_t kItems = 500;
+    std::uint64_t sum = 0;
+    std::thread producer([&] {
+        for (aligned_t i = 1; i <= kItems; ++i) {
+            table.write_ef(&word, i);
+        }
+    });
+    for (aligned_t i = 1; i <= kItems; ++i) {
+        sum += table.read_fe(&word);
+    }
+    producer.join();
+    EXPECT_EQ(sum, kItems * (kItems + 1) / 2);
+}
+
+TEST(Feb, ForgetRestoresImplicitFull) {
+    FebTable table;
+    aligned_t word = 5;
+    table.purge(&word);
+    ASSERT_FALSE(table.is_full(&word));
+    table.forget(&word);
+    EXPECT_TRUE(table.is_full(&word));
+    EXPECT_EQ(table.tracked(), 0u);
+}
+
+TEST(Feb, InstanceIsSingleton) {
+    EXPECT_EQ(&FebTable::instance(), &FebTable::instance());
+}
+
+TEST(Feb, CustomWaiterIsInvokedWhileBlocked) {
+    FebTable table;
+    aligned_t word = 0;
+    table.purge(&word);
+    std::thread filler([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        table.write_f(&word, 7);
+    });
+    std::size_t waits = 0;
+    const aligned_t v = table.read_ff(
+        &word,
+        [](void* ctx) {
+            ++*static_cast<std::size_t*>(ctx);
+            std::this_thread::yield();
+        },
+        &waits);
+    filler.join();
+    EXPECT_EQ(v, 7u);
+    EXPECT_GT(waits, 0u);
+}
+
+}  // namespace

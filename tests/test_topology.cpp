@@ -1,0 +1,110 @@
+// Tests for topology discovery and binding plans.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "arch/topology.hpp"
+
+namespace {
+
+using lwt::arch::apply_binding;
+using lwt::arch::BindPolicy;
+using lwt::arch::CpuInfo;
+using lwt::arch::Topology;
+
+/// The paper's testbed: 2 packages x 18 cores x 2 hardware threads.
+Topology paper_machine() {
+    std::vector<CpuInfo> cpus;
+    unsigned cpu = 0;
+    for (unsigned thread = 0; thread < 2; ++thread) {
+        for (unsigned pkg = 0; pkg < 2; ++pkg) {
+            for (unsigned core = 0; core < 18; ++core) {
+                cpus.push_back(CpuInfo{cpu++, core, pkg});
+            }
+        }
+    }
+    return Topology(std::move(cpus));
+}
+
+TEST(Topology, DiscoverReturnsAtLeastOneCpu) {
+    const Topology topo = Topology::discover();
+    EXPECT_GE(topo.num_cpus(), 1u);
+    EXPECT_GE(topo.num_packages(), 1u);
+    EXPECT_GE(topo.num_cores(), 1u);
+    EXPECT_FALSE(topo.describe().empty());
+}
+
+TEST(Topology, PaperMachineCounts) {
+    const Topology topo = paper_machine();
+    EXPECT_EQ(topo.num_cpus(), 72u);
+    EXPECT_EQ(topo.num_packages(), 2u);
+    EXPECT_EQ(topo.num_cores(), 36u);
+    EXPECT_EQ(topo.describe(), "2 packages x 18 cores x 2 threads");
+}
+
+TEST(Topology, NonePolicyPlansNothing) {
+    const Topology topo = paper_machine();
+    EXPECT_TRUE(topo.plan(BindPolicy::kNone, 8).empty());
+}
+
+TEST(Topology, CompactFillsFirstPackageFirst) {
+    const Topology topo = paper_machine();
+    const auto plan = topo.plan(BindPolicy::kCompact, 18);
+    ASSERT_EQ(plan.size(), 18u);
+    // All 18 streams must land on package 0 CPUs.
+    std::set<unsigned> pkg0_cpus;
+    for (const CpuInfo& c : topo.cpus()) {
+        if (c.package_id == 0) {
+            pkg0_cpus.insert(c.cpu_id);
+        }
+    }
+    for (unsigned cpu : plan) {
+        EXPECT_TRUE(pkg0_cpus.count(cpu) == 1) << cpu;
+    }
+}
+
+TEST(Topology, ScatterAlternatesPackages) {
+    const Topology topo = paper_machine();
+    const auto plan = topo.plan(BindPolicy::kScatter, 8);
+    ASSERT_EQ(plan.size(), 8u);
+    // Map back to packages: must alternate 0,1,0,1,...
+    auto package_of = [&](unsigned cpu) {
+        for (const CpuInfo& c : topo.cpus()) {
+            if (c.cpu_id == cpu) {
+                return c.package_id;
+            }
+        }
+        return ~0u;
+    };
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+        EXPECT_EQ(package_of(plan[i]), i % 2) << i;
+    }
+}
+
+TEST(Topology, PlanWrapsBeyondCpuCount) {
+    std::vector<CpuInfo> two = {{0, 0, 0}, {1, 1, 0}};
+    const Topology topo{std::move(two)};
+    const auto plan = topo.plan(BindPolicy::kCompact, 5);
+    ASSERT_EQ(plan.size(), 5u);
+    EXPECT_EQ(plan[0], plan[2]);
+    EXPECT_EQ(plan[1], plan[3]);
+}
+
+TEST(Topology, ApplyBindingSucceedsOnThisHost) {
+    const Topology topo = Topology::discover();
+    const auto plan = topo.plan(BindPolicy::kCompact, 4);
+    EXPECT_TRUE(apply_binding(plan, 0));
+    EXPECT_TRUE(apply_binding({}, 3));  // empty plan: no-op success
+}
+
+TEST(Topology, DistinctCpusWithinCapacity) {
+    const Topology topo = paper_machine();
+    for (BindPolicy p : {BindPolicy::kCompact, BindPolicy::kScatter}) {
+        const auto plan = topo.plan(p, 72);
+        std::set<unsigned> unique(plan.begin(), plan.end());
+        EXPECT_EQ(unique.size(), 72u) << "policy reused a CPU too early";
+    }
+}
+
+}  // namespace
