@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_abt"
+  "../bench/ablation_abt.pdb"
+  "CMakeFiles/ablation_abt.dir/ablation_abt.cpp.o"
+  "CMakeFiles/ablation_abt.dir/ablation_abt.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_abt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_lwomp_vs_momp"
+  "../bench/ext_lwomp_vs_momp.pdb"
+  "CMakeFiles/ext_lwomp_vs_momp.dir/ext_lwomp_vs_momp.cpp.o"
+  "CMakeFiles/ext_lwomp_vs_momp.dir/ext_lwomp_vs_momp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_lwomp_vs_momp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_top500"
+  "../bench/fig1_top500.pdb"
+  "CMakeFiles/fig1_top500.dir/fig1_top500.cpp.o"
+  "CMakeFiles/fig1_top500.dir/fig1_top500.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_top500.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_create"
+  "../bench/fig2_create.pdb"
+  "CMakeFiles/fig2_create.dir/fig2_create.cpp.o"
+  "CMakeFiles/fig2_create.dir/fig2_create.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_create.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

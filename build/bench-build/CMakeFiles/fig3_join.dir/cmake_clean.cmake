@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_join"
+  "../bench/fig3_join.pdb"
+  "CMakeFiles/fig3_join.dir/fig3_join.cpp.o"
+  "CMakeFiles/fig3_join.dir/fig3_join.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_for_loop"
+  "../bench/fig4_for_loop.pdb"
+  "CMakeFiles/fig4_for_loop.dir/fig4_for_loop.cpp.o"
+  "CMakeFiles/fig4_for_loop.dir/fig4_for_loop.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_for_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_task_single"
+  "../bench/fig5_task_single.pdb"
+  "CMakeFiles/fig5_task_single.dir/fig5_task_single.cpp.o"
+  "CMakeFiles/fig5_task_single.dir/fig5_task_single.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_task_single.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_task_parallel"
+  "../bench/fig6_task_parallel.pdb"
+  "CMakeFiles/fig6_task_parallel.dir/fig6_task_parallel.cpp.o"
+  "CMakeFiles/fig6_task_parallel.dir/fig6_task_parallel.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_task_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

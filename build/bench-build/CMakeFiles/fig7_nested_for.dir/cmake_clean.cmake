@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_nested_for"
+  "../bench/fig7_nested_for.pdb"
+  "CMakeFiles/fig7_nested_for.dir/fig7_nested_for.cpp.o"
+  "CMakeFiles/fig7_nested_for.dir/fig7_nested_for.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_nested_for.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

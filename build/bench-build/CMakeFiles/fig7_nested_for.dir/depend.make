@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_nested_for.
+# This may be replaced when dependencies are built.

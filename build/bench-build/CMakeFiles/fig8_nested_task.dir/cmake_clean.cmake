@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_nested_task"
+  "../bench/fig8_nested_task.pdb"
+  "CMakeFiles/fig8_nested_task.dir/fig8_nested_task.cpp.o"
+  "CMakeFiles/fig8_nested_task.dir/fig8_nested_task.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_nested_task.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_semantics"
+  "../bench/table1_semantics.pdb"
+  "CMakeFiles/table1_semantics.dir/table1_semantics.cpp.o"
+  "CMakeFiles/table1_semantics.dir/table1_semantics.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_functions"
+  "../bench/table2_functions.pdb"
+  "CMakeFiles/table2_functions.dir/table2_functions.cpp.o"
+  "CMakeFiles/table2_functions.dir/table2_functions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

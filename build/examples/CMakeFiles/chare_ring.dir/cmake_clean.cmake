@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chare_ring.dir/chare_ring.cpp.o"
+  "CMakeFiles/chare_ring.dir/chare_ring.cpp.o.d"
+  "chare_ring"
+  "chare_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chare_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

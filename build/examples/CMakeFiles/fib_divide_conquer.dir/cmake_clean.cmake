@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fib_divide_conquer.dir/fib_divide_conquer.cpp.o"
+  "CMakeFiles/fib_divide_conquer.dir/fib_divide_conquer.cpp.o.d"
+  "fib_divide_conquer"
+  "fib_divide_conquer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fib_divide_conquer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fib_divide_conquer.
+# This may be replaced when dependencies are built.

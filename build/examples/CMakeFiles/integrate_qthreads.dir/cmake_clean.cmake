@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integrate_qthreads.dir/integrate_qthreads.cpp.o"
+  "CMakeFiles/integrate_qthreads.dir/integrate_qthreads.cpp.o.d"
+  "integrate_qthreads"
+  "integrate_qthreads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integrate_qthreads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

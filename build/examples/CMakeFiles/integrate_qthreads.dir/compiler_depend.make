@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for integrate_qthreads.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/pipeline_channels.cpp" "examples/CMakeFiles/pipeline_channels.dir/pipeline_channels.cpp.o" "gcc" "examples/CMakeFiles/pipeline_channels.dir/pipeline_channels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gol/CMakeFiles/lwt_gol.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lwt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/queue/CMakeFiles/lwt_queue.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/lwt_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/lwt_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

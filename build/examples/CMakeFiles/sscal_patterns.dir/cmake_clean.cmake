@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sscal_patterns.dir/sscal_patterns.cpp.o"
+  "CMakeFiles/sscal_patterns.dir/sscal_patterns.cpp.o.d"
+  "sscal_patterns"
+  "sscal_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sscal_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stencil_momp.dir/stencil_momp.cpp.o"
+  "CMakeFiles/stencil_momp.dir/stencil_momp.cpp.o.d"
+  "stencil_momp"
+  "stencil_momp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stencil_momp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lwt_abt.dir/abt.cpp.o"
+  "CMakeFiles/lwt_abt.dir/abt.cpp.o.d"
+  "liblwt_abt.a"
+  "liblwt_abt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lwt_abt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for lwt_abt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lwt_arch.dir/cpu.cpp.o"
+  "CMakeFiles/lwt_arch.dir/cpu.cpp.o.d"
+  "CMakeFiles/lwt_arch.dir/fcontext_x86_64.S.o"
+  "CMakeFiles/lwt_arch.dir/stack.cpp.o"
+  "CMakeFiles/lwt_arch.dir/stack.cpp.o.d"
+  "CMakeFiles/lwt_arch.dir/topology.cpp.o"
+  "CMakeFiles/lwt_arch.dir/topology.cpp.o.d"
+  "liblwt_arch.a"
+  "liblwt_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang ASM CXX)
+  include(CMakeFiles/lwt_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchsupport/harness.cpp" "src/benchsupport/CMakeFiles/lwt_benchsupport.dir/harness.cpp.o" "gcc" "src/benchsupport/CMakeFiles/lwt_benchsupport.dir/harness.cpp.o.d"
+  "/root/repo/src/benchsupport/top500.cpp" "src/benchsupport/CMakeFiles/lwt_benchsupport.dir/top500.cpp.o" "gcc" "src/benchsupport/CMakeFiles/lwt_benchsupport.dir/top500.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/lwt_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lwt_benchsupport.dir/harness.cpp.o"
+  "CMakeFiles/lwt_benchsupport.dir/harness.cpp.o.d"
+  "CMakeFiles/lwt_benchsupport.dir/top500.cpp.o"
+  "CMakeFiles/lwt_benchsupport.dir/top500.cpp.o.d"
+  "liblwt_benchsupport.a"
+  "liblwt_benchsupport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lwt_benchsupport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/pool.cpp" "src/core/CMakeFiles/lwt_core.dir/pool.cpp.o" "gcc" "src/core/CMakeFiles/lwt_core.dir/pool.cpp.o.d"
+  "/root/repo/src/core/runtime.cpp" "src/core/CMakeFiles/lwt_core.dir/runtime.cpp.o" "gcc" "src/core/CMakeFiles/lwt_core.dir/runtime.cpp.o.d"
+  "/root/repo/src/core/sync_ult.cpp" "src/core/CMakeFiles/lwt_core.dir/sync_ult.cpp.o" "gcc" "src/core/CMakeFiles/lwt_core.dir/sync_ult.cpp.o.d"
+  "/root/repo/src/core/trace.cpp" "src/core/CMakeFiles/lwt_core.dir/trace.cpp.o" "gcc" "src/core/CMakeFiles/lwt_core.dir/trace.cpp.o.d"
+  "/root/repo/src/core/ult.cpp" "src/core/CMakeFiles/lwt_core.dir/ult.cpp.o" "gcc" "src/core/CMakeFiles/lwt_core.dir/ult.cpp.o.d"
+  "/root/repo/src/core/xstream.cpp" "src/core/CMakeFiles/lwt_core.dir/xstream.cpp.o" "gcc" "src/core/CMakeFiles/lwt_core.dir/xstream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/lwt_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/lwt_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/queue/CMakeFiles/lwt_queue.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lwt_core.dir/pool.cpp.o"
+  "CMakeFiles/lwt_core.dir/pool.cpp.o.d"
+  "CMakeFiles/lwt_core.dir/runtime.cpp.o"
+  "CMakeFiles/lwt_core.dir/runtime.cpp.o.d"
+  "CMakeFiles/lwt_core.dir/sync_ult.cpp.o"
+  "CMakeFiles/lwt_core.dir/sync_ult.cpp.o.d"
+  "CMakeFiles/lwt_core.dir/trace.cpp.o"
+  "CMakeFiles/lwt_core.dir/trace.cpp.o.d"
+  "CMakeFiles/lwt_core.dir/ult.cpp.o"
+  "CMakeFiles/lwt_core.dir/ult.cpp.o.d"
+  "CMakeFiles/lwt_core.dir/xstream.cpp.o"
+  "CMakeFiles/lwt_core.dir/xstream.cpp.o.d"
+  "liblwt_core.a"
+  "liblwt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lwt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lwt_cvt.dir/cvt.cpp.o"
+  "CMakeFiles/lwt_cvt.dir/cvt.cpp.o.d"
+  "liblwt_cvt.a"
+  "liblwt_cvt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lwt_cvt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lwt_glt.dir/glt.cpp.o"
+  "CMakeFiles/lwt_glt.dir/glt.cpp.o.d"
+  "liblwt_glt.a"
+  "liblwt_glt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lwt_glt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

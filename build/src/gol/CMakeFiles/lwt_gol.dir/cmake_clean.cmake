@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lwt_gol.dir/gol.cpp.o"
+  "CMakeFiles/lwt_gol.dir/gol.cpp.o.d"
+  "liblwt_gol.a"
+  "liblwt_gol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lwt_gol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lwt_lwomp.dir/lwomp.cpp.o"
+  "CMakeFiles/lwt_lwomp.dir/lwomp.cpp.o.d"
+  "liblwt_lwomp.a"
+  "liblwt_lwomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lwt_lwomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblwt_lwomp.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/momp/momp.cpp" "src/momp/CMakeFiles/lwt_momp.dir/momp.cpp.o" "gcc" "src/momp/CMakeFiles/lwt_momp.dir/momp.cpp.o.d"
+  "/root/repo/src/momp/task_pool.cpp" "src/momp/CMakeFiles/lwt_momp.dir/task_pool.cpp.o" "gcc" "src/momp/CMakeFiles/lwt_momp.dir/task_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lwt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/queue/CMakeFiles/lwt_queue.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/lwt_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/lwt_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

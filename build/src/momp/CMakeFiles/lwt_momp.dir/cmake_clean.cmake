@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lwt_momp.dir/momp.cpp.o"
+  "CMakeFiles/lwt_momp.dir/momp.cpp.o.d"
+  "CMakeFiles/lwt_momp.dir/task_pool.cpp.o"
+  "CMakeFiles/lwt_momp.dir/task_pool.cpp.o.d"
+  "liblwt_momp.a"
+  "liblwt_momp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lwt_momp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lwt_mth.dir/mth.cpp.o"
+  "CMakeFiles/lwt_mth.dir/mth.cpp.o.d"
+  "liblwt_mth.a"
+  "liblwt_mth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lwt_mth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

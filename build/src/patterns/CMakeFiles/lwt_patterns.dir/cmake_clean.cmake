@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lwt_patterns.dir/patterns.cpp.o"
+  "CMakeFiles/lwt_patterns.dir/patterns.cpp.o.d"
+  "liblwt_patterns.a"
+  "liblwt_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lwt_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

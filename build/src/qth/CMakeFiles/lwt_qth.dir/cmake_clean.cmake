@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lwt_qth.dir/qth.cpp.o"
+  "CMakeFiles/lwt_qth.dir/qth.cpp.o.d"
+  "liblwt_qth.a"
+  "liblwt_qth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lwt_qth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

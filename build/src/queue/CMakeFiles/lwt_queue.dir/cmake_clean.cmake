@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lwt_queue.dir/hazard_pointers.cpp.o"
+  "CMakeFiles/lwt_queue.dir/hazard_pointers.cpp.o.d"
+  "liblwt_queue.a"
+  "liblwt_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lwt_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

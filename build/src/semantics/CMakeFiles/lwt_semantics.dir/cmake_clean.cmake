@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lwt_semantics.dir/semantics.cpp.o"
+  "CMakeFiles/lwt_semantics.dir/semantics.cpp.o.d"
+  "liblwt_semantics.a"
+  "liblwt_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lwt_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lwt_sync.dir/barrier.cpp.o"
+  "CMakeFiles/lwt_sync.dir/barrier.cpp.o.d"
+  "CMakeFiles/lwt_sync.dir/feb.cpp.o"
+  "CMakeFiles/lwt_sync.dir/feb.cpp.o.d"
+  "liblwt_sync.a"
+  "liblwt_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lwt_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

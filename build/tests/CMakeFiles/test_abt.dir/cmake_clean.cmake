@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_abt.dir/test_abt.cpp.o"
+  "CMakeFiles/test_abt.dir/test_abt.cpp.o.d"
+  "test_abt"
+  "test_abt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_abt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_benchsupport.dir/test_benchsupport.cpp.o"
+  "CMakeFiles/test_benchsupport.dir/test_benchsupport.cpp.o.d"
+  "test_benchsupport"
+  "test_benchsupport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_benchsupport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cvt.dir/test_cvt.cpp.o"
+  "CMakeFiles/test_cvt.dir/test_cvt.cpp.o.d"
+  "test_cvt"
+  "test_cvt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cvt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_glt.dir/test_glt.cpp.o"
+  "CMakeFiles/test_glt.dir/test_glt.cpp.o.d"
+  "test_glt"
+  "test_glt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_glt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

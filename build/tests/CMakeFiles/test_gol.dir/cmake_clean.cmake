@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gol.dir/test_gol.cpp.o"
+  "CMakeFiles/test_gol.dir/test_gol.cpp.o.d"
+  "test_gol"
+  "test_gol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gol2.dir/test_gol2.cpp.o"
+  "CMakeFiles/test_gol2.dir/test_gol2.cpp.o.d"
+  "test_gol2"
+  "test_gol2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gol2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

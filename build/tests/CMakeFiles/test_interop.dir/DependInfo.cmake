@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_interop.cpp" "tests/CMakeFiles/test_interop.dir/test_interop.cpp.o" "gcc" "tests/CMakeFiles/test_interop.dir/test_interop.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/abt/CMakeFiles/lwt_abt.dir/DependInfo.cmake"
+  "/root/repo/build/src/qth/CMakeFiles/lwt_qth.dir/DependInfo.cmake"
+  "/root/repo/build/src/gol/CMakeFiles/lwt_gol.dir/DependInfo.cmake"
+  "/root/repo/build/src/momp/CMakeFiles/lwt_momp.dir/DependInfo.cmake"
+  "/root/repo/build/src/glt/CMakeFiles/lwt_glt.dir/DependInfo.cmake"
+  "/root/repo/build/src/mth/CMakeFiles/lwt_mth.dir/DependInfo.cmake"
+  "/root/repo/build/src/cvt/CMakeFiles/lwt_cvt.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lwt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/queue/CMakeFiles/lwt_queue.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/lwt_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/lwt_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

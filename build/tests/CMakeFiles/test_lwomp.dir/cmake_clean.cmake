@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lwomp.dir/test_lwomp.cpp.o"
+  "CMakeFiles/test_lwomp.dir/test_lwomp.cpp.o.d"
+  "test_lwomp"
+  "test_lwomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lwomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

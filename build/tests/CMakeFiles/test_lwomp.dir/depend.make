@@ -1,0 +1,2 @@
+# Empty dependencies file for test_lwomp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_momp.dir/test_momp.cpp.o"
+  "CMakeFiles/test_momp.dir/test_momp.cpp.o.d"
+  "test_momp"
+  "test_momp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_momp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

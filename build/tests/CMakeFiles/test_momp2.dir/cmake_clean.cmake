@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_momp2.dir/test_momp2.cpp.o"
+  "CMakeFiles/test_momp2.dir/test_momp2.cpp.o.d"
+  "test_momp2"
+  "test_momp2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_momp2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

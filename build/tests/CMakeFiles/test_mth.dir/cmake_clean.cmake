@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mth.dir/test_mth.cpp.o"
+  "CMakeFiles/test_mth.dir/test_mth.cpp.o.d"
+  "test_mth"
+  "test_mth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

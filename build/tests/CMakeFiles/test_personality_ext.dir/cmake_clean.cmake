@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_personality_ext.dir/test_personality_ext.cpp.o"
+  "CMakeFiles/test_personality_ext.dir/test_personality_ext.cpp.o.d"
+  "test_personality_ext"
+  "test_personality_ext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_personality_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

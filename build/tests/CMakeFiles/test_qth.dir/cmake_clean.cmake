@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qth.dir/test_qth.cpp.o"
+  "CMakeFiles/test_qth.dir/test_qth.cpp.o.d"
+  "test_qth"
+  "test_qth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_queue2.dir/test_queue2.cpp.o"
+  "CMakeFiles/test_queue2.dir/test_queue2.cpp.o.d"
+  "test_queue2"
+  "test_queue2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_queue2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
