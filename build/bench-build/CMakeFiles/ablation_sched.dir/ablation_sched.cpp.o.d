@@ -341,11 +341,16 @@ bench-build/CMakeFiles/ablation_sched.dir/ablation_sched.cpp.o: \
  /root/repo/src/queue/locked_deque.hpp \
  /root/repo/src/queue/mpmc_queue.hpp /root/repo/src/queue/ms_queue.hpp \
  /root/repo/src/queue/hazard_pointers.hpp \
+ /root/repo/src/sync/parking_lot.hpp \
+ /usr/include/c++/12/condition_variable \
  /root/repo/src/core/priority_pool.hpp /root/repo/src/core/runtime.hpp \
- /root/repo/src/core/xstream.hpp /root/repo/src/core/scheduler.hpp \
- /usr/include/c++/12/random /usr/include/c++/12/bits/random.h \
+ /root/repo/src/core/xstream.hpp /root/repo/src/core/sched_stats.hpp \
+ /root/repo/src/core/scheduler.hpp /usr/include/c++/12/random \
+ /usr/include/c++/12/bits/random.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/opt_random.h \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h /root/repo/src/core/ult.hpp \
- /root/repo/src/arch/fcontext.hpp /root/repo/src/arch/stack.hpp
+ /root/repo/src/arch/fcontext.hpp /root/repo/src/arch/stack.hpp \
+ /root/repo/src/sync/idle_backoff.hpp /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h

@@ -324,7 +324,12 @@ bench-build/CMakeFiles/micro_ops.dir/micro_ops.cpp.o: \
  /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h /root/repo/src/core/ult.hpp \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /root/repo/src/sync/parking_lot.hpp /usr/include/c++/12/chrono \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc \
+ /usr/include/c++/12/condition_variable /root/repo/src/core/ult.hpp \
  /root/repo/src/core/channel.hpp /root/repo/src/core/priority_pool.hpp \
  /root/repo/src/core/sync_ult.hpp /root/repo/src/queue/spsc_ring.hpp \
  /root/repo/src/sync/feb.hpp /root/repo/src/sync/mcs_lock.hpp

@@ -247,10 +247,7 @@ examples/CMakeFiles/stencil_momp.dir/stencil_momp.cpp.o: \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
- /root/repo/src/core/unique_function.hpp /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/queue/chase_lev_deque.hpp /usr/include/c++/12/optional \
- /root/repo/src/arch/cpu.hpp \
+ /root/repo/src/core/sched_stats.hpp /root/repo/src/arch/cpu.hpp \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/immintrin.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/x86gprintrin.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/ia32intrin.h \
@@ -338,6 +335,14 @@ examples/CMakeFiles/stencil_momp.dir/stencil_momp.cpp.o: \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/amxbf16intrin.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/prfchwintrin.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/keylockerintrin.h \
+ /root/repo/src/core/unique_function.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/queue/chase_lev_deque.hpp /usr/include/c++/12/optional \
  /root/repo/src/queue/global_queue.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/sync/spinlock.hpp /root/repo/src/sync/barrier.hpp
+ /root/repo/src/sync/spinlock.hpp /root/repo/src/sync/idle_backoff.hpp \
+ /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/sync/parking_lot.hpp /root/repo/src/sync/barrier.hpp

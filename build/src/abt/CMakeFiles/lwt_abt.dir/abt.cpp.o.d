@@ -317,7 +317,12 @@ src/abt/CMakeFiles/lwt_abt.dir/abt.cpp.o: /root/repo/src/abt/abt.cpp \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/core/runtime.hpp /root/repo/src/core/xstream.hpp \
+ /root/repo/src/sync/parking_lot.hpp /usr/include/c++/12/chrono \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc \
+ /usr/include/c++/12/condition_variable /root/repo/src/core/runtime.hpp \
+ /root/repo/src/core/xstream.hpp /root/repo/src/core/sched_stats.hpp \
  /root/repo/src/core/scheduler.hpp /usr/include/c++/12/random \
  /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
@@ -346,6 +351,7 @@ src/abt/CMakeFiles/lwt_abt.dir/abt.cpp.o: /root/repo/src/abt/abt.cpp \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h /root/repo/src/core/ult.hpp \
- /root/repo/src/arch/fcontext.hpp /root/repo/src/core/future.hpp \
- /usr/include/c++/12/cassert /usr/include/assert.h \
- /root/repo/src/core/sync_ult.hpp
+ /root/repo/src/arch/fcontext.hpp /root/repo/src/sync/idle_backoff.hpp \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/core/future.hpp /usr/include/c++/12/cassert \
+ /usr/include/assert.h /root/repo/src/core/sync_ult.hpp

@@ -319,7 +319,12 @@ src/core/CMakeFiles/lwt_core.dir/ult.cpp.o: /root/repo/src/core/ult.cpp \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/core/xstream.hpp /root/repo/src/core/scheduler.hpp \
+ /root/repo/src/sync/parking_lot.hpp /usr/include/c++/12/chrono \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc \
+ /usr/include/c++/12/condition_variable /root/repo/src/core/xstream.hpp \
+ /root/repo/src/core/sched_stats.hpp /root/repo/src/core/scheduler.hpp \
  /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
@@ -346,4 +351,6 @@ src/core/CMakeFiles/lwt_core.dir/ult.cpp.o: /root/repo/src/core/ult.cpp \
  /usr/include/x86_64-linux-gnu/c++/12/bits/opt_random.h \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
- /usr/include/c++/12/pstl/glue_numeric_defs.h
+ /usr/include/c++/12/pstl/glue_numeric_defs.h \
+ /root/repo/src/sync/idle_backoff.hpp /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h

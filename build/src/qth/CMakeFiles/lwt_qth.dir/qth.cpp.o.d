@@ -318,9 +318,14 @@ src/qth/CMakeFiles/lwt_qth.dir/qth.cpp.o: /root/repo/src/qth/qth.cpp \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/queue/locked_deque.hpp \
  /root/repo/src/queue/mpmc_queue.hpp /root/repo/src/queue/ms_queue.hpp \
- /root/repo/src/queue/hazard_pointers.hpp /root/repo/src/core/xstream.hpp \
- /root/repo/src/core/scheduler.hpp /usr/include/c++/12/random \
- /usr/include/c++/12/cmath /usr/include/math.h \
+ /root/repo/src/queue/hazard_pointers.hpp \
+ /root/repo/src/sync/parking_lot.hpp /usr/include/c++/12/chrono \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc \
+ /usr/include/c++/12/condition_variable /root/repo/src/core/xstream.hpp \
+ /root/repo/src/core/sched_stats.hpp /root/repo/src/core/scheduler.hpp \
+ /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
@@ -348,4 +353,6 @@ src/qth/CMakeFiles/lwt_qth.dir/qth.cpp.o: /root/repo/src/qth/qth.cpp \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h /root/repo/src/core/ult.hpp \
  /root/repo/src/arch/fcontext.hpp /root/repo/src/arch/stack.hpp \
- /root/repo/src/sync/feb.hpp /root/repo/src/core/runtime.hpp
+ /root/repo/src/sync/idle_backoff.hpp /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h /root/repo/src/sync/feb.hpp \
+ /root/repo/src/core/runtime.hpp

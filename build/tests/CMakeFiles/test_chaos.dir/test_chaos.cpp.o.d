@@ -425,6 +425,9 @@ tests/CMakeFiles/test_chaos.dir/test_chaos.cpp.o: \
  /root/repo/src/queue/global_queue.hpp \
  /root/repo/src/queue/locked_deque.hpp \
  /root/repo/src/queue/mpmc_queue.hpp /root/repo/src/queue/ms_queue.hpp \
- /root/repo/src/queue/hazard_pointers.hpp /root/repo/src/core/runtime.hpp \
- /root/repo/src/core/xstream.hpp /root/repo/src/core/scheduler.hpp \
- /root/repo/src/core/sync_ult.hpp
+ /root/repo/src/queue/hazard_pointers.hpp \
+ /root/repo/src/sync/parking_lot.hpp /usr/include/c++/12/chrono \
+ /usr/include/c++/12/condition_variable /root/repo/src/core/runtime.hpp \
+ /root/repo/src/core/xstream.hpp /root/repo/src/core/sched_stats.hpp \
+ /root/repo/src/core/scheduler.hpp /root/repo/src/sync/idle_backoff.hpp \
+ /usr/include/c++/12/cstring /root/repo/src/core/sync_ult.hpp

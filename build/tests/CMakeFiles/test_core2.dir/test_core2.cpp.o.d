@@ -392,8 +392,8 @@ tests/CMakeFiles/test_core2.dir/test_core2.cpp.o: \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/prfchwintrin.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/keylockerintrin.h \
  /root/repo/src/core/unique_function.hpp /root/repo/src/core/xstream.hpp \
- /root/repo/src/core/scheduler.hpp /usr/include/c++/12/random \
- /usr/include/c++/12/cmath /usr/include/math.h \
+ /root/repo/src/core/sched_stats.hpp /root/repo/src/core/scheduler.hpp \
+ /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
@@ -427,4 +427,7 @@ tests/CMakeFiles/test_core2.dir/test_core2.cpp.o: \
  /root/repo/src/queue/locked_deque.hpp \
  /root/repo/src/queue/mpmc_queue.hpp /root/repo/src/queue/ms_queue.hpp \
  /root/repo/src/queue/hazard_pointers.hpp \
+ /root/repo/src/sync/parking_lot.hpp /usr/include/c++/12/chrono \
+ /usr/include/c++/12/condition_variable \
+ /root/repo/src/sync/idle_backoff.hpp /usr/include/c++/12/cstring \
  /root/repo/src/core/priority_pool.hpp

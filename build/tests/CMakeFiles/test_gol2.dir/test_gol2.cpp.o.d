@@ -400,7 +400,9 @@ tests/CMakeFiles/test_gol2.dir/test_gol2.cpp.o: \
  /root/repo/src/queue/locked_deque.hpp \
  /root/repo/src/queue/mpmc_queue.hpp /root/repo/src/queue/ms_queue.hpp \
  /root/repo/src/queue/hazard_pointers.hpp \
- /root/repo/src/core/sync_ult.hpp /root/repo/src/core/xstream.hpp \
+ /root/repo/src/sync/parking_lot.hpp /usr/include/c++/12/chrono \
+ /usr/include/c++/12/condition_variable /root/repo/src/core/sync_ult.hpp \
+ /root/repo/src/core/xstream.hpp /root/repo/src/core/sched_stats.hpp \
  /root/repo/src/core/scheduler.hpp /usr/include/c++/12/random \
  /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
@@ -429,4 +431,5 @@ tests/CMakeFiles/test_gol2.dir/test_gol2.cpp.o: \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
+ /root/repo/src/sync/idle_backoff.hpp /usr/include/c++/12/cstring \
  /root/repo/src/gol/select.hpp

@@ -393,8 +393,8 @@ tests/CMakeFiles/test_modules.dir/test_modules.cpp.o: \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/prfchwintrin.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/keylockerintrin.h \
  /root/repo/src/core/unique_function.hpp /root/repo/src/core/xstream.hpp \
- /root/repo/src/core/scheduler.hpp /usr/include/c++/12/random \
- /usr/include/c++/12/cmath /usr/include/math.h \
+ /root/repo/src/core/sched_stats.hpp /root/repo/src/core/scheduler.hpp \
+ /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
@@ -427,9 +427,12 @@ tests/CMakeFiles/test_modules.dir/test_modules.cpp.o: \
  /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/queue/locked_deque.hpp \
  /root/repo/src/queue/mpmc_queue.hpp /root/repo/src/queue/ms_queue.hpp \
- /root/repo/src/queue/hazard_pointers.hpp /root/repo/src/cvt/cvt.hpp \
- /root/repo/src/core/sync_ult.hpp /root/repo/src/momp/momp.hpp \
- /usr/include/c++/12/condition_variable /root/repo/src/momp/task_pool.hpp \
+ /root/repo/src/queue/hazard_pointers.hpp \
+ /root/repo/src/sync/parking_lot.hpp /usr/include/c++/12/chrono \
+ /usr/include/c++/12/condition_variable \
+ /root/repo/src/sync/idle_backoff.hpp /usr/include/c++/12/cstring \
+ /root/repo/src/cvt/cvt.hpp /root/repo/src/core/sync_ult.hpp \
+ /root/repo/src/momp/momp.hpp /root/repo/src/momp/task_pool.hpp \
  /root/repo/src/sync/barrier.hpp /root/repo/src/qth/dictionary.hpp \
  /root/repo/src/qth/qth.hpp /root/repo/src/arch/topology.hpp \
  /root/repo/src/sync/feb.hpp

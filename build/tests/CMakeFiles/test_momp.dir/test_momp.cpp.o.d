@@ -330,8 +330,7 @@ tests/CMakeFiles/test_momp.dir/test_momp.cpp.o: \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
- /root/repo/src/core/unique_function.hpp \
- /root/repo/src/queue/chase_lev_deque.hpp /root/repo/src/arch/cpu.hpp \
+ /root/repo/src/core/sched_stats.hpp /root/repo/src/arch/cpu.hpp \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/immintrin.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/x86gprintrin.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/ia32intrin.h \
@@ -418,6 +417,10 @@ tests/CMakeFiles/test_momp.dir/test_momp.cpp.o: \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/amxbf16intrin.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/prfchwintrin.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/keylockerintrin.h \
+ /root/repo/src/core/unique_function.hpp \
+ /root/repo/src/queue/chase_lev_deque.hpp \
  /root/repo/src/queue/global_queue.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/sync/spinlock.hpp /root/repo/src/sync/barrier.hpp
+ /root/repo/src/sync/spinlock.hpp /root/repo/src/sync/idle_backoff.hpp \
+ /usr/include/c++/12/chrono /usr/include/c++/12/cstring \
+ /root/repo/src/sync/parking_lot.hpp /root/repo/src/sync/barrier.hpp

@@ -397,10 +397,13 @@ tests/CMakeFiles/test_mth.dir/test_mth.cpp.o: \
  /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/queue/locked_deque.hpp \
  /root/repo/src/queue/mpmc_queue.hpp /root/repo/src/queue/ms_queue.hpp \
- /root/repo/src/queue/hazard_pointers.hpp /root/repo/src/core/ult.hpp \
+ /root/repo/src/queue/hazard_pointers.hpp \
+ /root/repo/src/sync/parking_lot.hpp /usr/include/c++/12/chrono \
+ /usr/include/c++/12/condition_variable /root/repo/src/core/ult.hpp \
  /root/repo/src/arch/fcontext.hpp /root/repo/src/arch/stack.hpp \
- /root/repo/src/core/xstream.hpp /root/repo/src/core/scheduler.hpp \
- /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
+ /root/repo/src/core/xstream.hpp /root/repo/src/core/sched_stats.hpp \
+ /root/repo/src/core/scheduler.hpp /usr/include/c++/12/random \
+ /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
@@ -426,4 +429,5 @@ tests/CMakeFiles/test_mth.dir/test_mth.cpp.o: \
  /usr/include/x86_64-linux-gnu/c++/12/bits/opt_random.h \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
- /usr/include/c++/12/pstl/glue_numeric_defs.h
+ /usr/include/c++/12/pstl/glue_numeric_defs.h \
+ /root/repo/src/sync/idle_backoff.hpp /usr/include/c++/12/cstring

@@ -397,9 +397,12 @@ tests/CMakeFiles/test_personality_ext.dir/test_personality_ext.cpp.o: \
  /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/queue/locked_deque.hpp \
  /root/repo/src/queue/mpmc_queue.hpp /root/repo/src/queue/ms_queue.hpp \
- /root/repo/src/queue/hazard_pointers.hpp /root/repo/src/core/runtime.hpp \
- /root/repo/src/core/xstream.hpp /root/repo/src/core/scheduler.hpp \
- /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
+ /root/repo/src/queue/hazard_pointers.hpp \
+ /root/repo/src/sync/parking_lot.hpp /usr/include/c++/12/chrono \
+ /usr/include/c++/12/condition_variable /root/repo/src/core/runtime.hpp \
+ /root/repo/src/core/xstream.hpp /root/repo/src/core/sched_stats.hpp \
+ /root/repo/src/core/scheduler.hpp /usr/include/c++/12/random \
+ /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
@@ -426,7 +429,8 @@ tests/CMakeFiles/test_personality_ext.dir/test_personality_ext.cpp.o: \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h /root/repo/src/core/ult.hpp \
- /root/repo/src/arch/fcontext.hpp /root/repo/src/core/future.hpp \
+ /root/repo/src/arch/fcontext.hpp /root/repo/src/sync/idle_backoff.hpp \
+ /usr/include/c++/12/cstring /root/repo/src/core/future.hpp \
  /root/repo/src/core/sync_ult.hpp /root/repo/src/cvt/cvt.hpp \
  /root/repo/src/qth/qth.hpp /root/repo/src/arch/topology.hpp \
  /root/repo/src/sync/feb.hpp

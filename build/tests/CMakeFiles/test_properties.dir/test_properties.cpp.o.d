@@ -400,9 +400,12 @@ tests/CMakeFiles/test_properties.dir/test_properties.cpp.o: \
  /root/repo/src/queue/global_queue.hpp \
  /root/repo/src/queue/locked_deque.hpp \
  /root/repo/src/queue/mpmc_queue.hpp /root/repo/src/queue/ms_queue.hpp \
- /root/repo/src/queue/hazard_pointers.hpp /root/repo/src/core/runtime.hpp \
- /root/repo/src/core/xstream.hpp /root/repo/src/core/scheduler.hpp \
- /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
+ /root/repo/src/queue/hazard_pointers.hpp \
+ /root/repo/src/sync/parking_lot.hpp /usr/include/c++/12/chrono \
+ /usr/include/c++/12/condition_variable /root/repo/src/core/runtime.hpp \
+ /root/repo/src/core/xstream.hpp /root/repo/src/core/sched_stats.hpp \
+ /root/repo/src/core/scheduler.hpp /usr/include/c++/12/random \
+ /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
@@ -426,5 +429,6 @@ tests/CMakeFiles/test_properties.dir/test_properties.cpp.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /usr/include/c++/12/bits/random.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/opt_random.h \
- /usr/include/c++/12/bits/random.tcc /root/repo/src/core/sync_ult.hpp \
+ /usr/include/c++/12/bits/random.tcc /root/repo/src/sync/idle_backoff.hpp \
+ /usr/include/c++/12/cstring /root/repo/src/core/sync_ult.hpp \
  /root/repo/src/patterns/patterns.hpp

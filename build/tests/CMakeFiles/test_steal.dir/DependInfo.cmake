@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_steal.cpp" "tests/CMakeFiles/test_steal.dir/test_steal.cpp.o" "gcc" "tests/CMakeFiles/test_steal.dir/test_steal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lwt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/queue/CMakeFiles/lwt_queue.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/lwt_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/lwt_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_steal.dir/test_steal.cpp.o"
+  "CMakeFiles/test_steal.dir/test_steal.cpp.o.d"
+  "test_steal"
+  "test_steal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_steal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

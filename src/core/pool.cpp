@@ -6,7 +6,7 @@ namespace lwt::core {
 
 bool SharedFifoPool::remove(WorkUnit* unit) { return queue_.remove(unit); }
 
-void MpmcPool::push(WorkUnit* unit) {
+void MpmcPool::do_push(WorkUnit* unit) {
     on_push(unit);
     while (!queue_.try_push(unit)) {
         arch::cpu_relax();  // bounded queue full: wait for consumers

@@ -16,17 +16,26 @@
 #include "queue/locked_deque.hpp"
 #include "queue/mpmc_queue.hpp"
 #include "queue/ms_queue.hpp"
+#include "sync/parking_lot.hpp"
 
 namespace lwt::core {
+
+/// Outcome of one steal probe (re-exported from the queue layer so
+/// schedulers need not name lwt::queue).
+using StealOutcome = queue::StealOutcome;
 
 /// Abstract work-unit container as seen by schedulers.
 class Pool {
   public:
     virtual ~Pool() = default;
 
-    /// Enqueue a ready unit. Thread-safety depends on the implementation;
-    /// see each subclass.
-    virtual void push(WorkUnit* unit) = 0;
+    /// Enqueue a ready unit, then wake parked streams if a waker is
+    /// attached (see set_waker). Thread-safety of the enqueue depends on
+    /// the implementation; see each subclass.
+    void push(WorkUnit* unit) {
+        do_push(unit);
+        notify_waker();
+    }
 
     /// Dequeue the next unit for the owning consumer; nullptr when empty.
     virtual WorkUnit* pop() = 0;
@@ -34,6 +43,17 @@ class Pool {
     /// Dequeue from the steal end (for other streams). Default: pools that
     /// do not support stealing return nullptr.
     virtual WorkUnit* steal() { return nullptr; }
+
+    /// Steal with an outcome report for telemetry. Pools whose steal end
+    /// can lose a race (WsPool's Chase-Lev CAS) override this to
+    /// distinguish kLost from kEmpty; for the rest a null result means
+    /// empty.
+    virtual WorkUnit* steal(StealOutcome& outcome) {
+        WorkUnit* unit = steal();
+        outcome = unit != nullptr ? StealOutcome::kSuccess
+                                  : StealOutcome::kEmpty;
+        return unit;
+    }
 
     /// Remove a specific ready unit (needed by yield_to). Returns false if
     /// the unit is not present or the pool cannot remove by identity.
@@ -47,28 +67,51 @@ class Pool {
 
     [[nodiscard]] bool empty() const { return size() == 0; }
 
+    /// Attach the parking lot whose streams consume this pool: every push
+    /// then wakes parked streams (after the unit is visible in the queue).
+    /// Runtime wires this; detach with nullptr before the lot dies.
+    void set_waker(sync::ParkingLot* lot) noexcept { waker_ = lot; }
+    [[nodiscard]] sync::ParkingLot* waker() const noexcept { return waker_; }
+
   protected:
-    /// Bookkeeping every push must perform: the unit becomes ready and this
-    /// pool becomes its home (where yields/wakes return it, and where
-    /// yield_to looks for it).
+    /// Implementation of the enqueue itself. Called by push(); must leave
+    /// the unit visible to pop()/steal() before returning.
+    virtual void do_push(WorkUnit* unit) = 0;
+
+    /// Bookkeeping every do_push must perform first: the unit becomes
+    /// ready and this pool becomes its home (where yields/wakes return it,
+    /// and where yield_to looks for it).
     void on_push(WorkUnit* unit) noexcept {
         unit->home_pool = this;
         unit->state.store(State::kReady, std::memory_order_release);
     }
+
+    /// Wake parked consumers. push() calls this after do_push; pools with
+    /// extra entry points (PriorityPool::push_with) call it themselves.
+    void notify_waker() noexcept {
+        if (waker_ != nullptr) {
+            waker_->notify_all();
+        }
+    }
+
+  private:
+    sync::ParkingLot* waker_ = nullptr;
 };
 
 /// Shared FIFO guarded by one lock — the Go / gcc-OpenMP topology. Any
 /// thread may push or pop; contention grows with the consumer count.
 class SharedFifoPool final : public Pool {
   public:
-    void push(WorkUnit* unit) override {
-        on_push(unit);
-        queue_.push(unit);
-    }
     WorkUnit* pop() override { return queue_.try_pop().value_or(nullptr); }
     WorkUnit* steal() override { return pop(); }  // same end: it's one queue
     bool remove(WorkUnit* unit) override;
     [[nodiscard]] std::size_t size() const override { return queue_.size(); }
+
+  protected:
+    void do_push(WorkUnit* unit) override {
+        on_push(unit);
+        queue_.push(unit);
+    }
 
   private:
     queue::GlobalQueue<WorkUnit*> queue_;
@@ -80,12 +123,14 @@ class MpmcPool final : public Pool {
   public:
     explicit MpmcPool(std::size_t capacity = 1 << 16) : queue_(capacity) {}
 
-    void push(WorkUnit* unit) override;
     WorkUnit* pop() override { return queue_.try_pop().value_or(nullptr); }
     WorkUnit* steal() override { return pop(); }
     [[nodiscard]] std::size_t size() const override {
         return queue_.size_approx();
     }
+
+  protected:
+    void do_push(WorkUnit* unit) override;
 
   private:
     queue::MpmcQueue<WorkUnit*> queue_;
@@ -97,15 +142,17 @@ class MpmcPool final : public Pool {
 /// pointer domain.
 class UnboundedSharedPool final : public Pool {
   public:
-    void push(WorkUnit* unit) override {
-        on_push(unit);
-        queue_.push(unit);
-    }
     WorkUnit* pop() override { return queue_.try_pop().value_or(nullptr); }
     WorkUnit* steal() override { return pop(); }
     [[nodiscard]] std::size_t size() const override {
         // MS queues have no O(1) size; report emptiness only.
         return queue_.empty() ? 0 : 1;
+    }
+
+  protected:
+    void do_push(WorkUnit* unit) override {
+        on_push(unit);
+        queue_.push(unit);
     }
 
   private:
@@ -123,10 +170,6 @@ class DequePool final : public Pool {
 
     explicit DequePool(PopOrder order = PopOrder::kFifo) : order_(order) {}
 
-    void push(WorkUnit* unit) override {
-        on_push(unit);
-        deque_.push_back(unit);
-    }
     WorkUnit* pop() override {
         auto out = order_ == PopOrder::kLifo ? deque_.pop_back()
                                              : deque_.pop_front();
@@ -141,6 +184,12 @@ class DequePool final : public Pool {
     bool remove(WorkUnit* unit) override;
     [[nodiscard]] std::size_t size() const override { return deque_.size(); }
 
+  protected:
+    void do_push(WorkUnit* unit) override {
+        on_push(unit);
+        deque_.push_back(unit);
+    }
+
   private:
     PopOrder order_;
     queue::LockedDeque<WorkUnit*> deque_;
@@ -154,14 +203,21 @@ class WsPool final : public Pool {
     explicit WsPool(std::size_t initial_capacity = 1024)
         : deque_(initial_capacity) {}
 
-    void push(WorkUnit* unit) override {
-        on_push(unit);
-        deque_.push_bottom(unit);
-    }
     WorkUnit* pop() override { return deque_.pop_bottom().value_or(nullptr); }
     WorkUnit* steal() override { return deque_.steal_top().value_or(nullptr); }
+    WorkUnit* steal(StealOutcome& outcome) override {
+        WorkUnit* unit = nullptr;
+        outcome = deque_.steal_top(unit);
+        return outcome == StealOutcome::kSuccess ? unit : nullptr;
+    }
     [[nodiscard]] std::size_t size() const override {
         return deque_.size_approx();
+    }
+
+  protected:
+    void do_push(WorkUnit* unit) override {
+        on_push(unit);
+        deque_.push_bottom(unit);
     }
 
   private:

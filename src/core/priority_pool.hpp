@@ -22,14 +22,12 @@ class PriorityPool final : public Pool {
     static_assert(Levels >= 2, "a priority pool needs at least two levels");
 
   public:
-    /// Plain pushes (yield requeues, wakes) land on the least-urgent level;
-    /// use push_with() to place a unit explicitly.
-    void push(WorkUnit* unit) override { push_with(unit, Levels - 1); }
-
-    /// Push at an explicit level (clamped).
+    /// Push at an explicit level (clamped). Plain pushes (yield requeues,
+    /// wakes) land on the least-urgent level via do_push.
     void push_with(WorkUnit* unit, std::size_t level) {
         on_push(unit);
         levels_[level < Levels ? level : Levels - 1].push_back(unit);
+        notify_waker();
     }
 
     WorkUnit* pop() override {
@@ -73,6 +71,12 @@ class PriorityPool final : public Pool {
     }
 
     static constexpr std::size_t levels() { return Levels; }
+
+  protected:
+    void do_push(WorkUnit* unit) override {
+        on_push(unit);
+        levels_[Levels - 1].push_back(unit);
+    }
 
   private:
     std::array<queue::LockedDeque<WorkUnit*>, Levels> levels_;

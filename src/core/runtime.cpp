@@ -1,19 +1,37 @@
 #include "core/runtime.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "arch/cpu.hpp"
 
 namespace lwt::core {
 
-Runtime::Runtime(std::size_t num_streams, const SchedulerFactory& factory) {
+Runtime::Runtime(std::size_t num_streams, const SchedulerFactory& factory,
+                 sync::IdleConfig idle) {
     if (num_streams == 0) {
         num_streams = 1;
     }
+    idle.policy = sync::idle_policy_from_string(std::getenv("LWT_IDLE_POLICY"),
+                                                idle.policy);
     streams_.reserve(num_streams);
     for (std::size_t i = 0; i < num_streams; ++i) {
         streams_.push_back(std::make_unique<XStream>(
             static_cast<unsigned>(i), factory(static_cast<unsigned>(i))));
+        streams_.back()->set_idle_config(idle);
+        streams_.back()->set_parking_lot(&lot_);
+    }
+    // Wire the lot as waker of every pool the schedulers can see, so a
+    // push into any of them wakes parked streams. Victim-only pools are
+    // some other stream's home pool, so scanning pools() covers them.
+    for (auto& stream : streams_) {
+        for (Pool* pool : stream->scheduler().pools()) {
+            if (std::find(wired_pools_.begin(), wired_pools_.end(), pool) ==
+                wired_pools_.end()) {
+                pool->set_waker(&lot_);
+                wired_pools_.push_back(pool);
+            }
+        }
     }
     primary().attach_caller();
     for (std::size_t i = 1; i < num_streams; ++i) {
@@ -26,6 +44,11 @@ Runtime::~Runtime() {
         streams_[i]->stop_and_join();
     }
     primary().detach_caller();
+    // The pools belong to the caller and outlive this runtime (and with it
+    // the lot): detach the wakers before the lot dies.
+    for (Pool* pool : wired_pools_) {
+        pool->set_waker(nullptr);
+    }
 }
 
 std::size_t Runtime::resolve_stream_count(std::size_t requested,

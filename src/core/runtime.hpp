@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "core/xstream.hpp"
+#include "sync/idle_backoff.hpp"
+#include "sync/parking_lot.hpp"
 
 namespace lwt::core {
 
@@ -26,7 +28,14 @@ class Runtime {
 
     /// Create `num_streams` streams (>= 1). Streams 1..n-1 get dedicated OS
     /// threads; stream 0 adopts the calling thread.
-    Runtime(std::size_t num_streams, const SchedulerFactory& factory);
+    ///
+    /// `idle` selects the streams' idle ladder (spin/backoff/park; see
+    /// docs/idle_loop.md); LWT_IDLE_POLICY=spin|backoff|park overrides the
+    /// policy field. The runtime owns a ParkingLot and attaches it as the
+    /// waker of every pool reachable through the schedulers, so kPark
+    /// works out of the box.
+    Runtime(std::size_t num_streams, const SchedulerFactory& factory,
+            sync::IdleConfig idle = {});
     ~Runtime();
     Runtime(const Runtime&) = delete;
     Runtime& operator=(const Runtime&) = delete;
@@ -42,8 +51,28 @@ class Runtime {
     static std::size_t resolve_stream_count(std::size_t requested,
                                             const char* env_var);
 
+    /// The lot idle streams park on; pools created outside the schedulers
+    /// can be wired to it with Pool::set_waker.
+    [[nodiscard]] sync::ParkingLot& parking_lot() noexcept { return lot_; }
+
+    /// Sum of every stream's steal/idle counters (see sched_stats.hpp).
+    [[nodiscard]] SchedStats sched_stats() const noexcept {
+        SchedStats total;
+        for (const auto& s : streams_) {
+            total += s->sched_stats();
+        }
+        return total;
+    }
+    void reset_sched_stats() noexcept {
+        for (auto& s : streams_) {
+            s->reset_sched_stats();
+        }
+    }
+
   private:
+    sync::ParkingLot lot_;
     std::vector<std::unique_ptr<XStream>> streams_;
+    std::vector<Pool*> wired_pools_;
 };
 
 }  // namespace lwt::core

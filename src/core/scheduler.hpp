@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/pool.hpp"
+#include "core/sched_stats.hpp"
 
 namespace lwt::core {
 
@@ -54,38 +55,93 @@ class Scheduler {
     }
     [[nodiscard]] const std::vector<Pool*>& pools() const { return pools_; }
 
+    /// Attach the owning stream's telemetry counters (steal outcomes land
+    /// there). XStream binds this when the scheduler is installed; a
+    /// standalone scheduler (unit tests) may bind its own or leave null.
+    void bind_stats(SchedCounters* counters) noexcept { stats_ = counters; }
+    [[nodiscard]] SchedCounters* stats() const noexcept { return stats_; }
+
   protected:
     std::vector<Pool*> pools_;
+    SchedCounters* stats_ = nullptr;
 };
 
-/// Work-stealing scheduler: drain the home pool, then steal from a random
-/// victim (MassiveThreads' random work stealing; also used by the
-/// icc-OpenMP-like task path).
+/// Work-stealing scheduler: drain the home pool, then steal (MassiveThreads'
+/// random work stealing; also used by the icc-OpenMP-like task path).
+///
+/// The steal sweep makes `probes` random probes and then, if configured,
+/// falls back to one linear scan over every victim, so a single next() call
+/// finds work whenever any victim holds some — the stream's idle loop only
+/// has to provide backoff, not retry-for-coverage. The home pool is
+/// filtered out of the victim list at construction, so callers may pass
+/// all pools uniformly (and a probe can never be wasted on the home pool —
+/// the pre-fix code returned nullptr on that roll, burning the whole idle
+/// iteration).
+/// Steal-sweep shape for StealingScheduler.
+struct StealConfig {
+    /// Random probes per sweep before the linear fallback.
+    unsigned probes = 4;
+    /// Scan every victim (from a random start) once the probes miss.
+    bool linear_fallback = true;
+};
+
 class StealingScheduler : public Scheduler {
   public:
     /// `home` is this stream's own pool; `victims` are the other streams'
-    /// pools (may include `home`; it is skipped).
+    /// pools (may include `home`; it is removed).
     StealingScheduler(Pool* home, std::vector<Pool*> victims,
-                      unsigned seed = 0x9e3779b9u)
-        : Scheduler({home}), victims_(std::move(victims)), rng_(seed) {}
+                      unsigned seed = 0x9e3779b9u, StealConfig config = {})
+        : Scheduler({home}), config_(config), rng_(seed) {
+        victims_.reserve(victims.size());
+        for (Pool* v : victims) {
+            if (v != nullptr && v != home) {
+                victims_.push_back(v);
+            }
+        }
+    }
 
     WorkUnit* next() override {
         if (WorkUnit* unit = pools_.front()->pop()) {
             return unit;
         }
-        if (victims_.empty()) {
+        return steal();
+    }
+
+    /// One full steal sweep (probes + optional linear fallback); nullptr
+    /// when every probed victim came up empty.
+    WorkUnit* steal() {
+        const std::size_t n = victims_.size();
+        if (n == 0) {
             return nullptr;
         }
-        // One random probe per call: the stream's idle loop provides retry.
-        const std::size_t i = rng_() % victims_.size();
-        Pool* victim = victims_[i];
-        if (victim == pools_.front()) {
-            return nullptr;
+        for (unsigned p = 0; p < config_.probes; ++p) {
+            Pool* victim = victims_[rng_() % n];
+            if (victim == pools_.front()) {
+                // Unreachable after the constructor filter, but a probe
+                // that lands home must reroll, never end the sweep.
+                continue;
+            }
+            if (WorkUnit* unit = probe(victim)) {
+                return unit;
+            }
         }
-        return victim->steal();
+        if (config_.linear_fallback) {
+            const std::size_t start = rng_() % n;
+            for (std::size_t k = 0; k < n; ++k) {
+                Pool* victim = victims_[(start + k) % n];
+                if (victim == pools_.front()) {
+                    continue;
+                }
+                if (WorkUnit* unit = probe(victim)) {
+                    return unit;
+                }
+            }
+        }
+        return nullptr;
     }
 
     [[nodiscard]] bool has_work() const override {
+        // victims_ excludes the home pool, so this checks each pool once.
         if (Scheduler::has_work()) {
             return true;
         }
@@ -97,14 +153,43 @@ class StealingScheduler : public Scheduler {
         return false;
     }
 
+    [[nodiscard]] const std::vector<Pool*>& victims() const noexcept {
+        return victims_;
+    }
+    [[nodiscard]] const StealConfig& steal_config() const noexcept {
+        return config_;
+    }
+
   private:
+    WorkUnit* probe(Pool* victim) {
+        StealOutcome outcome;
+        WorkUnit* unit = victim->steal(outcome);
+        if (stats_ != nullptr) {
+            SchedCounters::bump(stats_->steal_attempts);
+            switch (outcome) {
+                case StealOutcome::kSuccess:
+                    SchedCounters::bump(stats_->steal_hits);
+                    break;
+                case StealOutcome::kEmpty:
+                    SchedCounters::bump(stats_->steal_empty);
+                    break;
+                case StealOutcome::kLost:
+                    SchedCounters::bump(stats_->steal_lost);
+                    break;
+            }
+        }
+        return unit;
+    }
+
+    StealConfig config_;
     std::vector<Pool*> victims_;
     std::minstd_rand rng_;
 };
 
-/// Priority scheduler: scans pools strictly in priority order but remembers
-/// a starting offset for same-priority fairness. Demonstrates the "plug-in
-/// scheduler" row of Table I; also exercised by the custom-scheduler example.
+/// Round-robin scheduler: rotates the scan's starting pool after every
+/// dequeue, so same-priority pools share the stream fairly instead of the
+/// front pool starving the rest. Demonstrates the "plug-in scheduler" row
+/// of Table I; also exercised by the custom-scheduler example.
 class RoundRobinScheduler : public Scheduler {
   public:
     using Scheduler::Scheduler;

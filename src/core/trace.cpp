@@ -74,10 +74,13 @@ std::vector<TraceRecord> Tracer::snapshot() const {
                        ring->slots.begin() + static_cast<std::ptrdiff_t>(n));
         }
     }
-    std::sort(out.begin(), out.end(),
-              [](const TraceRecord& a, const TraceRecord& b) {
-                  return a.tsc < b.tsc;
-              });
+    // Stable sort: records were appended per-ring in program order, so
+    // equal timestamps (coarse counters; rdtsc()==0 on non-x86 builds)
+    // keep their within-thread order instead of being shuffled.
+    std::stable_sort(out.begin(), out.end(),
+                     [](const TraceRecord& a, const TraceRecord& b) {
+                         return a.tsc < b.tsc;
+                     });
     return out;
 }
 

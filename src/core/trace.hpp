@@ -9,7 +9,7 @@
 //   Tracer::instance().enable();
 //   ... run work ...
 //   TraceStats s = Tracer::instance().stats();   // counts per event kind
-//   auto events = Tracer::instance().snapshot(); // raw, time-ordered-ish
+//   auto events = Tracer::instance().snapshot(); // merged, time-ordered
 #pragma once
 
 #include <array>
@@ -75,7 +75,11 @@ class Tracer {
     /// Counts per event kind over all buffers.
     [[nodiscard]] TraceStats stats() const;
 
-    /// Merged copy of every buffer, sorted by timestamp.
+    /// Merged copy of every buffer, stably sorted by timestamp: records
+    /// with equal tsc keep their per-thread insertion order. Caveat: tsc
+    /// is only guaranteed monotonic per socket — on multi-socket machines
+    /// without synchronized invariant TSCs, cross-thread ordering is
+    /// approximate (per-thread subsequences remain exact).
     [[nodiscard]] std::vector<TraceRecord> snapshot() const;
 
     /// Drop all recorded events (buffers stay registered).

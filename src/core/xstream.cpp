@@ -15,6 +15,7 @@ thread_local XStream* tl_current_xstream = nullptr;
 XStream::XStream(unsigned rank, std::unique_ptr<Scheduler> scheduler)
     : rank_(rank) {
     assert(scheduler != nullptr);
+    scheduler->bind_stats(&counters_);
     sched_stack_.push_back(std::move(scheduler));
 }
 
@@ -29,6 +30,7 @@ Scheduler& XStream::scheduler() noexcept {
 
 void XStream::push_scheduler(std::unique_ptr<Scheduler> scheduler) {
     std::lock_guard guard(sched_lock_);
+    scheduler->bind_stats(&counters_);
     sched_stack_.push_back(std::move(scheduler));
 }
 
@@ -39,6 +41,9 @@ void XStream::start() {
 
 void XStream::stop_and_join() {
     stop_.store(true, std::memory_order_release);
+    if (parking_lot_ != nullptr) {
+        parking_lot_->notify_all();  // a parked stream must see the stop
+    }
     if (thread_.joinable()) {
         thread_.join();
     }
@@ -52,9 +57,26 @@ void XStream::detach_caller() noexcept {
     }
 }
 
-void XStream::idle_pause() noexcept {
-    arch::cpu_relax();
-    std::this_thread::yield();  // essential on oversubscribed hosts
+void XStream::count_idle_step(sync::IdleBackoff::Step step) noexcept {
+    using Step = sync::IdleBackoff::Step;
+    switch (step) {
+        case Step::kSpun:
+            SchedCounters::bump(counters_.idle_spins);
+            break;
+        case Step::kYielded:
+            SchedCounters::bump(counters_.idle_yields);
+            break;
+        case Step::kParkAborted:
+            break;  // the re-check found work; not an idle event
+        case Step::kParkNotified:
+            SchedCounters::bump(counters_.parks);
+            SchedCounters::bump(counters_.unparks);
+            break;
+        case Step::kParkTimeout:
+            SchedCounters::bump(counters_.parks);
+            SchedCounters::bump(counters_.park_timeouts);
+            break;
+    }
 }
 
 void XStream::loop() {
@@ -62,15 +84,23 @@ void XStream::loop() {
     if (on_start_) {
         on_start_();
     }
+    sync::IdleBackoff idle(idle_config_, parking_lot_);
     for (;;) {
-        if (!progress()) {
-            // Drain semantics: exit only when stopping *and* out of work.
-            if (stop_.load(std::memory_order_acquire) &&
-                !scheduler().has_work()) {
-                break;
-            }
-            idle_pause();
+        if (progress()) {
+            idle.reset();
+            continue;
         }
+        // Drain semantics: exit only when stopping *and* out of work.
+        if (stop_.load(std::memory_order_acquire) && !scheduler().has_work()) {
+            break;
+        }
+        // The re-check runs with park interest registered, so a push (or
+        // stop) that lands after it still bumps the lot's epoch and aborts
+        // the park — no lost wakeup.
+        count_idle_step(idle.step([this] {
+            return stop_.load(std::memory_order_acquire) ||
+                   scheduler().has_work();
+        }));
     }
     tl_current_xstream = nullptr;
 }

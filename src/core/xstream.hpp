@@ -3,6 +3,12 @@
 // The paper's per-library names for this object: Execution Stream
 // (Argobots), Shepherd/Worker (Qthreads), Worker (MassiveThreads),
 // Processor (Converse Threads), Thread (Go).
+//
+// Idle behaviour is a configurable ladder (sync/idle_backoff.hpp,
+// docs/idle_loop.md): bounded spin -> exponential backoff -> park on the
+// runtime's ParkingLot until a Pool::push wakes the stream. Every steal
+// probe and idle step is counted in per-stream SchedCounters, snapshotted
+// through sched_stats().
 #pragma once
 
 #include <atomic>
@@ -12,8 +18,10 @@
 #include <thread>
 #include <vector>
 
+#include "core/sched_stats.hpp"
 #include "core/scheduler.hpp"
 #include "core/ult.hpp"
+#include "sync/idle_backoff.hpp"
 #include "sync/spinlock.hpp"
 
 namespace lwt::core {
@@ -36,8 +44,28 @@ class XStream {
         on_start_ = std::move(hook);
     }
 
+    /// Configure how the stream waits when idle. Set before start(); the
+    /// default is kBackoff. kPark additionally needs set_parking_lot().
+    void set_idle_config(sync::IdleConfig config) noexcept {
+        idle_config_ = config;
+    }
+    [[nodiscard]] const sync::IdleConfig& idle_config() const noexcept {
+        return idle_config_;
+    }
+
+    /// Attach the lot this stream parks on (and is woken through — wire
+    /// the same lot into the pools' set_waker). Set before start(); pass
+    /// nullptr to detach. Without a lot, kPark degrades to kBackoff.
+    void set_parking_lot(sync::ParkingLot* lot) noexcept {
+        parking_lot_ = lot;
+    }
+    [[nodiscard]] sync::ParkingLot* parking_lot() const noexcept {
+        return parking_lot_;
+    }
+
     /// Ask the loop to exit once no ready work remains, then join the
-    /// OS thread. Safe to call if never started.
+    /// OS thread. Wakes the stream if it is parked. Safe to call if never
+    /// started.
     void stop_and_join();
 
     /// Adopt the *calling* OS thread as this stream (used for the primary
@@ -51,12 +79,21 @@ class XStream {
 
     /// Drive the scheduling loop on the calling thread until `pred()` holds.
     /// The classic "return mode": Converse's CsdScheduler, and how primary
-    /// streams make progress while joining.
+    /// streams make progress while joining. Never parks — the predicate may
+    /// flip without any pool push (a joined unit terminating), which no
+    /// waker reports — so the ladder is clamped at backoff.
     template <typename Pred>
     void run_until(Pred&& pred) {
+        sync::IdleConfig config = idle_config_;
+        if (config.policy == sync::IdlePolicy::kPark) {
+            config.policy = sync::IdlePolicy::kBackoff;
+        }
+        sync::IdleBackoff idle(config, nullptr);
         while (!pred()) {
-            if (!progress()) {
-                idle_pause();
+            if (progress()) {
+                idle.reset();
+            } else {
+                count_idle_step(idle.step([] { return false; }));
             }
         }
     }
@@ -85,6 +122,16 @@ class XStream {
         return executed_.load(std::memory_order_relaxed);
     }
 
+    /// Live steal/idle counters for this stream (see sched_stats.hpp).
+    [[nodiscard]] const SchedCounters& counters() const noexcept {
+        return counters_;
+    }
+    /// Plain snapshot of this stream's counters.
+    [[nodiscard]] SchedStats sched_stats() const noexcept {
+        return counters_.snapshot();
+    }
+    void reset_sched_stats() noexcept { counters_.reset(); }
+
     /// Execute one specific unit on the calling thread immediately.
     /// Exposed for personalities with run-inline semantics (work-first
     /// creation, inlined task cutoffs).
@@ -92,13 +139,17 @@ class XStream {
 
   private:
     void loop();
-    void idle_pause() noexcept;
+    void count_idle_step(sync::IdleBackoff::Step step) noexcept;
     void finish_unit(WorkUnit* unit);
 
     const unsigned rank_;
     std::atomic<bool> stop_{false};
     std::atomic<std::uint64_t> executed_{0};
     WorkUnit* next_hint_ = nullptr;  // touched only by the driving thread
+
+    sync::IdleConfig idle_config_{};
+    sync::ParkingLot* parking_lot_ = nullptr;
+    SchedCounters counters_;
 
     mutable sync::Spinlock sched_lock_;
     std::vector<std::unique_ptr<Scheduler>> sched_stack_;

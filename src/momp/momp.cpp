@@ -123,7 +123,8 @@ class Runtime::PersistentTeam {
     /// Execute one region with `active` participating threads (<= size()).
     void run(const RegionBody& body, std::size_t active) {
         active_ = active == 0 || active > size_ ? size_ : active;
-        tasks_ = std::make_unique<TaskPool>(rt_->config_.flavor, active_);
+        tasks_ = std::make_unique<TaskPool>(rt_->config_.flavor, active_,
+                                            rt_->task_idle_config());
         singles_ = std::make_unique<SingleTable>();
         body_ = &body;
         go_.fetch_add(1, std::memory_order_release);
@@ -214,7 +215,7 @@ void Runtime::parallel(const RegionBody& body, std::size_t nthreads) {
 
 void Runtime::run_nested(const RegionBody& body, std::size_t nthreads) {
     const std::size_t level = tl_region->level + 1;
-    TaskPool tasks(config_.flavor, nthreads);
+    TaskPool tasks(config_.flavor, nthreads, task_idle_config());
     SingleTable singles;
     if (config_.flavor == Flavor::kGcc) {
         // gcc: a brand-new team of fresh OS threads for EVERY nested

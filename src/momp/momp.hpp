@@ -164,6 +164,17 @@ class Runtime {
         return last_inlined_.load(std::memory_order_relaxed);
     }
 
+    /// Idle ladder task-wait loops use, derived from OMP_WAIT_POLICY
+    /// semantics: active waiters stay hot (bounded spin + backoff),
+    /// passive waiters may park on the task pool's lot.
+    [[nodiscard]] sync::IdleConfig task_idle_config() const noexcept {
+        sync::IdleConfig idle;
+        idle.policy = config_.wait_policy == WaitPolicy::kPassive
+                          ? sync::IdlePolicy::kPark
+                          : sync::IdlePolicy::kBackoff;
+        return idle;
+    }
+
   private:
     friend class CachedWorker;
 

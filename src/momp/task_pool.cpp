@@ -1,13 +1,14 @@
 #include "momp/task_pool.hpp"
 
-#include <thread>
-
 #include "arch/cpu.hpp"
 
 namespace lwt::momp {
 
-TaskPool::TaskPool(Flavor flavor, std::size_t nthreads)
-    : flavor_(flavor), nthreads_(nthreads == 0 ? 1 : nthreads) {
+using core::SchedCounters;
+
+TaskPool::TaskPool(Flavor flavor, std::size_t nthreads, sync::IdleConfig idle)
+    : flavor_(flavor), nthreads_(nthreads == 0 ? 1 : nthreads),
+      idle_config_(idle) {
     if (flavor_ == Flavor::kIcc) {
         per_thread_.reserve(nthreads_);
         for (std::size_t i = 0; i < nthreads_; ++i) {
@@ -40,6 +41,18 @@ bool TaskPool::over_cutoff(std::size_t tid) const {
     return per_thread_[tid]->size_approx() >= cutoff();
 }
 
+bool TaskPool::any_queued() const {
+    if (flavor_ == Flavor::kGcc) {
+        return shared_.size() > 0;
+    }
+    for (const auto& d : per_thread_) {
+        if (!d->empty()) {
+            return true;
+        }
+    }
+    return false;
+}
+
 void TaskPool::submit(std::size_t tid, core::UniqueFunction fn) {
     if (over_cutoff(tid)) {
         // Undeferred execution: both runtimes serialise beyond the cutoff.
@@ -54,6 +67,7 @@ void TaskPool::submit(std::size_t tid, core::UniqueFunction fn) {
     } else {
         per_thread_[tid]->push_bottom(task);  // owner push
     }
+    lot_.notify_all();  // after the task is visible: wake parked waiters
 }
 
 TaskPool::Task* TaskPool::take(std::size_t tid) {
@@ -72,8 +86,18 @@ TaskPool::Task* TaskPool::take(std::size_t tid) {
         if (victim == tid) {
             continue;
         }
-        if (auto t = per_thread_[victim]->steal_top()) {
-            return *t;
+        SchedCounters::bump(counters_.steal_attempts);
+        Task* stolen = nullptr;
+        switch (per_thread_[victim]->steal_top(stolen)) {
+            case queue::StealOutcome::kSuccess:
+                SchedCounters::bump(counters_.steal_hits);
+                return stolen;
+            case queue::StealOutcome::kEmpty:
+                SchedCounters::bump(counters_.steal_empty);
+                break;
+            case queue::StealOutcome::kLost:
+                SchedCounters::bump(counters_.steal_lost);
+                break;
         }
     }
     return nullptr;
@@ -82,7 +106,9 @@ TaskPool::Task* TaskPool::take(std::size_t tid) {
 void TaskPool::execute(Task* task) {
     task->fn();
     delete task;
-    outstanding_.fetch_sub(1, std::memory_order_release);
+    if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        lot_.notify_all();  // last task done: release parked waiters
+    }
 }
 
 bool TaskPool::run_one(std::size_t tid) {
@@ -95,11 +121,38 @@ bool TaskPool::run_one(std::size_t tid) {
 }
 
 void TaskPool::wait_all(std::size_t tid) {
+    using Step = sync::IdleBackoff::Step;
+    sync::IdleBackoff idle(idle_config_, &lot_);
     while (outstanding_.load(std::memory_order_acquire) > 0) {
-        if (!run_one(tid)) {
-            // Someone else holds the last tasks; don't burn the core.
-            arch::cpu_relax();
-            std::this_thread::yield();
+        if (run_one(tid)) {
+            idle.reset();
+            continue;
+        }
+        // Someone else holds the last tasks; walk the idle ladder instead
+        // of burning the core. The re-check keeps the park race-free: it
+        // runs with interest registered, so a submit (or the last
+        // completion) after it still aborts the park via the lot's epoch.
+        const Step step = idle.step([this] {
+            return outstanding_.load(std::memory_order_acquire) == 0 ||
+                   any_queued();
+        });
+        switch (step) {
+            case Step::kSpun:
+                SchedCounters::bump(counters_.idle_spins);
+                break;
+            case Step::kYielded:
+                SchedCounters::bump(counters_.idle_yields);
+                break;
+            case Step::kParkAborted:
+                break;
+            case Step::kParkNotified:
+                SchedCounters::bump(counters_.parks);
+                SchedCounters::bump(counters_.unparks);
+                break;
+            case Step::kParkTimeout:
+                SchedCounters::bump(counters_.parks);
+                SchedCounters::bump(counters_.park_timeouts);
+                break;
         }
     }
 }

@@ -15,9 +15,12 @@
 #include <random>
 #include <vector>
 
+#include "core/sched_stats.hpp"
 #include "core/unique_function.hpp"
 #include "queue/chase_lev_deque.hpp"
 #include "queue/global_queue.hpp"
+#include "sync/idle_backoff.hpp"
+#include "sync/parking_lot.hpp"
 
 namespace lwt::momp {
 
@@ -33,7 +36,13 @@ class TaskPool {
     static constexpr std::size_t kGccCutoffPerThread = 64;   // 64 * nthreads
     static constexpr std::size_t kIccCutoffPerQueue = 256;
 
-    TaskPool(Flavor flavor, std::size_t nthreads);
+    /// `idle` is the wait ladder threads walk inside wait_all() when no
+    /// task is runnable — the same spin -> backoff -> park machinery as
+    /// the kernel's XStream idle loop (sync/idle_backoff.hpp). The pool
+    /// owns the parking lot; submit() and the last task completion notify
+    /// it.
+    explicit TaskPool(Flavor flavor, std::size_t nthreads,
+                      sync::IdleConfig idle = {});
     ~TaskPool();
     TaskPool(const TaskPool&) = delete;
     TaskPool& operator=(const TaskPool&) = delete;
@@ -66,19 +75,30 @@ class TaskPool {
                                        : kIccCutoffPerQueue;
     }
 
+    /// Steal/idle telemetry for this pool's task path (icc steals, both
+    /// flavours' wait_all idling). Same snapshot type as the kernel's
+    /// per-stream stats.
+    [[nodiscard]] core::SchedStats sched_stats() const noexcept {
+        return counters_.snapshot();
+    }
+
   private:
     struct Task {
         core::UniqueFunction fn;
     };
 
     bool over_cutoff(std::size_t tid) const;
+    bool any_queued() const;
     Task* take(std::size_t tid);
     void execute(Task* task);
 
     const Flavor flavor_;
     const std::size_t nthreads_;
+    const sync::IdleConfig idle_config_;
     std::atomic<std::size_t> outstanding_{0};
     std::atomic<std::uint64_t> inlined_{0};
+    sync::ParkingLot lot_;
+    core::SchedCounters counters_;
 
     // gcc topology
     queue::GlobalQueue<Task*> shared_;

@@ -12,15 +12,28 @@
 #include <cstddef>
 #include <memory>
 #include <optional>
+#include <type_traits>
 #include <vector>
 
 #include "arch/cpu.hpp"
 
 namespace lwt::queue {
 
-/// T must be cheap to copy (pointers or small trivially-copyable handles):
-/// slots are read concurrently with owner writes into *other* slots, and a
-/// losing thief discards its copy.
+/// Outcome of a single steal probe. Distinguishing an empty victim from a
+/// lost CAS race matters to the scheduler's telemetry and backoff: a lost
+/// race means work exists but the deque is contended (keep probing), while
+/// an empty victim argues for moving on or backing off.
+enum class StealOutcome : std::uint8_t {
+    kSuccess,  ///< a unit was taken
+    kEmpty,    ///< the victim had nothing to take
+    kLost,     ///< another thief (or the owner) won the race for the unit
+};
+
+/// T must be trivially copyable and cheap to copy (pointers or small
+/// handles): slots are relaxed atomics per Lê et al. — a losing thief may
+/// read a slot the owner is concurrently overwriting, and only the CAS on
+/// `top` decides whose copy is real. Plain slots would make that read a
+/// data race (undefined behaviour, and a ThreadSanitizer report).
 template <typename T>
 class ChaseLevDeque {
   public:
@@ -47,8 +60,11 @@ class ChaseLevDeque {
             a = grow(a, b, t);
         }
         a->put(b, std::move(value));
-        std::atomic_thread_fence(std::memory_order_release);
-        bottom_.store(b + 1, std::memory_order_relaxed);
+        // Lê et al. use a release fence + relaxed store here; a release store
+        // is equivalent (everything sequenced before it — including the slot
+        // write — is published to an acquire load of bottom) and, unlike a
+        // fence, is modelled by ThreadSanitizer.
+        bottom_.store(b + 1, std::memory_order_release);
     }
 
     /// Owner only. LIFO pop; empty optional when the deque is empty.
@@ -76,22 +92,32 @@ class ChaseLevDeque {
         return std::nullopt;
     }
 
-    /// Any thread. FIFO steal; empty optional when empty or when losing a
-    /// race (caller should retry or move to another victim).
-    std::optional<T> steal_top() {
+    /// Any thread. FIFO steal; writes the taken value into `out` only on
+    /// kSuccess. On kLost the caller should retry or pick another victim.
+    StealOutcome steal_top(T& out) {
         std::int64_t t = top_.load(std::memory_order_acquire);
         std::atomic_thread_fence(std::memory_order_seq_cst);
         const std::int64_t b = bottom_.load(std::memory_order_acquire);
         if (t >= b) {
-            return std::nullopt;
+            return StealOutcome::kEmpty;
         }
         Array* a = array_.load(std::memory_order_consume);
         T value = a->get(t);
         if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                           std::memory_order_relaxed)) {
-            return std::nullopt;  // lost the race
+            return StealOutcome::kLost;
         }
-        return value;
+        out = std::move(value);
+        return StealOutcome::kSuccess;
+    }
+
+    /// Any thread. FIFO steal; empty optional when empty or when losing a
+    /// race (outcome-blind convenience wrapper over the overload above).
+    std::optional<T> steal_top() {
+        T value{};
+        return steal_top(value) == StealOutcome::kSuccess
+                   ? std::optional<T>(std::move(value))
+                   : std::nullopt;
     }
 
     [[nodiscard]] std::size_t size_approx() const noexcept {
@@ -104,20 +130,27 @@ class ChaseLevDeque {
 
   private:
     struct Array {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "slots are atomics; T must be trivially copyable");
+
         explicit Array(std::size_t cap) : capacity(cap), mask(cap - 1),
-                                          slots(new T[cap]) {}
+                                          slots(new std::atomic<T>[cap]) {}
         ~Array() { delete[] slots; }
 
+        // Relaxed is sufficient: ordering against top/bottom comes from the
+        // fences and CAS in push/pop/steal, never from the slot access.
         void put(std::int64_t index, T value) noexcept {
-            slots[static_cast<std::size_t>(index) & mask] = std::move(value);
+            slots[static_cast<std::size_t>(index) & mask].store(
+                value, std::memory_order_relaxed);
         }
         T get(std::int64_t index) const noexcept {
-            return slots[static_cast<std::size_t>(index) & mask];
+            return slots[static_cast<std::size_t>(index) & mask].load(
+                std::memory_order_relaxed);
         }
 
         const std::size_t capacity;
         const std::size_t mask;
-        T* slots;
+        std::atomic<T>* slots;
     };
 
     Array* grow(Array* old, std::int64_t b, std::int64_t t) {

@@ -1,0 +1,99 @@
+// parking_lot.hpp — eventcount-style parking for idle execution streams.
+//
+// An idle stream that has exhausted its spin/backoff budget blocks here
+// until a producer publishes work. The protocol is the classic eventcount
+// (Vyukov): waiters take a ticket (the current epoch), re-check their work
+// predicate, then sleep until the epoch moves. Producers bump the epoch on
+// every publish and only take the mutex when somebody is actually parked,
+// so the producer fast path is one uncontended atomic RMW plus one load.
+//
+// "Basic Lock Algorithms in Lightweight Thread Environments" (PAPERS.md)
+// motivates the discipline: unconditional spinning wastes the cores the
+// paper's Figures 4-8 measure, while naive sleeping loses wakeups; the
+// epoch handshake gives both liveness and an idle CPU.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "arch/cpu.hpp"
+
+namespace lwt::sync {
+
+/// Shared wait point for parked streams. One lot typically serves one
+/// runtime instance (all its pools notify the same lot; any parked stream
+/// may be the right one to wake, so wakeups are broadcast).
+class ParkingLot {
+  public:
+    ParkingLot() = default;
+    ParkingLot(const ParkingLot&) = delete;
+    ParkingLot& operator=(const ParkingLot&) = delete;
+
+    /// Producer side: publish-then-notify. Call AFTER the work is visible
+    /// in its queue, never before — the waiter's re-check must be able to
+    /// see it. Cheap when nobody is parked.
+    void notify_all() noexcept {
+        // The epoch bump must precede the waiter check: a waiter that
+        // registered after our bump re-reads the queues and finds the work;
+        // a waiter that registered before it sees the epoch move and wakes.
+        epoch_.fetch_add(1, std::memory_order_acq_rel);
+        if (waiters_.load(std::memory_order_acquire) > 0) {
+            notifies_.fetch_add(1, std::memory_order_relaxed);
+            // Taking the mutex fences against a waiter between its epoch
+            // re-check and the actual block; without it the notify could
+            // fall into that window and be lost.
+            std::lock_guard<std::mutex> guard(mutex_);
+            cv_.notify_all();
+        }
+    }
+
+    /// Waiter side, step 1: register interest and take a ticket. Must be
+    /// followed by re-checking the work predicate, then either park() or
+    /// cancel_park().
+    [[nodiscard]] std::uint64_t prepare_park() noexcept {
+        waiters_.fetch_add(1, std::memory_order_acq_rel);
+        return epoch_.load(std::memory_order_acquire);
+    }
+
+    /// Waiter side: abandon a prepare_park() (the re-check found work).
+    void cancel_park() noexcept {
+        waiters_.fetch_sub(1, std::memory_order_release);
+    }
+
+    /// Waiter side, step 2: block until the epoch leaves `ticket` or the
+    /// timeout elapses (safety net against producers that bypass the lot).
+    /// Returns true when woken by a notify, false on timeout.
+    bool park(std::uint64_t ticket, std::chrono::microseconds timeout) {
+        bool notified;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            notified = cv_.wait_for(lock, timeout, [&] {
+                return epoch_.load(std::memory_order_acquire) != ticket;
+            });
+        }
+        waiters_.fetch_sub(1, std::memory_order_release);
+        return notified;
+    }
+
+    /// Streams currently inside prepare_park()/park() (diagnostics).
+    [[nodiscard]] std::uint64_t waiters() const noexcept {
+        return waiters_.load(std::memory_order_acquire);
+    }
+
+    /// Notifies that found at least one parked waiter (diagnostics).
+    [[nodiscard]] std::uint64_t notifies() const noexcept {
+        return notifies_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    alignas(arch::kCacheLine) std::atomic<std::uint64_t> epoch_{0};
+    alignas(arch::kCacheLine) std::atomic<std::uint64_t> waiters_{0};
+    std::atomic<std::uint64_t> notifies_{0};
+    std::mutex mutex_;
+    std::condition_variable cv_;
+};
+
+}  // namespace lwt::sync

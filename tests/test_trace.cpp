@@ -120,6 +120,33 @@ TEST_F(TraceTest, SnapshotIsTimeSortedAndComplete) {
     }
 }
 
+TEST_F(TraceTest, SnapshotIsStableWithinAThread) {
+    // Records from one thread live in one ring in program order; the
+    // stable sort must keep that order even when timestamps collide
+    // (coarse counters; rdtsc()==0 on non-x86 builds). The per-unit
+    // lifecycle (create before start before finish) pins it down.
+    DequePool pool;
+    XStream stream(0, std::make_unique<Scheduler>(std::vector<Pool*>{&pool}));
+    stream.attach_caller();
+    auto* t = new Tasklet([] {});
+    const void* id = t;
+    t->detached = true;
+    pool.push(t);
+    while (stream.progress()) {
+    }
+    stream.detach_caller();
+    std::vector<TraceEvent> order;
+    for (const TraceRecord& r : Tracer::instance().snapshot()) {
+        if (r.unit == id) {
+            order.push_back(r.event);
+        }
+    }
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], TraceEvent::kCreate);
+    EXPECT_EQ(order[1], TraceEvent::kStart);
+    EXPECT_EQ(order[2], TraceEvent::kFinish);
+}
+
 TEST_F(TraceTest, ClearResetsCounts) {
     Tasklet t([] {});
     EXPECT_GE(Tracer::instance().stats().of(TraceEvent::kCreate), 1u);
