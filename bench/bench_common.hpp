@@ -49,12 +49,35 @@ inline std::vector<Series> variant_series(
     return out;
 }
 
+/// True when the bench was invoked with `--bulk` (or LWTBENCH_BULK=1):
+/// route creation/join through the backends' batched fast path instead of
+/// the per-unit calls, so the two can be compared on the same binary.
+inline bool bulk_mode(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--bulk") {
+            return true;
+        }
+    }
+    if (const char* v = std::getenv("LWTBENCH_BULK")) {
+        return std::atol(v) != 0;
+    }
+    return false;
+}
+
 /// Figures 2/3 need phase-separated timing; this sweeps every variant and
-/// prints the chosen phase (0 = create, 1 = join).
-inline void run_create_join_figure(const std::string& title, int phase) {
+/// prints the chosen phase (0 = create, 1 = join). With `bulk`, timing
+/// goes through create_join_times_bulk (one batched submission + one
+/// aggregate join) instead of the per-unit path.
+inline void run_create_join_figure(const std::string& title, int phase,
+                                   bool bulk = false) {
     const SweepConfig config = SweepConfig::from_env();
-    std::printf("# %s\n", title.c_str());
-    std::printf("# reps=%zu warmup=%zu unit=ms\n", config.reps, config.warmup);
+    // LWTBENCH_UNITS: units per thread (default 1, the paper's figure).
+    // Raised to study batching, where a `threads`-unit batch is too small
+    // for the bulk path's one-notify/one-burst submission to matter.
+    const std::size_t units = env_size("LWTBENCH_UNITS", 1);
+    std::printf("# %s%s\n", title.c_str(), bulk ? " [bulk]" : "");
+    std::printf("# reps=%zu warmup=%zu units_per_thread=%zu unit=ms\n",
+                config.reps, config.warmup, units);
     std::printf("threads");
     for (Variant v : lwt::patterns::all_variants()) {
         std::printf(",%s", std::string(lwt::patterns::variant_name(v)).c_str());
@@ -67,14 +90,18 @@ inline void run_create_join_figure(const std::string& title, int phase) {
         std::vector<Summary> row;
         for (std::size_t threads : config.thread_counts) {
             auto runner = lwt::patterns::make_runner(variant, threads);
+            runner->set_units_per_thread(units);
+            const auto time_once = [&]() {
+                return bulk ? runner->create_join_times_bulk([] {})
+                            : runner->create_join_times([] {});
+            };
             for (std::size_t w = 0; w < config.warmup; ++w) {
-                (void)runner->create_join_times([] {});
+                (void)time_once();
             }
             std::vector<double> samples;
             samples.reserve(config.reps);
             for (std::size_t r = 0; r < config.reps; ++r) {
-                const auto [create_ms, join_ms] =
-                    runner->create_join_times([] {});
+                const auto [create_ms, join_ms] = time_once();
                 samples.push_back(phase == 0 ? create_ms : join_ms);
             }
             row.push_back(Summary::of(samples));

@@ -1,7 +1,9 @@
 // Figure 2: time to create one work unit per thread.
+// `--bulk` (or LWTBENCH_BULK=1) times the batched fast path instead.
 #include "bench_common.hpp"
-int main() {
+int main(int argc, char** argv) {
     lwtbench::run_create_join_figure(
-        "Figure 2: create one work unit per thread", /*phase=*/0);
+        "Figure 2: create one work unit per thread", /*phase=*/0,
+        lwtbench::bulk_mode(argc, argv));
     return 0;
 }

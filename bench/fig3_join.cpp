@@ -1,7 +1,9 @@
 // Figure 3: time to join one work unit per thread.
+// `--bulk` (or LWTBENCH_BULK=1) times the batched fast path instead.
 #include "bench_common.hpp"
-int main() {
+int main(int argc, char** argv) {
     lwtbench::run_create_join_figure(
-        "Figure 3: join one work unit per thread", /*phase=*/1);
+        "Figure 3: join one work unit per thread", /*phase=*/1,
+        lwtbench::bulk_mode(argc, argv));
     return 0;
 }

@@ -1,21 +1,31 @@
 // Figure 4: 1,000-iteration Sscal for loop, one chunk per thread.
-// LWTBENCH_N overrides the iteration count.
+// LWTBENCH_N overrides the iteration count; `--bulk` (or LWTBENCH_BULK=1)
+// submits the chunks through the batched fast path.
 #include <memory>
 #include "bench_common.hpp"
-int main() {
+int main(int argc, char** argv) {
     const std::size_t n = lwtbench::env_size("LWTBENCH_N", 1000);
+    const bool bulk = lwtbench::bulk_mode(argc, argv);
     auto series = lwtbench::variant_series(
-        [n](lwtbench::PatternRunner& runner) -> std::function<void()> {
+        [n, bulk](lwtbench::PatternRunner& runner) -> std::function<void()> {
             // alpha=1 keeps values stable across repetitions (no denormals).
             auto problem = std::make_shared<lwt::patterns::Sscal>(n, 2.0f, 1.0f);
-            return [&runner, problem, n] {
-                runner.for_loop(n, [problem](std::size_t i) {
+            return [&runner, problem, n, bulk] {
+                const auto body = [problem](std::size_t i) {
                     problem->apply(i);
-                });
+                };
+                if (bulk) {
+                    runner.for_loop_bulk(n, body);
+                } else {
+                    runner.for_loop(n, body);
+                }
             };
         });
     lwt::benchsupport::run_and_print(
-        "Figure 4: execution time of a 1,000-iteration for loop (Sscal)",
+        bulk ? "Figure 4: execution time of a 1,000-iteration for loop "
+               "(Sscal) [bulk]"
+             : "Figure 4: execution time of a 1,000-iteration for loop "
+               "(Sscal)",
         "ms", series);
     return 0;
 }

@@ -1,30 +1,27 @@
 // quickstart — the paper's Listing 4 on the unified GLT API.
 //
 // Creates N work units, yields, joins them — the reduced function set the
-// paper shows suffices for all its parallel patterns. Select the backend
-// with GLT_BACKEND (abt|qth|mth|cvt|gol; default abt) and the worker count
-// with GLT_WORKERS.
+// paper shows suffices for all its parallel patterns — then repeats the
+// same work through the v2 bulk fast path. Select the backend with
+// GLT_BACKEND (abt|qth|mth|cvt|gol; default abt) and the worker count with
+// GLT_NUM_WORKERS (legacy GLT_WORKERS also accepted).
 //
-//   $ GLT_BACKEND=qth GLT_WORKERS=4 ./quickstart
+//   $ GLT_BACKEND=qth GLT_NUM_WORKERS=4 ./quickstart
 #include <atomic>
 #include <cstdio>
-#include <cstdlib>
 #include <vector>
 
 #include "glt/glt.hpp"
 
 int main() {
-    const char* backend_env = std::getenv("GLT_BACKEND");
-    const char* workers_env = std::getenv("GLT_WORKERS");
-    const auto backend = lwt::glt::backend_from_name(
-        backend_env != nullptr ? backend_env : "abt");
-    const std::size_t workers =
-        workers_env != nullptr ? std::strtoul(workers_env, nullptr, 10) : 2;
-
-    auto rt = lwt::glt::Runtime::create(backend, workers);
+    auto rt = lwt::glt::Runtime::create_from_env();
+    const lwt::glt::Capabilities caps = rt->capabilities();
     std::printf("GLT quickstart on backend '%s' with %zu workers\n",
                 std::string(lwt::glt::backend_name(rt->backend())).c_str(),
                 rt->num_workers());
+    std::printf("capabilities: tasklets=%d hints=%d bulk=%d yield=%d\n",
+                caps.native_tasklets, caps.placement_hints, caps.native_bulk,
+                caps.yieldable);
 
     constexpr int kUnits = 100;
     std::atomic<int> greetings{0};
@@ -44,7 +41,18 @@ int main() {
     // ... and N joins.
     rt->join_all(tokens);
 
+    // The same N units again, as ONE batched creation + ONE aggregate join
+    // (the v2 fast path: one enqueue burst and wakeup per target queue).
+    lwt::glt::BulkHandle batch = rt->spawn_bulk(
+        kUnits,
+        [&greetings](std::size_t) {
+            greetings.fetch_add(1, std::memory_order_relaxed);
+        },
+        caps.native_tasklets ? lwt::glt::UnitKind::kTasklet
+                             : lwt::glt::UnitKind::kUlt);
+    rt->wait(batch);
+
     std::printf("%d work units said hello (tasklets native: %s)\n",
-                greetings.load(), rt->has_native_tasklets() ? "yes" : "no");
-    return greetings.load() == kUnits ? 0 : 1;
+                greetings.load(), caps.native_tasklets ? "yes" : "no");
+    return greetings.load() == 2 * kUnits ? 0 : 1;
 }

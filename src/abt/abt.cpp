@@ -1,6 +1,8 @@
 #include "abt/abt.hpp"
 
+#include <atomic>
 #include <cassert>
+#include <span>
 #include <thread>
 #include <utility>
 
@@ -81,6 +83,13 @@ Library::Library(Config config)
     const std::size_t n = core::Runtime::resolve_stream_count(
         config_.num_xstreams, "LWT_NUM_STREAMS");
     config_.num_xstreams = n;
+    // One stack cache per initial stream, indexed by rank. Sized before any
+    // stream exists and never resized, so local_stack_cache() can read the
+    // vector without a lock (dynamic streams fall back to the shared pool).
+    stack_caches_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        stack_caches_.push_back(std::make_unique<arch::StackCache>(&stack_pool_));
+    }
     if (config_.pool_kind == PoolKind::kShared) {
         pools_.push_back(std::make_unique<core::MpmcPool>());
     } else {
@@ -127,13 +136,35 @@ std::size_t Library::xstream_create() {
     return rank;
 }
 
+arch::StackCache* Library::local_stack_cache() noexcept {
+    core::XStream* stream = core::XStream::current();
+    if (stream == nullptr || runtime_ == nullptr) {
+        return nullptr;
+    }
+    // The stream must be one of OUR initial streams: ranks collide across
+    // coexisting runtimes (interop), and a foreign stream's thread must not
+    // touch a cache some abt stream also uses. Each cache is then touched
+    // only by its stream's driving thread, so no lock.
+    const std::size_t rank = stream->rank();
+    if (rank >= runtime_->num_streams() ||
+        &runtime_->stream(rank) != stream || rank >= stack_caches_.size()) {
+        return nullptr;
+    }
+    return stack_caches_[rank].get();
+}
+
 arch::Stack Library::acquire_stack() {
-    std::lock_guard guard(stack_lock_);
+    if (arch::StackCache* cache = local_stack_cache()) {
+        return cache->acquire();
+    }
     return stack_pool_.acquire();
 }
 
 void Library::recycle_stack(arch::Stack stack) {
-    std::lock_guard guard(stack_lock_);
+    if (arch::StackCache* cache = local_stack_cache()) {
+        cache->recycle(std::move(stack));
+        return;
+    }
     stack_pool_.recycle(std::move(stack));
 }
 
@@ -182,6 +213,111 @@ void Library::thread_create_detached(core::UniqueFunction fn, int pool_idx) {
 
 void Library::task_create_detached(core::UniqueFunction fn, int pool_idx) {
     make_unit(UnitKind::kTasklet, std::move(fn), true, pool_idx);
+}
+
+std::vector<UnitHandle> Library::create_bulk(
+    UnitKind kind, std::size_t n,
+    const std::function<void(std::size_t)>& body, int pool_idx) {
+    std::vector<UnitHandle> handles;
+    handles.reserve(n);
+    if (n == 0) {
+        return handles;
+    }
+    // Snapshot the target pools once for the whole batch — the per-unit
+    // path takes streams_lock_ twice per unit.
+    std::vector<core::Pool*> targets;
+    {
+        std::lock_guard guard(streams_lock_);
+        if (pool_idx >= 0 &&
+            static_cast<std::size_t>(pool_idx) < pools_.size()) {
+            targets.push_back(pools_[static_cast<std::size_t>(pool_idx)].get());
+        } else {
+            targets.reserve(pools_.size());
+            for (auto& p : pools_) {
+                targets.push_back(p.get());
+            }
+        }
+    }
+    const std::size_t npools = targets.size();
+    // One shared copy of the body, refcounted by hand: the count starts at
+    // `n`, so building each closure costs zero atomics on the (timed)
+    // creation path — the decrements happen when the closures die on the
+    // worker streams. A shared_ptr capture would pay an atomic increment
+    // per unit right here.
+    struct BulkBlock {
+        std::function<void(std::size_t)> fn;
+        std::atomic<std::size_t> refs;
+    };
+    struct BodyRef {
+        BulkBlock* blk;
+        explicit BodyRef(BulkBlock* b) noexcept : blk(b) {}
+        BodyRef(BodyRef&& o) noexcept : blk(std::exchange(o.blk, nullptr)) {}
+        BodyRef(const BodyRef& o) noexcept : blk(o.blk) {
+            if (blk != nullptr) {
+                blk->refs.fetch_add(1, std::memory_order_relaxed);
+            }
+        }
+        BodyRef& operator=(const BodyRef&) = delete;
+        BodyRef& operator=(BodyRef&&) = delete;
+        ~BodyRef() {
+            if (blk != nullptr &&
+                blk->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+                delete blk;
+            }
+        }
+    };
+    auto* blk = new BulkBlock{body, {n}};
+    std::vector<core::WorkUnit*> units;
+    units.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        core::UniqueFunction fn(
+            [ref = BodyRef(blk), i] { ref.blk->fn(i); });
+        core::WorkUnit* unit;
+        if (kind == UnitKind::kTasklet) {
+            unit = new core::Tasklet(std::move(fn));
+        } else if (config_.reuse_stacks) {
+            unit = new core::Ult(std::move(fn), acquire_stack());
+        } else {
+            unit = new core::Ult(std::move(fn));
+        }
+        units.push_back(unit);
+        handles.push_back(UnitHandle(unit, this));
+    }
+    // One contiguous slice per pool (rotated across calls so successive
+    // batches start on different streams), one enqueue burst + one notify
+    // per pool for the whole batch.
+    const std::size_t start =
+        rr_next_.fetch_add(1, std::memory_order_relaxed) % npools;
+    const std::span<core::WorkUnit* const> all(units);
+    for (std::size_t p = 0; p < npools; ++p) {
+        const std::size_t lo = p * n / npools;
+        const std::size_t hi = (p + 1) * n / npools;
+        if (lo < hi) {
+            targets[(start + p) % npools]->push_bulk(all.subspan(lo, hi - lo));
+        }
+    }
+    return handles;
+}
+
+void Library::join_all_free(std::span<UnitHandle> handles) {
+    if (core::Ult::current() == nullptr) {
+        if (core::XStream* stream = core::XStream::current()) {
+            // One run_until over the whole batch: the cursor only advances,
+            // so each handle's terminated flag is polled O(1) amortised.
+            std::size_t cursor = 0;
+            stream->run_until([&] {
+                while (cursor < handles.size() &&
+                       (!handles[cursor].valid() ||
+                        handles[cursor].terminated())) {
+                    ++cursor;
+                }
+                return cursor == handles.size();
+            });
+        }
+    }
+    for (UnitHandle& h : handles) {
+        h.free();
+    }
 }
 
 void Library::yield() { core::yield_anywhere(); }

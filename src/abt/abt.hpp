@@ -10,7 +10,9 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "arch/stack.hpp"
@@ -120,6 +122,21 @@ class Library {
     void thread_create_detached(core::UniqueFunction fn, int pool_idx = -1);
     void task_create_detached(core::UniqueFunction fn, int pool_idx = -1);
 
+    /// Bulk creation fast path: make `n` units running `body(i)` and submit
+    /// them with ONE Pool::push_bulk per target pool (single notify per
+    /// pool, batched enqueue) instead of n push/notify round-trips. Stacks
+    /// come from the caller's per-stream cache. Negative `pool_idx`
+    /// round-robins the batch across all pools; otherwise every unit lands
+    /// in that pool.
+    std::vector<UnitHandle> create_bulk(
+        UnitKind kind, std::size_t n,
+        const std::function<void(std::size_t)>& body, int pool_idx = -1);
+
+    /// Join-and-free a whole batch. From a stream's native thread this
+    /// drives the scheduler with one run_until over the batch instead of a
+    /// run_until per handle.
+    void join_all_free(std::span<UnitHandle> handles);
+
     /// ABT_thread_yield.
     static void yield();
 
@@ -152,14 +169,20 @@ class Library {
     std::size_t pick_pool(int pool_idx);
     arch::Stack acquire_stack();
     void recycle_stack(arch::Stack stack);
+    /// The calling stream's stack cache, or nullptr from unattached
+    /// threads and dynamically created streams (they use the shared pool).
+    arch::StackCache* local_stack_cache() noexcept;
 
     Config config_;
     std::vector<std::unique_ptr<core::Pool>> pools_;
     std::unique_ptr<core::Runtime> runtime_;
     std::vector<std::unique_ptr<core::XStream>> dynamic_streams_;
     std::atomic<std::size_t> rr_next_{0};
-    sync::Spinlock stack_lock_;
-    arch::StackPool stack_pool_;
+    /// Shared backing store plus one unsynchronized cache per initial
+    /// stream (indexed by rank): the spawn path refills in batches instead
+    /// of taking a central lock per ULT.
+    arch::SharedStackPool stack_pool_;
+    std::vector<std::unique_ptr<arch::StackCache>> stack_caches_;
     sync::Spinlock streams_lock_;
 };
 

@@ -60,6 +60,25 @@ Stack Stack::allocate(std::size_t usable_bytes) {
     return s;
 }
 
+void Stack::decommit() noexcept {
+    if (base_ != nullptr) {
+        const std::size_t ps = page_size();
+        ::madvise(static_cast<char*>(base_) + ps, mapped_ - ps,
+                  MADV_DONTNEED);
+    }
+}
+
+StackPool::StackPool(std::size_t stack_bytes, std::size_t max_cached)
+    : stack_bytes_(stack_bytes), max_cached_(max_cached) {
+    if (const char* env = std::getenv("LWT_STACK_CACHE")) {
+        const long v = std::atol(env);
+        if (v >= 0) {
+            max_cached_ = static_cast<std::size_t>(v);
+        }
+    }
+    soft_watermark_ = max_cached_ / 2;
+}
+
 Stack StackPool::acquire() {
     if (!free_.empty()) {
         Stack s = std::move(free_.back());
@@ -71,9 +90,33 @@ Stack StackPool::acquire() {
 
 void StackPool::recycle(Stack s) {
     if (free_.size() < max_cached_) {
+        if (free_.size() >= soft_watermark_) {
+            // Above the watermark keep the mapping but return the pages —
+            // a bulk spawn's worth of stacks must not pin RSS forever.
+            s.decommit();
+        }
         free_.push_back(std::move(s));
     }
     // else: `s` unmaps on scope exit
+}
+
+void StackPool::acquire_bulk(std::vector<Stack>& out, std::size_t n) {
+    out.reserve(out.size() + n);
+    while (n > 0 && !free_.empty()) {
+        out.push_back(std::move(free_.back()));
+        free_.pop_back();
+        --n;
+    }
+    while (n-- > 0) {
+        out.push_back(Stack::allocate(stack_bytes_));
+    }
+}
+
+void StackPool::recycle_bulk(std::vector<Stack>& stacks) {
+    for (Stack& s : stacks) {
+        recycle(std::move(s));
+    }
+    stacks.clear();
 }
 
 std::size_t default_stack_size() noexcept {

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -26,6 +27,12 @@ class Stack {
     /// to whole pages) plus one guard page. Throws std::bad_alloc on failure.
     static Stack allocate(std::size_t usable_bytes);
 
+    /// Give the usable pages back to the OS (madvise MADV_DONTNEED) while
+    /// keeping the mapping — the next use refaults zero pages. Lets a pool
+    /// cache many stacks without pinning peak RSS forever. The guard page
+    /// is untouched. No-op on an invalid stack.
+    void decommit() noexcept;
+
     /// Highest usable address (stacks grow downward); pass to make_fcontext.
     [[nodiscard]] void* top() const noexcept {
         return static_cast<char*>(base_) + mapped_;
@@ -48,22 +55,114 @@ class Stack {
 class StackPool {
   public:
     /// `stack_bytes` is the usable size of every pooled stack; `max_cached`
-    /// caps how many free stacks are retained before unmapping extras.
-    explicit StackPool(std::size_t stack_bytes, std::size_t max_cached = 64)
-        : stack_bytes_(stack_bytes), max_cached_(max_cached) {}
+    /// caps how many free stacks are retained before unmapping extras. The
+    /// LWT_STACK_CACHE env var (a stack count) overrides `max_cached` when
+    /// set. Stacks cached beyond the soft watermark (half the cap) are
+    /// decommitted so bulk spawns don't pin peak RSS forever.
+    explicit StackPool(std::size_t stack_bytes, std::size_t max_cached = 64);
 
     /// Pop a cached stack or map a fresh one.
     Stack acquire();
     /// Return a stack; frees it immediately once the cache is full.
     void recycle(Stack s);
 
+    /// Pop/map `n` stacks into `out` (appended). One call per refill batch.
+    void acquire_bulk(std::vector<Stack>& out, std::size_t n);
+    /// Return every stack in `stacks` (drained; the vector is cleared).
+    void recycle_bulk(std::vector<Stack>& stacks);
+
     [[nodiscard]] std::size_t stack_bytes() const noexcept { return stack_bytes_; }
     [[nodiscard]] std::size_t cached() const noexcept { return free_.size(); }
+    [[nodiscard]] std::size_t max_cached() const noexcept { return max_cached_; }
 
   private:
     std::size_t stack_bytes_;
     std::size_t max_cached_;
+    std::size_t soft_watermark_;
     std::vector<Stack> free_;
+};
+
+/// Thread-safe StackPool: one mutex around a StackPool, acquired once per
+/// batch by the per-stream caches below (instead of once per spawn by every
+/// stream, the central-lock cost the bulk path removes).
+class SharedStackPool {
+  public:
+    explicit SharedStackPool(std::size_t stack_bytes,
+                             std::size_t max_cached = 64)
+        : pool_(stack_bytes, max_cached) {}
+
+    Stack acquire() {
+        std::lock_guard guard(lock_);
+        return pool_.acquire();
+    }
+    void recycle(Stack s) {
+        std::lock_guard guard(lock_);
+        pool_.recycle(std::move(s));
+    }
+    void acquire_bulk(std::vector<Stack>& out, std::size_t n) {
+        std::lock_guard guard(lock_);
+        pool_.acquire_bulk(out, n);
+    }
+    void recycle_bulk(std::vector<Stack>& stacks) {
+        std::lock_guard guard(lock_);
+        pool_.recycle_bulk(stacks);
+    }
+
+    [[nodiscard]] std::size_t stack_bytes() const noexcept {
+        return pool_.stack_bytes();
+    }
+    [[nodiscard]] std::size_t cached() const {
+        std::lock_guard guard(lock_);
+        return pool_.cached();
+    }
+
+  private:
+    mutable std::mutex lock_;
+    StackPool pool_;
+};
+
+/// Unsynchronized per-stream front for a SharedStackPool: spawns hit a
+/// plain vector; the shared lock is only taken to refill or drain a whole
+/// batch. Keep one cache per execution stream (owner-thread access only).
+class StackCache {
+  public:
+    static constexpr std::size_t kBatch = 16;
+
+    explicit StackCache(SharedStackPool* shared) noexcept : shared_(shared) {}
+    StackCache(const StackCache&) = delete;
+    StackCache& operator=(const StackCache&) = delete;
+    ~StackCache() {
+        if (shared_ != nullptr) {
+            shared_->recycle_bulk(local_);
+        }
+    }
+
+    Stack acquire() {
+        if (local_.empty()) {
+            shared_->acquire_bulk(local_, kBatch);
+        }
+        Stack s = std::move(local_.back());
+        local_.pop_back();
+        return s;
+    }
+
+    void recycle(Stack s) {
+        local_.push_back(std::move(s));
+        if (local_.size() > 2 * kBatch) {
+            // Drain the oldest batch; keep the hot tail local.
+            drain_.assign(std::make_move_iterator(local_.begin()),
+                          std::make_move_iterator(local_.begin() + kBatch));
+            local_.erase(local_.begin(), local_.begin() + kBatch);
+            shared_->recycle_bulk(drain_);
+        }
+    }
+
+    [[nodiscard]] std::size_t cached() const noexcept { return local_.size(); }
+
+  private:
+    SharedStackPool* shared_;
+    std::vector<Stack> local_;
+    std::vector<Stack> drain_;  // scratch, avoids reallocating per drain
 };
 
 /// Default ULT stack size: LWT_STACKSIZE env var (bytes) or 64 KiB.

@@ -13,6 +13,15 @@ void MpmcPool::do_push(WorkUnit* unit) {
     }
 }
 
+void MpmcPool::do_push_bulk(std::span<WorkUnit* const> units) {
+    for (WorkUnit* unit : units) {
+        on_push(unit);
+    }
+    // Block-claims slots (one head CAS per run); spins like do_push when
+    // the bounded queue fills mid-batch.
+    queue_.push_bulk(units.data(), units.size());
+}
+
 bool DequePool::remove(WorkUnit* unit) { return deque_.remove(unit); }
 
 }  // namespace lwt::core

@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <span>
 
 #include "core/work_unit.hpp"
 #include "queue/chase_lev_deque.hpp"
@@ -34,6 +35,19 @@ class Pool {
     /// the implementation; see each subclass.
     void push(WorkUnit* unit) {
         do_push(unit);
+        notify_waker();
+    }
+
+    /// Enqueue a whole batch, then wake parked streams ONCE. This is the
+    /// bulk-submission fast path: one enqueue burst per backing queue and a
+    /// single parking-lot notify per batch instead of one per unit (the
+    /// notify-per-push cost Figs. 2-3 measure). Same thread-safety rules as
+    /// push() for the respective subclass.
+    void push_bulk(std::span<WorkUnit* const> units) {
+        if (units.empty()) {
+            return;
+        }
+        do_push_bulk(units);
         notify_waker();
     }
 
@@ -78,6 +92,15 @@ class Pool {
     /// the unit visible to pop()/steal() before returning.
     virtual void do_push(WorkUnit* unit) = 0;
 
+    /// Batch enqueue. Subclasses with a bulk-capable backing queue override
+    /// this to turn N queue operations into one burst; the default keeps
+    /// per-unit enqueues (the single notify still comes from push_bulk).
+    virtual void do_push_bulk(std::span<WorkUnit* const> units) {
+        for (WorkUnit* unit : units) {
+            do_push(unit);
+        }
+    }
+
     /// Bookkeeping every do_push must perform first: the unit becomes
     /// ready and this pool becomes its home (where yields/wakes return it,
     /// and where yield_to looks for it).
@@ -112,6 +135,12 @@ class SharedFifoPool final : public Pool {
         on_push(unit);
         queue_.push(unit);
     }
+    void do_push_bulk(std::span<WorkUnit* const> units) override {
+        for (WorkUnit* unit : units) {
+            on_push(unit);
+        }
+        queue_.push_bulk(units);
+    }
 
   private:
     queue::GlobalQueue<WorkUnit*> queue_;
@@ -131,6 +160,7 @@ class MpmcPool final : public Pool {
 
   protected:
     void do_push(WorkUnit* unit) override;
+    void do_push_bulk(std::span<WorkUnit* const> units) override;
 
   private:
     queue::MpmcQueue<WorkUnit*> queue_;
@@ -189,6 +219,12 @@ class DequePool final : public Pool {
         on_push(unit);
         deque_.push_back(unit);
     }
+    void do_push_bulk(std::span<WorkUnit* const> units) override {
+        for (WorkUnit* unit : units) {
+            on_push(unit);
+        }
+        deque_.push_back_bulk(units);
+    }
 
   private:
     PopOrder order_;
@@ -218,6 +254,14 @@ class WsPool final : public Pool {
     void do_push(WorkUnit* unit) override {
         on_push(unit);
         deque_.push_bottom(unit);
+    }
+    /// Owner-only, like do_push: one grow-to-fit pass, then a single
+    /// release publish of `bottom_` covering the whole batch.
+    void do_push_bulk(std::span<WorkUnit* const> units) override {
+        for (WorkUnit* unit : units) {
+            on_push(unit);
+        }
+        deque_.push_bottom_bulk(units.data(), units.size());
     }
 
   private:

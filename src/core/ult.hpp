@@ -59,6 +59,16 @@ class Ult final : public WorkUnit {
     /// new suspension point.
     YieldStatus resume_on_this_thread();
 
+    /// Descriptors come from the per-thread freelist cache (unit_cache.hpp)
+    /// so the spawn path skips the heap; delete through WorkUnit* resolves
+    /// here via the virtual destructor.
+    static void* operator new(std::size_t size) {
+        return unit_cache_alloc(size);
+    }
+    static void operator delete(void* ptr, std::size_t size) noexcept {
+        unit_cache_free(ptr, size);
+    }
+
   private:
     static void entry(arch::transfer_t t);
     void init_context();

@@ -1,0 +1,127 @@
+#include "core/unit_cache.hpp"
+
+#include <cstdlib>
+#include <mutex>
+#include <new>
+#include <vector>
+
+#include "sync/spinlock.hpp"
+
+namespace lwt::core {
+namespace {
+
+// 64-byte size classes cover every descriptor (Tasklet ~80 B, Ult ~160 B)
+// with one bucket each and no per-block header.
+constexpr std::size_t kClassBytes = 64;
+constexpr std::size_t kNumClasses = 8;  // up to 512 B
+constexpr std::size_t kMaxCached = kClassBytes * kNumClasses;
+// Refill/drain quantum between a thread's list and the shared depot.
+constexpr std::size_t kBatch = 32;
+// A local list larger than this drains a batch back to the depot.
+constexpr std::size_t kLocalHighWater = 4 * kBatch;
+// The depot stops accepting (and actually frees) beyond this, per class.
+constexpr std::size_t kDepotHighWater = 4096;
+
+constexpr std::size_t class_index(std::size_t size) noexcept {
+    return (size + kClassBytes - 1) / kClassBytes - 1;
+}
+
+// Shared spill pool. Intentionally leaked: worker threads may drain their
+// local caches during static destruction, after a function-local static's
+// destructor would already have run.
+struct Depot {
+    sync::Spinlock lock;
+    std::vector<void*> free[kNumClasses];
+};
+
+Depot& depot() {
+    static Depot* d = new Depot;
+    return *d;
+}
+
+struct LocalCache {
+    std::vector<void*> free[kNumClasses];
+    std::uint64_t hits = 0;
+    std::uint64_t allocs = 0;
+
+    ~LocalCache() {
+        Depot& d = depot();
+        std::lock_guard guard(d.lock);
+        for (std::size_t c = 0; c < kNumClasses; ++c) {
+            for (void* p : free[c]) {
+                if (d.free[c].size() < kDepotHighWater) {
+                    d.free[c].push_back(p);
+                } else {
+                    ::operator delete(p);
+                }
+            }
+        }
+    }
+};
+
+LocalCache& local_cache() {
+    thread_local LocalCache cache;
+    return cache;
+}
+
+}  // namespace
+
+void* unit_cache_alloc(std::size_t size) {
+    if (size == 0 || size > kMaxCached) {
+        return ::operator new(size);
+    }
+    const std::size_t c = class_index(size);
+    LocalCache& local = local_cache();
+    ++local.allocs;
+    if (local.free[c].empty()) {
+        Depot& d = depot();
+        std::lock_guard guard(d.lock);
+        auto& shared = d.free[c];
+        const std::size_t take = shared.size() < kBatch ? shared.size()
+                                                        : kBatch;
+        local.free[c].insert(local.free[c].end(), shared.end() - take,
+                             shared.end());
+        shared.resize(shared.size() - take);
+    }
+    if (!local.free[c].empty()) {
+        ++local.hits;
+        void* p = local.free[c].back();
+        local.free[c].pop_back();
+        return p;
+    }
+    // Allocate the class size (not the request) so any same-class request
+    // can reuse the block.
+    return ::operator new((c + 1) * kClassBytes);
+}
+
+void unit_cache_free(void* ptr, std::size_t size) noexcept {
+    if (ptr == nullptr) {
+        return;
+    }
+    if (size == 0 || size > kMaxCached) {
+        ::operator delete(ptr);
+        return;
+    }
+    const std::size_t c = class_index(size);
+    LocalCache& local = local_cache();
+    local.free[c].push_back(ptr);
+    if (local.free[c].size() > kLocalHighWater) {
+        Depot& d = depot();
+        std::lock_guard guard(d.lock);
+        auto& shared = d.free[c];
+        for (std::size_t i = 0; i < kBatch; ++i) {
+            void* p = local.free[c].back();
+            local.free[c].pop_back();
+            if (shared.size() < kDepotHighWater) {
+                shared.push_back(p);
+            } else {
+                ::operator delete(p);
+            }
+        }
+    }
+}
+
+std::uint64_t unit_cache_hits() noexcept { return local_cache().hits; }
+std::uint64_t unit_cache_allocs() noexcept { return local_cache().allocs; }
+
+}  // namespace lwt::core

@@ -1,0 +1,34 @@
+// unit_cache.hpp — per-thread freelist cache for work-unit descriptors.
+//
+// Fine-grained benchmarks (Figs. 2-3) pay one malloc/free per created unit;
+// with thousands of same-sized Ult/Tasklet descriptors churning per second,
+// the general-purpose allocator's locking and size-class bookkeeping shows
+// up directly in create/join cost. This cache short-circuits it: freed
+// descriptor blocks park in a thread-local freelist (bucketed by size
+// class) and are handed back on the next allocation without touching the
+// heap. Local lists refill from / drain to a shared depot in batches, so a
+// producer thread that only allocates and a consumer stream that only frees
+// still recycle blocks instead of growing without bound.
+//
+// Ult and Tasklet opt in via class-scoped operator new/delete; `delete`
+// through a WorkUnit* stays correct because the virtual destructor resolves
+// the deallocation function in the most-derived class's scope.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lwt::core {
+
+/// Allocate a descriptor block of `size` bytes. Falls back to the global
+/// allocator for sizes beyond the cached classes.
+void* unit_cache_alloc(std::size_t size);
+
+/// Return a block obtained from unit_cache_alloc with the same `size`.
+void unit_cache_free(void* ptr, std::size_t size) noexcept;
+
+/// Calling thread's freelist hits / total allocations (diagnostics/tests).
+[[nodiscard]] std::uint64_t unit_cache_hits() noexcept;
+[[nodiscard]] std::uint64_t unit_cache_allocs() noexcept;
+
+}  // namespace lwt::core

@@ -7,6 +7,7 @@
 
 #include "core/trace.hpp"
 #include "core/unique_function.hpp"
+#include "core/unit_cache.hpp"
 
 namespace lwt::core {
 
@@ -62,6 +63,16 @@ struct WorkUnit {
 struct Tasklet final : WorkUnit {
     explicit Tasklet(UniqueFunction f) noexcept
         : WorkUnit(Kind::kTasklet, std::move(f)) {}
+
+    // Descriptors churn at create/join rates (Figs. 2-3); route them
+    // through the per-thread freelist cache instead of the heap. Deleting
+    // through WorkUnit* still lands here via the virtual destructor.
+    static void* operator new(std::size_t size) {
+        return unit_cache_alloc(size);
+    }
+    static void operator delete(void* ptr, std::size_t size) noexcept {
+        unit_cache_free(ptr, size);
+    }
 };
 
 }  // namespace lwt::core

@@ -87,6 +87,28 @@ void Library::send_round_robin(std::size_t count,
     }
 }
 
+void Library::send_bulk(std::size_t count,
+                        const std::function<void(std::size_t)>& handler) {
+    if (count == 0) {
+        return;
+    }
+    const std::size_t npes = num_pes();
+    auto shared =
+        std::make_shared<const std::function<void(std::size_t)>>(handler);
+    std::vector<std::vector<core::WorkUnit*>> batches(npes);
+    for (auto& b : batches) {
+        b.reserve(count / npes + 1);
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+        auto* msg = new core::Tasklet([shared, i] { (*shared)(i); });
+        msg->detached = true;
+        batches[i % npes].push_back(msg);
+    }
+    for (std::size_t pe = 0; pe < npes; ++pe) {
+        pools_[pe]->push_bulk(batches[pe]);
+    }
+}
+
 CthHandle Library::cth_create(core::UniqueFunction fn) {
     // Cth threads live on the creating PE; from the main thread that is
     // PE 0. They are never migrated (Converse restriction).

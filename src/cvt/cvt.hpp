@@ -74,6 +74,12 @@ class Library {
     void send_round_robin(std::size_t count,
                           const std::function<void(std::size_t)>& handler);
 
+    /// Bulk send fast path: `count` messages running `handler(i)`, grouped
+    /// round-robin and submitted with ONE Pool::push_bulk per PE queue.
+    /// The handler is shared, not copied per message.
+    void send_bulk(std::size_t count,
+                   const std::function<void(std::size_t)>& handler);
+
     /// CthCreate: a ULT on the *current* PE (PE 0 when called from main).
     /// Cth threads cannot be pushed to other PEs.
     CthHandle cth_create(core::UniqueFunction fn);

@@ -1,20 +1,23 @@
 #include "glt/glt.hpp"
 
 #include <atomic>
+#include <cstdlib>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 
 #include "core/channel.hpp"
+#include "core/sync_ult.hpp"
 
 namespace lwt::glt {
 
-Backend backend_from_name(std::string_view name) {
+std::optional<Backend> backend_from_name(std::string_view name) noexcept {
     if (name == "abt") return Backend::kAbt;
     if (name == "qth") return Backend::kQth;
     if (name == "mth") return Backend::kMth;
     if (name == "cvt") return Backend::kCvt;
     if (name == "gol") return Backend::kGol;
-    throw std::invalid_argument("unknown GLT backend: " + std::string(name));
+    return std::nullopt;
 }
 
 std::string_view backend_name(Backend backend) {
@@ -28,10 +31,14 @@ std::string_view backend_name(Backend backend) {
     return "?";
 }
 
-void Runtime::join_all(std::vector<UnitToken>& tokens) {
+void Runtime::join_all(std::span<UnitToken> tokens) {
     for (UnitToken& t : tokens) {
         join(t);
     }
+}
+
+void Runtime::join_all(std::vector<UnitToken>& tokens) {
+    join_all(std::span<UnitToken>(tokens));
 }
 
 namespace {
@@ -42,13 +49,21 @@ class AbtGlt final : public Runtime {
     struct Token final : UnitToken::State {
         abt::UnitHandle handle;
     };
+    struct Bulk final : BulkHandle::State {
+        std::vector<abt::UnitHandle> handles;
+    };
 
   public:
     explicit AbtGlt(std::size_t n) : lib_(make_config(n)) {}
 
     Backend backend() const override { return Backend::kAbt; }
     std::size_t num_workers() const override { return lib_.num_xstreams(); }
-    bool has_native_tasklets() const override { return true; }
+    Capabilities capabilities() const override {
+        return {.native_tasklets = true,
+                .placement_hints = true,
+                .native_bulk = true,
+                .yieldable = true};
+    }
 
     UnitToken ult_create(core::UniqueFunction fn, int where) override {
         auto state = std::make_unique<Token>();
@@ -60,6 +75,26 @@ class AbtGlt final : public Runtime {
         auto state = std::make_unique<Token>();
         state->handle = lib_.task_create(std::move(fn), where);
         return UnitToken(std::move(state));
+    }
+
+    BulkHandle spawn_bulk(std::size_t n, BulkBody fn, UnitKind kind,
+                          int where) override {
+        if (n == 0) {
+            return {};
+        }
+        auto state = std::make_unique<Bulk>();
+        state->handles = lib_.create_bulk(kind == UnitKind::kTasklet
+                                              ? abt::UnitKind::kTasklet
+                                              : abt::UnitKind::kUlt,
+                                          n, fn, where);
+        return BulkHandle(std::move(state), n);
+    }
+
+    void wait(BulkHandle& handle) override {
+        if (auto* b = handle.state_as<Bulk>()) {
+            lib_.join_all_free(b->handles);  // one run_until over the batch
+            handle.reset();
+        }
     }
 
     void yield() override { abt::Library::yield(); }
@@ -87,13 +122,21 @@ class QthGlt final : public Runtime {
     struct Token final : UnitToken::State {
         std::unique_ptr<qth::aligned_t> ret = std::make_unique<qth::aligned_t>(0);
     };
+    struct Bulk final : BulkHandle::State {
+        qth::Sinc sinc;  // qt_sinc: the native aggregate join
+    };
 
   public:
     explicit QthGlt(std::size_t n) : lib_(make_config(n)) {}
 
     Backend backend() const override { return Backend::kQth; }
     std::size_t num_workers() const override { return lib_.num_workers(); }
-    bool has_native_tasklets() const override { return false; }
+    Capabilities capabilities() const override {
+        return {.native_tasklets = false,
+                .placement_hints = true,
+                .native_bulk = true,
+                .yieldable = true};
+    }
 
     UnitToken ult_create(core::UniqueFunction fn, int where) override {
         auto state = std::make_unique<Token>();
@@ -107,6 +150,24 @@ class QthGlt final : public Runtime {
     UnitToken tasklet_create(core::UniqueFunction fn, int where) override {
         // Table I: Qthreads has no tasklet type; degrade to a ULT.
         return ult_create(std::move(fn), where);
+    }
+
+    BulkHandle spawn_bulk(std::size_t n, BulkBody fn, UnitKind /*kind*/,
+                          int /*where*/) override {
+        // Everything is a ULT; fork_bulk block-distributes over shepherds.
+        if (n == 0) {
+            return {};
+        }
+        auto state = std::make_unique<Bulk>();
+        lib_.fork_bulk(n, fn, state->sinc);
+        return BulkHandle(std::move(state), n);
+    }
+
+    void wait(BulkHandle& handle) override {
+        if (auto* b = handle.state_as<Bulk>()) {
+            b->sinc.wait();
+            handle.reset();
+        }
     }
 
     void yield() override { qth::Library::yield(); }
@@ -136,13 +197,21 @@ class MthGlt final : public Runtime {
     struct Token final : UnitToken::State {
         mth::ThreadHandle handle;
     };
+    struct Bulk final : BulkHandle::State {
+        core::EventCounter done;
+    };
 
   public:
     explicit MthGlt(std::size_t n) : lib_(make_config(n)) {}
 
     Backend backend() const override { return Backend::kMth; }
     std::size_t num_workers() const override { return lib_.num_workers(); }
-    bool has_native_tasklets() const override { return false; }
+    Capabilities capabilities() const override {
+        return {.native_tasklets = false,
+                .placement_hints = false,
+                .native_bulk = true,
+                .yieldable = true};
+    }
 
     UnitToken ult_create(core::UniqueFunction fn, int /*where*/) override {
         // MassiveThreads places work via its creation policy + stealing;
@@ -154,6 +223,23 @@ class MthGlt final : public Runtime {
 
     UnitToken tasklet_create(core::UniqueFunction fn, int where) override {
         return ult_create(std::move(fn), where);
+    }
+
+    BulkHandle spawn_bulk(std::size_t n, BulkBody fn, UnitKind /*kind*/,
+                          int /*where*/) override {
+        if (n == 0) {
+            return {};
+        }
+        auto state = std::make_unique<Bulk>();
+        lib_.create_bulk_detached(n, fn, state->done);
+        return BulkHandle(std::move(state), n);
+    }
+
+    void wait(BulkHandle& handle) override {
+        if (auto* b = handle.state_as<Bulk>()) {
+            lib_.wait_counter(b->done);
+            handle.reset();
+        }
     }
 
     void yield() override { mth::Library::yield(); }
@@ -185,13 +271,24 @@ class CvtGlt final : public Runtime {
         std::shared_ptr<std::atomic<bool>> done =
             std::make_shared<std::atomic<bool>>(false);
     };
+    struct Bulk final : BulkHandle::State {
+        // Shared with the in-flight messages so an unwaited handle cannot
+        // leave them signalling a dangling counter.
+        std::shared_ptr<core::EventCounter> done =
+            std::make_shared<core::EventCounter>();
+    };
 
   public:
     explicit CvtGlt(std::size_t n) : lib_(make_config(n)) {}
 
     Backend backend() const override { return Backend::kCvt; }
     std::size_t num_workers() const override { return lib_.num_pes(); }
-    bool has_native_tasklets() const override { return true; }
+    Capabilities capabilities() const override {
+        return {.native_tasklets = true,
+                .placement_hints = true,
+                .native_bulk = true,
+                .yieldable = true};
+    }
 
     UnitToken ult_create(core::UniqueFunction fn, int where) override {
         // As in the paper's microbenchmarks, cross-PE work travels as
@@ -211,6 +308,31 @@ class CvtGlt final : public Runtime {
             done->store(true, std::memory_order_release);
         });
         return UnitToken(std::move(state));
+    }
+
+    BulkHandle spawn_bulk(std::size_t n, BulkBody fn, UnitKind /*kind*/,
+                          int /*where*/) override {
+        // Every unit is a Message regardless of kind; send_bulk groups
+        // them round-robin and pushes one batch per PE queue.
+        if (n == 0) {
+            return {};
+        }
+        auto state = std::make_unique<Bulk>();
+        auto done = state->done;
+        done->add(static_cast<std::int64_t>(n));
+        lib_.send_bulk(n, [body = std::move(fn), done](std::size_t i) {
+            body(i);
+            done->signal();
+        });
+        return BulkHandle(std::move(state), n);
+    }
+
+    void wait(BulkHandle& handle) override {
+        if (auto* b = handle.state_as<Bulk>()) {
+            auto done = b->done;
+            lib_.scheduler_run_until([&] { return done->value() <= 0; });
+            handle.reset();
+        }
     }
 
     void yield() override { cvt::Library::cth_yield(); }
@@ -243,13 +365,24 @@ class GolGlt final : public Runtime {
         std::shared_ptr<core::Channel<int>> done =
             std::make_shared<core::Channel<int>>(1);
     };
+    struct Bulk final : BulkHandle::State {
+        // sync.WaitGroup idiom: one counter for the batch, shared with
+        // the goroutines so an unwaited handle cannot dangle.
+        std::shared_ptr<core::EventCounter> done =
+            std::make_shared<core::EventCounter>();
+    };
 
   public:
     explicit GolGlt(std::size_t n) : lib_(make_config(n)) {}
 
     Backend backend() const override { return Backend::kGol; }
     std::size_t num_workers() const override { return lib_.num_threads(); }
-    bool has_native_tasklets() const override { return false; }
+    Capabilities capabilities() const override {
+        return {.native_tasklets = false,
+                .placement_hints = false,
+                .native_bulk = true,
+                .yieldable = false};
+    }
 
     UnitToken ult_create(core::UniqueFunction fn, int /*where*/) override {
         // One global queue: placement hints are meaningless in Go.
@@ -264,6 +397,28 @@ class GolGlt final : public Runtime {
 
     UnitToken tasklet_create(core::UniqueFunction fn, int where) override {
         return ult_create(std::move(fn), where);
+    }
+
+    BulkHandle spawn_bulk(std::size_t n, BulkBody fn, UnitKind /*kind*/,
+                          int /*where*/) override {
+        if (n == 0) {
+            return {};
+        }
+        auto state = std::make_unique<Bulk>();
+        auto done = state->done;
+        done->add(static_cast<std::int64_t>(n));
+        lib_.go_bulk(n, [body = std::move(fn), done](std::size_t i) {
+            body(i);
+            done->signal();
+        });
+        return BulkHandle(std::move(state), n);
+    }
+
+    void wait(BulkHandle& handle) override {
+        if (auto* b = handle.state_as<Bulk>()) {
+            b->done->wait();  // main thread OS-yields; workers drain
+            handle.reset();
+        }
     }
 
     void yield() override {
@@ -307,6 +462,28 @@ std::unique_ptr<Runtime> Runtime::create(Backend backend,
             return std::make_unique<GolGlt>(num_workers);
     }
     throw std::invalid_argument("unknown GLT backend enum value");
+}
+
+std::unique_ptr<Runtime> Runtime::create_from_env() {
+    Backend backend = Backend::kAbt;
+    if (const char* name = std::getenv("GLT_BACKEND")) {
+        if (auto parsed = backend_from_name(name)) {
+            backend = *parsed;
+        }
+    }
+    std::size_t workers = 0;
+    const char* count = std::getenv("GLT_NUM_WORKERS");
+    if (count == nullptr) {
+        count = std::getenv("GLT_WORKERS");  // legacy spelling
+    }
+    if (count != nullptr) {
+        char* end = nullptr;
+        const unsigned long parsed = std::strtoul(count, &end, 10);
+        if (end != count && *end == '\0') {
+            workers = static_cast<std::size_t>(parsed);
+        }
+    }
+    return create(backend, workers);
 }
 
 }  // namespace lwt::glt

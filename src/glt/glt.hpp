@@ -2,10 +2,18 @@
 // proposes as future work ("we plan to design and implement a common API
 // for the LWT libraries"; the authors later published it as GLT).
 //
-// The API surface is exactly the reduced function set of Table II /
-// Listing 4, shown there to suffice for every parallel pattern studied:
+// The API surface is the reduced function set of Table II / Listing 4,
+// shown there to suffice for every parallel pattern studied:
 //
 //   initialization  ULT creation  tasklet creation  yield  join  finalize
+//
+// v2 extends that set with the bulk fast path (spawn_bulk/wait): one call
+// creates a whole batch of units through the backend's native batched
+// submission (one pool push + one wakeup per target queue) and one call
+// joins the batch through the backend's native aggregate-join primitive
+// (sinc, event counter, batched run_until, ...). A Capabilities struct
+// replaces the ad-hoc feature predicates so callers can query the Table I
+// feature matrix uniformly.
 //
 // glt::Runtime is a runtime-dispatch wrapper selected by enum or name
 // (e.g. from GLT_BACKEND), so one binary can host every backend — which is
@@ -14,7 +22,11 @@
 // they are the zero-overhead path this layer adapts.
 #pragma once
 
+#include <cstddef>
+#include <functional>
 #include <memory>
+#include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -37,15 +49,48 @@ enum class Backend {
     kGol,  ///< Go-like
 };
 
-/// Parse a backend name ("abt", "qth", "mth", "cvt", "gol"); throws
-/// std::invalid_argument on anything else.
-Backend backend_from_name(std::string_view name);
+/// Parse a backend name ("abt", "qth", "mth", "cvt", "gol"); empty optional
+/// on anything else.
+[[nodiscard]] std::optional<Backend> backend_from_name(
+    std::string_view name) noexcept;
 std::string_view backend_name(Backend backend);
+
+/// What a backend natively supports — the queryable subset of the paper's
+/// Table I feature matrix. Callers branch on this instead of hard-coding
+/// backend names.
+struct Capabilities {
+    /// tasklet_create / spawn_bulk(kTasklet) map to a genuine stackless
+    /// unit (Table I row "tasklets": abt, cvt).
+    bool native_tasklets = false;
+    /// `where` hints actually target a specific worker/queue (abt pools,
+    /// qth shepherds, cvt PEs; mth and gol ignore them).
+    bool placement_hints = false;
+    /// spawn_bulk batches pool submission (one enqueue burst + one wakeup
+    /// per target queue) rather than looping over unit creation.
+    bool native_bulk = false;
+    /// yield() reschedules from unit context (Go exposes no yield).
+    bool yieldable = false;
+};
+
+/// Work-unit flavour for spawn_bulk, mirroring Table I's two unit types.
+/// Backends without the requested flavour degrade exactly as the scalar
+/// creation calls do (tasklet -> ULT on qth/mth/gol).
+enum class UnitKind {
+    kUlt,
+    kTasklet,
+};
+
+/// Body of a bulk spawn: invoked as fn(i) for i in [0, n). Shared by all
+/// units of the batch, not copied per unit.
+using BulkBody = std::function<void(std::size_t)>;
 
 /// Opaque join token returned by creation calls.
 class UnitToken;
+/// Opaque aggregate join handle returned by spawn_bulk.
+class BulkHandle;
 
-/// Runtime-dispatch GLT instance: Table II's six rows as virtual calls.
+/// Runtime-dispatch GLT instance: Table II's six rows as virtual calls,
+/// plus the v2 bulk extension.
 ///
 /// Semantics follow the least common denominator the paper identifies:
 /// work units are created from the main thread (or any unit), joined
@@ -59,10 +104,24 @@ class Runtime {
     static std::unique_ptr<Runtime> create(Backend backend,
                                            std::size_t num_workers = 0);
 
+    /// Build from the environment: GLT_BACKEND selects the backend
+    /// ("abt" when unset or unrecognised), GLT_NUM_WORKERS (then the
+    /// legacy GLT_WORKERS) the worker count (0 = per-backend default).
+    static std::unique_ptr<Runtime> create_from_env();
+
     virtual ~Runtime() = default;
 
     [[nodiscard]] virtual Backend backend() const = 0;
     [[nodiscard]] virtual std::size_t num_workers() const = 0;
+
+    /// The backend's native feature set (Table I, queryable).
+    [[nodiscard]] virtual Capabilities capabilities() const = 0;
+
+    /// True if tasklet_create maps to a genuine stackless unit.
+    /// (v1 shim; prefer capabilities().native_tasklets.)
+    [[nodiscard]] bool has_native_tasklets() const {
+        return capabilities().native_tasklets;
+    }
 
     /// ULT creation (Table II row 2). `where` hints the target
     /// worker/queue; -1 lets the backend pick (round-robin where natural).
@@ -74,8 +133,20 @@ class Runtime {
     virtual UnitToken tasklet_create(core::UniqueFunction fn,
                                      int where = -1) = 0;
 
-    /// True if tasklet_create maps to a genuine stackless unit.
-    [[nodiscard]] virtual bool has_native_tasklets() const = 0;
+    /// Bulk creation fast path (v2): spawn `n` units running `fn(i)` as a
+    /// single batch. Backends with native_bulk build the whole batch and
+    /// submit it with one enqueue burst + one wakeup per target queue;
+    /// completion is tracked by the backend's aggregate mechanism, not one
+    /// token per unit. `where` as in ult_create; it applies to the whole
+    /// batch. n == 0 yields an invalid handle (wait on it is a no-op).
+    virtual BulkHandle spawn_bulk(std::size_t n, BulkBody fn,
+                                  UnitKind kind = UnitKind::kUlt,
+                                  int where = -1) = 0;
+
+    /// Join a batch created by spawn_bulk, reclaiming it. Cooperative from
+    /// unit context where the backend allows; callable from the main
+    /// thread everywhere.
+    virtual void wait(BulkHandle& handle) = 0;
 
     /// Cooperative yield (Table II row 4). Go has none; its implementation
     /// is a no-op from plain code and a scheduler yield inside a unit.
@@ -84,7 +155,9 @@ class Runtime {
     /// Join one unit (Table II row 5), reclaiming it.
     virtual void join(UnitToken& token) = 0;
 
-    /// Join a batch (the common epilogue of Listing 4).
+    /// Join a batch of scalar tokens (the common epilogue of Listing 4).
+    void join_all(std::span<UnitToken> tokens);
+    /// Convenience overload for vector callers.
     void join_all(std::vector<UnitToken>& tokens);
 
   protected:
@@ -117,6 +190,43 @@ class UnitToken {
 
   private:
     std::unique_ptr<State> state_;
+};
+
+/// Aggregate join handle: one type-erased completion record for a whole
+/// batch (a handle vector, a sinc, an event counter, ... — whatever the
+/// backend's native bulk join is).
+class BulkHandle {
+  public:
+    BulkHandle() noexcept = default;
+    BulkHandle(BulkHandle&&) noexcept = default;
+    BulkHandle& operator=(BulkHandle&&) noexcept = default;
+
+    [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+    /// Units in the batch (0 for an invalid handle).
+    [[nodiscard]] std::size_t size() const noexcept { return count_; }
+
+    /// Backend-private payload.
+    struct State {
+        virtual ~State() = default;
+    };
+
+    explicit BulkHandle(std::unique_ptr<State> state,
+                        std::size_t count) noexcept
+        : state_(std::move(state)), count_(count) {}
+
+    template <typename T>
+    [[nodiscard]] T* state_as() const noexcept {
+        return static_cast<T*>(state_.get());
+    }
+
+    void reset() noexcept {
+        state_.reset();
+        count_ = 0;
+    }
+
+  private:
+    std::unique_ptr<State> state_;
+    std::size_t count_ = 0;
 };
 
 }  // namespace lwt::glt

@@ -31,4 +31,21 @@ void Library::go(core::UniqueFunction fn) {
     global_.push(g);
 }
 
+void Library::go_bulk(std::size_t n,
+                      const std::function<void(std::size_t)>& body) {
+    if (n == 0) {
+        return;
+    }
+    auto shared =
+        std::make_shared<const std::function<void(std::size_t)>>(body);
+    std::vector<core::WorkUnit*> batch;
+    batch.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        auto* g = new core::Ult([shared, i] { (*shared)(i); });
+        g->detached = true;
+        batch.push_back(g);
+    }
+    global_.push_bulk(batch);
+}
+
 }  // namespace lwt::gol

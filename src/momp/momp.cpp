@@ -279,6 +279,10 @@ void Runtime::cache_release(CachedWorker* worker) {
 void Runtime::parallel_for(std::size_t n,
                            const std::function<void(std::size_t)>& body,
                            std::size_t nthreads) {
+    if (config_.for_loop_taskloop) {
+        parallel_for_taskloop(n, 0, body, nthreads);
+        return;
+    }
     parallel(
         [&](std::size_t tid, std::size_t nth) {
             // Static schedule: contiguous chunks, like both runtimes'
@@ -293,9 +297,37 @@ void Runtime::parallel_for(std::size_t n,
         nthreads);
 }
 
+void Runtime::parallel_for_taskloop(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t)>& body, std::size_t nthreads) {
+    parallel(
+        [&](std::size_t tid, std::size_t nth) {
+            if (tid != 0) {
+                return;  // region barrier drains the batch for everyone
+            }
+            const std::size_t g =
+                grain != 0 ? grain : std::max<std::size_t>(1, (n + nth - 1) / nth);
+            const std::size_t nchunks = (n + g - 1) / g;
+            task_bulk(nchunks, [&body, n, g](std::size_t c) {
+                const std::size_t lo = c * g;
+                const std::size_t hi = std::min(n, lo + g);
+                for (std::size_t i = lo; i < hi; ++i) {
+                    body(i);
+                }
+            });
+        },
+        nthreads);
+}
+
 void Runtime::task(core::UniqueFunction fn) {
     assert(tl_region != nullptr && "momp::task requires a parallel region");
     tl_region->tasks->submit(tl_region->tid, std::move(fn));
+}
+
+void Runtime::task_bulk(std::size_t n,
+                        const std::function<void(std::size_t)>& body) {
+    assert(tl_region != nullptr && "momp::task_bulk requires a parallel region");
+    tl_region->tasks->submit_bulk(tl_region->tid, n, body);
 }
 
 void Runtime::taskwait() {

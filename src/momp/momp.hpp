@@ -43,6 +43,10 @@ struct Config {
     /// hardware.
     std::size_t num_threads = 0;
     WaitPolicy wait_policy = WaitPolicy::kActive;
+    /// Route parallel_for through the taskloop path: the master submits the
+    /// chunks with ONE TaskPool::submit_bulk burst (single wakeup) and the
+    /// implicit barrier drains them, instead of static per-thread chunking.
+    bool for_loop_taskloop = false;
 };
 
 /// Body of a parallel region: body(tid, nthreads).
@@ -91,9 +95,19 @@ class Runtime {
     /// flavour's spawn semantics.
     void parallel(const RegionBody& body, std::size_t nthreads = 0);
 
-    /// #pragma omp parallel for — static schedule over [0, n).
+    /// #pragma omp parallel for — static schedule over [0, n). With
+    /// Config::for_loop_taskloop this delegates to parallel_for_taskloop
+    /// (grain = one chunk per team thread).
     void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
                       std::size_t nthreads = 0);
+
+    /// #pragma omp taskloop grainsize(grain) inside a fresh region: the
+    /// master bulk-submits ceil(n/grain) chunk tasks in one burst
+    /// (TaskPool::submit_bulk) and the team executes them; the implicit
+    /// barrier completes the batch. `grain` 0 = one chunk per team thread.
+    void parallel_for_taskloop(std::size_t n, std::size_t grain,
+                               const std::function<void(std::size_t)>& body,
+                               std::size_t nthreads = 0);
 
     /// #pragma omp parallel for schedule(dynamic, chunk) — threads pull
     /// chunks from a shared counter (load balance at the cost of one atomic
@@ -132,6 +146,12 @@ class Runtime {
 
     /// #pragma omp task — submit from inside a parallel region.
     static void task(core::UniqueFunction fn);
+
+    /// Bulk task submission: `n` tasks running `body(i)`, enqueued into the
+    /// region's task pool in one burst with a single wakeup (see
+    /// TaskPool::submit_bulk). How `parallel_for` would feed a taskloop.
+    static void task_bulk(std::size_t n,
+                          const std::function<void(std::size_t)>& body);
 
     /// #pragma omp taskwait — drive task execution until none remain in the
     /// current team.

@@ -1,5 +1,7 @@
 #include "momp/task_pool.hpp"
 
+#include <span>
+
 #include "arch/cpu.hpp"
 
 namespace lwt::momp {
@@ -68,6 +70,47 @@ void TaskPool::submit(std::size_t tid, core::UniqueFunction fn) {
         per_thread_[tid]->push_bottom(task);  // owner push
     }
     lot_.notify_all();  // after the task is visible: wake parked waiters
+}
+
+void TaskPool::submit_bulk(std::size_t tid, std::size_t n,
+                           const std::function<void(std::size_t)>& body) {
+    if (n == 0) {
+        return;
+    }
+    // Defer as many tasks as the cutoff leaves room for; the tail runs
+    // inline (undeferred), matching n sequential submit() calls.
+    std::size_t defer = 0;
+    if (flavor_ == Flavor::kGcc) {
+        const std::size_t out = outstanding_.load(std::memory_order_relaxed);
+        defer = out < cutoff() ? cutoff() - out : 0;
+    } else {
+        const std::size_t depth = per_thread_[tid]->size_approx();
+        defer = depth < cutoff() ? cutoff() - depth : 0;
+    }
+    if (defer > n) {
+        defer = n;
+    }
+    if (defer > 0) {
+        auto shared =
+            std::make_shared<const std::function<void(std::size_t)>>(body);
+        std::vector<Task*> batch;
+        batch.reserve(defer);
+        for (std::size_t i = 0; i < defer; ++i) {
+            batch.push_back(
+                new Task{core::UniqueFunction([shared, i] { (*shared)(i); })});
+        }
+        outstanding_.fetch_add(defer, std::memory_order_release);
+        if (flavor_ == Flavor::kGcc) {
+            shared_.push_bulk(std::span<Task* const>(batch));
+        } else {
+            per_thread_[tid]->push_bottom_bulk(batch.data(), batch.size());
+        }
+        lot_.notify_all();  // ONE wakeup for the whole visible batch
+    }
+    for (std::size_t i = defer; i < n; ++i) {
+        inlined_.fetch_add(1, std::memory_order_relaxed);
+        body(i);
+    }
 }
 
 TaskPool::Task* TaskPool::take(std::size_t tid) {

@@ -108,6 +108,46 @@ core::Ult* Library::spawn(core::UniqueFunction fn, bool detached) {
     return child;
 }
 
+void Library::create_bulk_detached(
+    std::size_t n, const std::function<void(std::size_t)>& body,
+    core::EventCounter& done) {
+    if (n == 0) {
+        return;
+    }
+    done.add(static_cast<std::int64_t>(n));
+    auto shared =
+        std::make_shared<const std::function<void(std::size_t)>>(body);
+    core::EventCounter* counter = &done;
+    std::vector<core::WorkUnit*> batch;
+    batch.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        auto* child = new core::Ult([shared, counter, i] {
+            (*shared)(i);
+            counter->signal();
+        });
+        child->detached = true;
+        batch.push_back(child);
+    }
+    core::XStream* stream = core::XStream::current();
+    core::Pool* target =
+        stream != nullptr ? stream->scheduler().main_pool() : pools_[0].get();
+    target->push_bulk(batch);
+}
+
+void Library::wait_counter(core::EventCounter& done) {
+    if (core::Ult::current() != nullptr) {
+        while (done.value() > 0) {
+            core::Ult::current()->yield();
+        }
+    } else if (core::XStream* stream = core::XStream::current()) {
+        stream->run_until([&done] { return done.value() == 0; });
+    } else {
+        while (done.value() > 0) {
+            std::this_thread::yield();
+        }
+    }
+}
+
 ThreadHandle Library::create(core::UniqueFunction fn) {
     return ThreadHandle(spawn(std::move(fn), /*detached=*/false));
 }

@@ -13,10 +13,12 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <vector>
 
 #include "core/pool.hpp"
+#include "core/sync_ult.hpp"
 #include "core/ult.hpp"
 #include "core/unique_function.hpp"
 #include "core/xstream.hpp"
@@ -81,6 +83,20 @@ class Library {
 
     /// Fire-and-forget spawn (no join handle).
     void create_detached(core::UniqueFunction fn);
+
+    /// Bulk spawn fast path (always help-first: a batch has no single
+    /// continuation to steal). All `n` detached ULTs running `body(i)` go
+    /// to the caller's deque in ONE push_bulk; idle workers distribute the
+    /// batch by stealing. Each completion signals `done` (add(n) is called
+    /// here) — join with wait_counter(done).
+    void create_bulk_detached(std::size_t n,
+                              const std::function<void(std::size_t)>& body,
+                              core::EventCounter& done);
+
+    /// Wait until `done` drains. From the attached main thread this drives
+    /// worker 0's scheduler (a plain EventCounter::wait would OS-yield and
+    /// deadlock single-worker configurations); inside a ULT it yields.
+    void wait_counter(core::EventCounter& done);
 
     /// myth_yield.
     static void yield();

@@ -7,6 +7,7 @@
 #include "abt/abt.hpp"
 #include "benchsupport/stats.hpp"
 #include "core/channel.hpp"
+#include "core/sync_ult.hpp"
 #include "core/xstream.hpp"
 #include "cvt/cvt.hpp"
 #include "gol/gol.hpp"
@@ -80,10 +81,10 @@ class AbtRunner final : public PatternRunner {
     std::pair<double, double> create_join_times(
         const std::function<void()>& body) override {
         std::vector<abt::UnitHandle> handles;
-        handles.reserve(threads());
+        handles.reserve(unit_count());
         Timer t;
         t.start();
-        for (std::size_t i = 0; i < threads(); ++i) {
+        for (std::size_t i = 0; i < unit_count(); ++i) {
             handles.push_back(create(body, place(i)));
         }
         const double create_ms = t.stop_ms();
@@ -93,6 +94,36 @@ class AbtRunner final : public PatternRunner {
         }
         const double join_ms = t.stop_ms();
         return {create_ms, join_ms};
+    }
+
+    std::pair<double, double> create_join_times_bulk(
+        const std::function<void()>& body) override {
+        Timer t;
+        t.start();
+        auto handles = lib_.create_bulk(
+            tasklets_ ? abt::UnitKind::kTasklet : abt::UnitKind::kUlt,
+            unit_count(), [&body](std::size_t) { body(); });
+        const double create_ms = t.stop_ms();
+        t.start();
+        lib_.join_all_free(handles);  // one run_until over the batch
+        const double join_ms = t.stop_ms();
+        return {create_ms, join_ms};
+    }
+
+    void for_loop_bulk(std::size_t n, const ElemFn& body) override {
+        std::vector<std::pair<std::size_t, std::size_t>> chunks;
+        chunks.reserve(threads());
+        split_range(n, threads(), [&](std::size_t, std::size_t lo, std::size_t hi) {
+            chunks.emplace_back(lo, hi);
+        });
+        auto handles = lib_.create_bulk(
+            tasklets_ ? abt::UnitKind::kTasklet : abt::UnitKind::kUlt,
+            chunks.size(), [&body, &chunks](std::size_t c) {
+                for (std::size_t i = chunks[c].first; i < chunks[c].second; ++i) {
+                    body(i);
+                }
+            });
+        lib_.join_all_free(handles);
     }
 
     void for_loop(std::size_t n, const ElemFn& body) override {
@@ -255,10 +286,10 @@ class QthRunner final : public PatternRunner {
 
     std::pair<double, double> create_join_times(
         const std::function<void()>& body) override {
-        std::vector<qth::aligned_t> rets(threads_, 0);
+        std::vector<qth::aligned_t> rets(unit_count(), 0);
         Timer t;
         t.start();
-        for (std::size_t i = 0; i < threads_; ++i) {
+        for (std::size_t i = 0; i < unit_count(); ++i) {
             lib_.fork_to([&body] { body(); }, &rets[i],
                          i % lib_.num_shepherds());
         }
@@ -269,6 +300,37 @@ class QthRunner final : public PatternRunner {
         }
         const double join_ms = t.stop_ms();
         return {create_ms, join_ms};
+    }
+
+    std::pair<double, double> create_join_times_bulk(
+        const std::function<void()>& body) override {
+        qth::Sinc sinc;
+        Timer t;
+        t.start();
+        lib_.fork_bulk(unit_count(), [&body](std::size_t) { body(); }, sinc);
+        const double create_ms = t.stop_ms();
+        t.start();
+        sinc.wait();  // the qt_sinc aggregate join
+        const double join_ms = t.stop_ms();
+        return {create_ms, join_ms};
+    }
+
+    void for_loop_bulk(std::size_t n, const ElemFn& body) override {
+        std::vector<std::pair<std::size_t, std::size_t>> chunks;
+        chunks.reserve(threads_);
+        split_range(n, threads_, [&](std::size_t, std::size_t lo, std::size_t hi) {
+            chunks.emplace_back(lo, hi);
+        });
+        qth::Sinc sinc;
+        lib_.fork_bulk(
+            chunks.size(),
+            [&body, &chunks](std::size_t c) {
+                for (std::size_t i = chunks[c].first; i < chunks[c].second; ++i) {
+                    body(i);
+                }
+            },
+            sinc);
+        sinc.wait();
     }
 
     void for_loop(std::size_t n, const ElemFn& body) override {
@@ -415,10 +477,10 @@ class MthRunner final : public PatternRunner {
         double join_ms = 0.0;
         lib_.run([&] {
             std::vector<mth::ThreadHandle> handles;
-            handles.reserve(threads());
+            handles.reserve(unit_count());
             Timer t;
             t.start();
-            for (std::size_t i = 0; i < threads(); ++i) {
+            for (std::size_t i = 0; i < unit_count(); ++i) {
                 handles.push_back(lib_.create([&body] { body(); }));
             }
             create_ms = t.stop_ms();
@@ -429,6 +491,40 @@ class MthRunner final : public PatternRunner {
             join_ms = t.stop_ms();
         });
         return {create_ms, join_ms};
+    }
+
+    std::pair<double, double> create_join_times_bulk(
+        const std::function<void()>& body) override {
+        // Bulk creation is main-thread driven (help-first: the batch has
+        // no single continuation to steal), joined via the event counter.
+        core::EventCounter done;
+        Timer t;
+        t.start();
+        lib_.create_bulk_detached(unit_count(),
+                                  [&body](std::size_t) { body(); }, done);
+        const double create_ms = t.stop_ms();
+        t.start();
+        lib_.wait_counter(done);
+        const double join_ms = t.stop_ms();
+        return {create_ms, join_ms};
+    }
+
+    void for_loop_bulk(std::size_t n, const ElemFn& body) override {
+        std::vector<std::pair<std::size_t, std::size_t>> chunks;
+        chunks.reserve(threads());
+        split_range(n, threads(), [&](std::size_t, std::size_t lo, std::size_t hi) {
+            chunks.emplace_back(lo, hi);
+        });
+        core::EventCounter done;
+        lib_.create_bulk_detached(
+            chunks.size(),
+            [&body, &chunks](std::size_t c) {
+                for (std::size_t i = chunks[c].first; i < chunks[c].second; ++i) {
+                    body(i);
+                }
+            },
+            done);
+        lib_.wait_counter(done);
     }
 
     void for_loop(std::size_t n, const ElemFn& body) override {
@@ -566,7 +662,7 @@ class CvtRunner final : public PatternRunner {
         const std::function<void()>& body) override {
         Timer t;
         t.start();
-        for (std::size_t i = 0; i < threads(); ++i) {
+        for (std::size_t i = 0; i < unit_count(); ++i) {
             lib_.send_message(i % threads(), [&body] { body(); });
         }
         const double create_ms = t.stop_ms();
@@ -574,6 +670,40 @@ class CvtRunner final : public PatternRunner {
         lib_.barrier();  // the Converse join: linear in PEs (§VI)
         const double join_ms = t.stop_ms();
         return {create_ms, join_ms};
+    }
+
+    std::pair<double, double> create_join_times_bulk(
+        const std::function<void()>& body) override {
+        core::EventCounter done;
+        done.add(static_cast<std::int64_t>(unit_count()));
+        Timer t;
+        t.start();
+        lib_.send_bulk(unit_count(), [&body, &done](std::size_t) {
+            body();
+            done.signal();
+        });
+        const double create_ms = t.stop_ms();
+        t.start();
+        lib_.scheduler_run_until([&] { return done.value() <= 0; });
+        const double join_ms = t.stop_ms();
+        return {create_ms, join_ms};
+    }
+
+    void for_loop_bulk(std::size_t n, const ElemFn& body) override {
+        std::vector<std::pair<std::size_t, std::size_t>> chunks;
+        chunks.reserve(threads());
+        split_range(n, threads(), [&](std::size_t, std::size_t lo, std::size_t hi) {
+            chunks.emplace_back(lo, hi);
+        });
+        core::EventCounter done;
+        done.add(static_cast<std::int64_t>(chunks.size()));
+        lib_.send_bulk(chunks.size(), [&body, &chunks, &done](std::size_t c) {
+            for (std::size_t i = chunks[c].first; i < chunks[c].second; ++i) {
+                body(i);
+            }
+            done.signal();
+        });
+        lib_.scheduler_run_until([&] { return done.value() <= 0; });
     }
 
     void for_loop(std::size_t n, const ElemFn& body) override {
@@ -701,10 +831,10 @@ class GolRunner final : public PatternRunner {
 
     std::pair<double, double> create_join_times(
         const std::function<void()>& body) override {
-        core::Channel<int> done(threads());
+        core::Channel<int> done(unit_count());
         Timer t;
         t.start();
-        for (std::size_t i = 0; i < threads(); ++i) {
+        for (std::size_t i = 0; i < unit_count(); ++i) {
             lib_.go([&body, &done] {
                 body();
                 done.send(1);
@@ -712,11 +842,47 @@ class GolRunner final : public PatternRunner {
         }
         const double create_ms = t.stop_ms();
         t.start();
-        for (std::size_t i = 0; i < threads(); ++i) {
+        for (std::size_t i = 0; i < unit_count(); ++i) {
             done.recv();  // out-of-order channel join (§VI)
         }
         const double join_ms = t.stop_ms();
         return {create_ms, join_ms};
+    }
+
+    std::pair<double, double> create_join_times_bulk(
+        const std::function<void()>& body) override {
+        // WaitGroup idiom: one counter for the batch instead of a channel
+        // receive per goroutine.
+        core::EventCounter done;
+        done.add(static_cast<std::int64_t>(unit_count()));
+        Timer t;
+        t.start();
+        lib_.go_bulk(unit_count(), [&body, &done](std::size_t) {
+            body();
+            done.signal();
+        });
+        const double create_ms = t.stop_ms();
+        t.start();
+        done.wait();
+        const double join_ms = t.stop_ms();
+        return {create_ms, join_ms};
+    }
+
+    void for_loop_bulk(std::size_t n, const ElemFn& body) override {
+        std::vector<std::pair<std::size_t, std::size_t>> chunks;
+        chunks.reserve(threads());
+        split_range(n, threads(), [&](std::size_t, std::size_t lo, std::size_t hi) {
+            chunks.emplace_back(lo, hi);
+        });
+        core::EventCounter done;
+        done.add(static_cast<std::int64_t>(chunks.size()));
+        lib_.go_bulk(chunks.size(), [&body, &chunks, &done](std::size_t c) {
+            for (std::size_t i = chunks[c].first; i < chunks[c].second; ++i) {
+                body(i);
+            }
+            done.signal();
+        });
+        done.wait();
     }
 
     void for_loop(std::size_t n, const ElemFn& body) override {
@@ -851,10 +1017,10 @@ class PthreadsRunner final : public PatternRunner {
     std::pair<double, double> create_join_times(
         const std::function<void()>& body) override {
         std::vector<std::thread> units;
-        units.reserve(threads_);
+        units.reserve(unit_count());
         Timer t;
         t.start();
-        for (std::size_t i = 0; i < threads_; ++i) {
+        for (std::size_t i = 0; i < unit_count(); ++i) {
             units.emplace_back([&body] { body(); });
         }
         const double create_ms = t.stop_ms();
@@ -1001,11 +1167,11 @@ class MompRunner final : public PatternRunner {
         // creation); the master measures task creation and the join.
         double create_ms = 0.0;
         double join_ms = 0.0;
-        rt_.parallel([&](std::size_t tid, std::size_t nth) {
+        rt_.parallel([&](std::size_t tid, std::size_t) {
             if (tid == 0) {
                 Timer t;
                 t.start();
-                for (std::size_t i = 0; i < nth; ++i) {
+                for (std::size_t i = 0; i < unit_count(); ++i) {
                     momp::Runtime::task([&body] { body(); });
                 }
                 create_ms = t.stop_ms();
@@ -1017,8 +1183,32 @@ class MompRunner final : public PatternRunner {
         return {create_ms, join_ms};
     }
 
+    std::pair<double, double> create_join_times_bulk(
+        const std::function<void()>& body) override {
+        double create_ms = 0.0;
+        double join_ms = 0.0;
+        rt_.parallel([&](std::size_t tid, std::size_t) {
+            if (tid == 0) {
+                Timer t;
+                t.start();
+                momp::Runtime::task_bulk(unit_count(),
+                                         [&body](std::size_t) { body(); });
+                create_ms = t.stop_ms();
+                t.start();
+                momp::Runtime::taskwait();
+                join_ms = t.stop_ms();
+            }
+        });
+        return {create_ms, join_ms};
+    }
+
     void for_loop(std::size_t n, const ElemFn& body) override {
         rt_.parallel_for(n, body);
+    }
+
+    void for_loop_bulk(std::size_t n, const ElemFn& body) override {
+        // taskloop: one submit_bulk burst of per-thread chunks.
+        rt_.parallel_for_taskloop(n, 0, body);
     }
 
     void task_single(std::size_t n, const ElemFn& body) override {

@@ -54,14 +54,41 @@ class PatternRunner {
     [[nodiscard]] virtual Variant variant() const = 0;
     [[nodiscard]] virtual std::size_t threads() const = 0;
 
+    /// Units created per thread by the create/join pattern. Default 1 is
+    /// the paper's figure ("one work unit per thread"); benches raise it
+    /// (LWTBENCH_UNITS) to study batching effects, since a batch of
+    /// `threads` units is too small to amortize anything.
+    void set_units_per_thread(std::size_t units) {
+        units_per_thread_ = units == 0 ? 1 : units;
+    }
+    [[nodiscard]] std::size_t units_per_thread() const {
+        return units_per_thread_;
+    }
+
     /// Figures 2+3: create one work unit per thread running `body`, then
     /// join them; returns (create_ms, join_ms) measured around exactly
     /// those two phases (runtime boot excluded, as in the paper).
     virtual std::pair<double, double> create_join_times(
         const std::function<void()>& body) = 0;
 
+    /// Figures 2+3 through the bulk fast path: the same unit count, but
+    /// created with ONE batched submission (backend-native bulk creation)
+    /// and joined with ONE aggregate join. Backends without a bulk
+    /// primitive (Pthreads) fall back to the per-unit path, which is the
+    /// honest baseline cost.
+    virtual std::pair<double, double> create_join_times_bulk(
+        const std::function<void()>& body) {
+        return create_join_times(body);
+    }
+
     /// Figure 4: an n-iteration for loop split into one chunk per thread.
     virtual void for_loop(std::size_t n, const ElemFn& body) = 0;
+
+    /// Figure 4 through the bulk fast path: the same chunking, submitted
+    /// as one batch. Defaults to the per-unit path.
+    virtual void for_loop_bulk(std::size_t n, const ElemFn& body) {
+        for_loop(n, body);
+    }
 
     /// Figure 5: n tasks created by a single thread, one per element.
     virtual void task_single(std::size_t n, const ElemFn& body) = 0;
@@ -79,6 +106,15 @@ class PatternRunner {
     /// `children` child tasks.
     virtual void nested_task(std::size_t parents, std::size_t children,
                              const Elem2Fn& body) = 0;
+
+  protected:
+    /// Total units one create/join repetition submits.
+    [[nodiscard]] std::size_t unit_count() const {
+        return threads() * units_per_thread_;
+    }
+
+  private:
+    std::size_t units_per_thread_ = 1;
 };
 
 /// Boot a runner for `variant` with `threads` workers.

@@ -80,6 +80,35 @@ void Library::fork_to(Fn fn, aligned_t* ret, std::size_t shepherd) {
     pools_[shepherd % pools_.size()]->push(ult);
 }
 
+void Library::fork_bulk(std::size_t n,
+                        const std::function<void(std::size_t)>& body,
+                        Sinc& sinc) {
+    if (n == 0) {
+        return;
+    }
+    sinc.expect(static_cast<std::int64_t>(n));
+    const std::size_t nshep = pools_.size();
+    auto shared =
+        std::make_shared<const std::function<void(std::size_t)>>(body);
+    Sinc* psinc = &sinc;  // outlives the batch: wait() returns after the
+                          // last submit's fetch_sub, the ULT's final touch
+    std::vector<std::vector<core::WorkUnit*>> batches(nshep);
+    for (auto& b : batches) {
+        b.reserve(n / nshep + 1);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        auto* ult = new core::Ult([shared, psinc, i] {
+            (*shared)(i);
+            psinc->submit();
+        });
+        ult->detached = true;
+        batches[i % nshep].push_back(ult);
+    }
+    for (std::size_t s = 0; s < nshep; ++s) {
+        pools_[s]->push_bulk(batches[s]);
+    }
+}
+
 void Library::yield() { core::yield_anywhere(); }
 
 void Library::feb_waiter(void* /*ctx*/) { core::yield_anywhere(); }

@@ -53,9 +53,10 @@ class Sinc {
         remaining_.fetch_add(n, std::memory_order_relaxed);
     }
 
-    /// One contribution with an optional summed value.
+    /// One contribution with an optional summed value. Value-less
+    /// submissions (the bulk-join common case) skip the sum lock entirely.
     void submit(double value = 0.0) {
-        {
+        if (value != 0.0) {
             std::lock_guard g(lock_);
             sum_ += value;
         }
@@ -108,6 +109,15 @@ class Library {
     /// qthread_fork_to: same, but into shepherd `shepherd`'s queue — the
     /// round-robin dispatch the paper found necessary for load balance.
     void fork_to(Fn fn, aligned_t* ret, std::size_t shepherd);
+
+    /// Bulk fork fast path: spawn `n` ULTs running `body(i)`, block-
+    /// distributed round-robin over shepherds, submitted with ONE
+    /// Pool::push_bulk per shepherd queue. Completion is reported through
+    /// `sinc` (expect(n) is called here); join with sinc.wait(). This is
+    /// the qt_sinc idiom Qthreads builds its loops on, minus the
+    /// one-readFF-per-task join cost.
+    void fork_bulk(std::size_t n, const std::function<void(std::size_t)>& body,
+                   Sinc& sinc);
 
     /// qthread_yield.
     static void yield();

@@ -67,6 +67,31 @@ class ChaseLevDeque {
         bottom_.store(b + 1, std::memory_order_release);
     }
 
+    /// Owner only. Enqueue `n` values with a single release publish: grow
+    /// until the block fits, write every slot, then advance `bottom_` once.
+    /// Thieves see either none or all of the batch — exactly the
+    /// one-burst-per-queue shape bulk submission wants.
+    void push_bottom_bulk(const T* values, std::size_t n) {
+        if (n == 0) {
+            return;
+        }
+        const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+        Array* a = array_.load(std::memory_order_relaxed);
+        for (;;) {
+            const std::int64_t t = top_.load(std::memory_order_acquire);
+            if (b + static_cast<std::int64_t>(n) - t <=
+                static_cast<std::int64_t>(a->capacity)) {
+                break;
+            }
+            a = grow(a, b, t);
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            a->put(b + static_cast<std::int64_t>(i), values[i]);
+        }
+        bottom_.store(b + static_cast<std::int64_t>(n),
+                      std::memory_order_release);
+    }
+
     /// Owner only. LIFO pop; empty optional when the deque is empty.
     std::optional<T> pop_bottom() {
         const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;

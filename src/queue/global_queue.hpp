@@ -10,6 +10,7 @@
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <span>
 
 #include "sync/spinlock.hpp"
 
@@ -25,6 +26,16 @@ class GlobalQueue {
     void push(T value) {
         std::lock_guard guard(lock_);
         items_.push_back(std::move(value));
+    }
+
+    /// Enqueue a whole batch under one lock acquisition — the bulk-submission
+    /// burst the per-unit path pays N lock round-trips for.
+    void push_bulk(std::span<const T> values) {
+        if (values.empty()) {
+            return;
+        }
+        std::lock_guard guard(lock_);
+        items_.insert(items_.end(), values.begin(), values.end());
     }
 
     std::optional<T> try_pop() {

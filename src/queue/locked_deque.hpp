@@ -10,6 +10,7 @@
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <span>
 
 #include "sync/spinlock.hpp"
 
@@ -26,6 +27,15 @@ class LockedDeque {
     void push_back(T value) {
         std::lock_guard guard(lock_);
         items_.push_back(std::move(value));
+    }
+
+    /// Enqueue a whole batch at the back under one lock acquisition.
+    void push_back_bulk(std::span<const T> values) {
+        if (values.empty()) {
+            return;
+        }
+        std::lock_guard guard(lock_);
+        items_.insert(items_.end(), values.begin(), values.end());
     }
 
     /// Owner: enqueue at the front (used by help-first dispatch variants).

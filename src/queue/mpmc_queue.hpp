@@ -51,6 +51,47 @@ class MpmcQueue {
         }
     }
 
+    /// Enqueue `n` values, blocking (spinning) while the queue is full —
+    /// the same full-queue behaviour callers of try_push-in-a-loop rely on,
+    /// but claiming slots in blocks: one head CAS covers a whole run of
+    /// values instead of one CAS per value.
+    void push_bulk(const T* values, std::size_t n) {
+        std::size_t done = 0;
+        while (done < n) {
+            std::size_t pos = head_.load(std::memory_order_relaxed);
+            // Claim up to the estimated free space (at least one slot so a
+            // full queue degrades to claim-and-wait, like the spinning
+            // single push).
+            const std::size_t cap = mask_ + 1;
+            const std::size_t used = size_approx();
+            std::size_t want = n - done;
+            if (const std::size_t free = cap > used ? cap - used : 0;
+                want > free) {
+                want = free > 0 ? free : 1;
+            }
+            if (want > cap) {
+                want = cap;
+            }
+            if (!head_.compare_exchange_weak(pos, pos + want,
+                                             std::memory_order_relaxed)) {
+                continue;
+            }
+            for (std::size_t i = 0; i < want; ++i) {
+                Slot& slot = slots_[(pos + i) & mask_];
+                // The claimed slot may still hold the previous lap's value
+                // until its consumer bumps the sequence; wait it out, as the
+                // spinning single push does for a full queue.
+                while (slot.sequence.load(std::memory_order_acquire) !=
+                       pos + i) {
+                    arch::cpu_relax();
+                }
+                slot.value = values[done + i];
+                slot.sequence.store(pos + i + 1, std::memory_order_release);
+            }
+            done += want;
+        }
+    }
+
     /// Empty optional when the queue is empty.
     std::optional<T> try_pop() {
         std::size_t pos = tail_.load(std::memory_order_relaxed);

@@ -78,6 +78,13 @@ class ParkingLot {
         return notified;
     }
 
+    /// Current epoch: bumped exactly once per notify_all(), whether or not
+    /// anyone was parked. Tests use the delta to assert how many notifies a
+    /// code path issued (e.g. push_bulk's one-notify-per-batch contract).
+    [[nodiscard]] std::uint64_t epoch() const noexcept {
+        return epoch_.load(std::memory_order_acquire);
+    }
+
     /// Streams currently inside prepare_park()/park() (diagnostics).
     [[nodiscard]] std::uint64_t waiters() const noexcept {
         return waiters_.load(std::memory_order_acquire);

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
+#include <span>
 #include <vector>
 
 #include "glt/glt.hpp"
@@ -18,9 +20,11 @@ using lwt::glt::UnitToken;
 TEST(GltNames, RoundTrip) {
     for (Backend b : {Backend::kAbt, Backend::kQth, Backend::kMth,
                       Backend::kCvt, Backend::kGol}) {
-        EXPECT_EQ(backend_from_name(backend_name(b)), b);
+        ASSERT_TRUE(backend_from_name(backend_name(b)).has_value());
+        EXPECT_EQ(backend_from_name(backend_name(b)).value(), b);
     }
-    EXPECT_THROW(backend_from_name("nope"), std::invalid_argument);
+    EXPECT_FALSE(backend_from_name("nope").has_value());
+    EXPECT_FALSE(backend_from_name("").has_value());
 }
 
 class GltBackendTest : public ::testing::TestWithParam<Backend> {};
@@ -98,6 +102,58 @@ TEST_P(GltBackendTest, TaskletCapabilityMatchesTableOne) {
     const bool expect_native =
         GetParam() == Backend::kAbt || GetParam() == Backend::kCvt;
     EXPECT_EQ(rt->has_native_tasklets(), expect_native);
+    EXPECT_EQ(rt->capabilities().native_tasklets, expect_native);
+}
+
+TEST_P(GltBackendTest, CapabilitiesMatchTableOne) {
+    auto rt = Runtime::create(GetParam(), 2);
+    const lwt::glt::Capabilities caps = rt->capabilities();
+    // Every backend implements the batched v2 creation path natively.
+    EXPECT_TRUE(caps.native_bulk);
+    // Placement: abt pools, qth shepherds, cvt PEs; mth and gol have no
+    // targetable queues (Table I "cross-queue creation" / single run queue).
+    const bool expect_hints = GetParam() == Backend::kAbt ||
+                              GetParam() == Backend::kQth ||
+                              GetParam() == Backend::kCvt;
+    EXPECT_EQ(caps.placement_hints, expect_hints);
+    // Go is the only backend without a yield (Table I).
+    EXPECT_EQ(caps.yieldable, GetParam() != Backend::kGol);
+}
+
+TEST_P(GltBackendTest, JoinAllSpanOverload) {
+    auto rt = Runtime::create(GetParam(), 2);
+    std::atomic<int> ran{0};
+    std::vector<UnitToken> tokens;
+    for (int i = 0; i < 8; ++i) {
+        tokens.push_back(rt->ult_create([&] { ran.fetch_add(1); }));
+    }
+    rt->join_all(std::span<UnitToken>(tokens.data(), tokens.size()));
+    EXPECT_EQ(ran.load(), 8);
+    for (const UnitToken& t : tokens) {
+        EXPECT_FALSE(t.valid());
+    }
+}
+
+TEST(GltEnv, CreateFromEnvHonoursVariables) {
+    ::setenv("GLT_BACKEND", "gol", 1);
+    ::setenv("GLT_NUM_WORKERS", "2", 1);
+    auto rt = Runtime::create_from_env();
+    ASSERT_NE(rt, nullptr);
+    EXPECT_EQ(rt->backend(), Backend::kGol);
+    EXPECT_EQ(rt->num_workers(), 2u);
+    ::unsetenv("GLT_BACKEND");
+    ::unsetenv("GLT_NUM_WORKERS");
+}
+
+TEST(GltEnv, CreateFromEnvDefaultsToAbt) {
+    ::unsetenv("GLT_BACKEND");
+    ::unsetenv("GLT_NUM_WORKERS");
+    ::setenv("GLT_WORKERS", "2", 1);  // legacy spelling still honoured
+    auto rt = Runtime::create_from_env();
+    ASSERT_NE(rt, nullptr);
+    EXPECT_EQ(rt->backend(), Backend::kAbt);
+    EXPECT_EQ(rt->num_workers(), 2u);
+    ::unsetenv("GLT_WORKERS");
 }
 
 INSTANTIATE_TEST_SUITE_P(Backends, GltBackendTest,
