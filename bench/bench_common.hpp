@@ -64,12 +64,57 @@ inline bool bulk_mode(int argc, char** argv) {
     return false;
 }
 
+/// True when the bench was invoked with `--json` (or LWTBENCH_JSON=1):
+/// in addition to the human-readable figure block, write the sweep as
+/// BENCH_<figure_id>.json in the working directory (machine-readable; the
+/// schema is documented at benchsupport::write_figure_json).
+inline bool json_mode(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--json") {
+            return true;
+        }
+    }
+    if (const char* v = std::getenv("LWTBENCH_JSON")) {
+        return std::atol(v) != 0;
+    }
+    return false;
+}
+
+/// run_and_print plus the `--json` dump: the standard epilogue of every
+/// fig*_ main. `figure_id` names the output file (BENCH_<figure_id>.json).
+inline void run_and_report(const std::string& figure_id,
+                           const std::string& title, const std::string& unit,
+                           const std::vector<Series>& series, int argc,
+                           char** argv) {
+    const SweepConfig config = SweepConfig::from_env();
+    const auto grid = lwt::benchsupport::run_sweep(config, series);
+    lwt::benchsupport::print_figure(title, unit, config, series, grid);
+    if (json_mode(argc, argv)) {
+        std::vector<std::string> names;
+        names.reserve(series.size());
+        for (const Series& s : series) {
+            names.push_back(s.name);
+        }
+        const std::string path = "BENCH_" + figure_id + ".json";
+        if (lwt::benchsupport::write_figure_json(path, figure_id, title, unit,
+                                                 config, names, grid)) {
+            std::fprintf(stderr, "[lwtbench] wrote %s\n", path.c_str());
+        } else {
+            std::fprintf(stderr, "[lwtbench] failed to write %s\n",
+                         path.c_str());
+        }
+    }
+}
+
 /// Figures 2/3 need phase-separated timing; this sweeps every variant and
 /// prints the chosen phase (0 = create, 1 = join). With `bulk`, timing
 /// goes through create_join_times_bulk (one batched submission + one
-/// aggregate join) instead of the per-unit path.
+/// aggregate join) instead of the per-unit path. A non-empty `figure_id`
+/// plus argc/argv enables the `--json` dump as in run_and_report.
 inline void run_create_join_figure(const std::string& title, int phase,
-                                   bool bulk = false) {
+                                   bool bulk = false,
+                                   const std::string& figure_id = {},
+                                   int argc = 0, char** argv = nullptr) {
     const SweepConfig config = SweepConfig::from_env();
     // LWTBENCH_UNITS: units per thread (default 1, the paper's figure).
     // Raised to study batching, where a `threads`-unit batch is too small
@@ -127,6 +172,22 @@ inline void run_create_join_figure(const std::string& title, int phase,
                     worst);
     }
     std::printf("\n\n");
+
+    if (!figure_id.empty() && json_mode(argc, argv)) {
+        std::vector<std::string> names;
+        names.reserve(variants.size());
+        for (Variant v : variants) {
+            names.push_back(std::string(lwt::patterns::variant_name(v)));
+        }
+        const std::string path = "BENCH_" + figure_id + ".json";
+        if (lwt::benchsupport::write_figure_json(path, figure_id, title, "ms",
+                                                 config, names, grid)) {
+            std::fprintf(stderr, "[lwtbench] wrote %s\n", path.c_str());
+        } else {
+            std::fprintf(stderr, "[lwtbench] failed to write %s\n",
+                         path.c_str());
+        }
+    }
 }
 
 }  // namespace lwtbench

@@ -4,6 +4,6 @@
 int main(int argc, char** argv) {
     lwtbench::run_create_join_figure(
         "Figure 2: create one work unit per thread", /*phase=*/0,
-        lwtbench::bulk_mode(argc, argv));
+        lwtbench::bulk_mode(argc, argv), "fig2_create", argc, argv);
     return 0;
 }

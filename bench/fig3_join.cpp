@@ -4,6 +4,6 @@
 int main(int argc, char** argv) {
     lwtbench::run_create_join_figure(
         "Figure 3: join one work unit per thread", /*phase=*/1,
-        lwtbench::bulk_mode(argc, argv));
+        lwtbench::bulk_mode(argc, argv), "fig3_join", argc, argv);
     return 0;
 }

@@ -21,11 +21,12 @@ int main(int argc, char** argv) {
                 }
             };
         });
-    lwt::benchsupport::run_and_print(
+    lwtbench::run_and_report(
+        "fig4_for_loop",
         bulk ? "Figure 4: execution time of a 1,000-iteration for loop "
                "(Sscal) [bulk]"
              : "Figure 4: execution time of a 1,000-iteration for loop "
                "(Sscal)",
-        "ms", series);
+        "ms", series, argc, argv);
     return 0;
 }

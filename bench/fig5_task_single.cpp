@@ -2,7 +2,7 @@
 // thread), one Sscal element per task. LWTBENCH_N overrides.
 #include <memory>
 #include "bench_common.hpp"
-int main() {
+int main(int argc, char** argv) {
     const std::size_t n = lwtbench::env_size("LWTBENCH_N", 1000);
     auto series = lwtbench::variant_series(
         [n](lwtbench::PatternRunner& runner) -> std::function<void()> {
@@ -13,8 +13,9 @@ int main() {
                 });
             };
         });
-    lwt::benchsupport::run_and_print(
+    lwtbench::run_and_report(
+        "fig5_task_single",
         "Figure 5: execution time of 1,000 tasks created in a single region",
-        "ms", series);
+        "ms", series, argc, argv);
     return 0;
 }

@@ -3,7 +3,7 @@
 // overrides.
 #include <memory>
 #include "bench_common.hpp"
-int main() {
+int main(int argc, char** argv) {
     const std::size_t n = lwtbench::env_size("LWTBENCH_N", 1000);
     auto series = lwtbench::variant_series(
         [n](lwtbench::PatternRunner& runner) -> std::function<void()> {
@@ -14,8 +14,9 @@ int main() {
                 });
             };
         });
-    lwt::benchsupport::run_and_print(
+    lwtbench::run_and_report(
+        "fig6_task_parallel",
         "Figure 6: execution time of 1,000 tasks created in a parallel region",
-        "ms", series);
+        "ms", series, argc, argv);
     return 0;
 }

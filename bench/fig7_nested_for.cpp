@@ -4,7 +4,7 @@
 // small hosts (raise it to reproduce the full-size run).
 #include <memory>
 #include "bench_common.hpp"
-int main() {
+int main(int argc, char** argv) {
     const std::size_t n = lwtbench::env_size("LWTBENCH_NESTED_N", 64);
     auto series = lwtbench::variant_series(
         [n](lwtbench::PatternRunner& runner) -> std::function<void()> {
@@ -17,9 +17,10 @@ int main() {
                                   });
             };
         });
-    lwt::benchsupport::run_and_print(
+    lwtbench::run_and_report(
+        "fig7_nested_for",
         "Figure 7: nested parallel for structure (" + std::to_string(n) +
             " iterations per loop)",
-        "ms", series);
+        "ms", series, argc, argv);
     return 0;
 }

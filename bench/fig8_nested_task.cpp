@@ -3,7 +3,7 @@
 // LWTBENCH_CHILDREN override.
 #include <memory>
 #include "bench_common.hpp"
-int main() {
+int main(int argc, char** argv) {
     const std::size_t parents = lwtbench::env_size("LWTBENCH_PARENTS", 100);
     const std::size_t children = lwtbench::env_size("LWTBENCH_CHILDREN", 4);
     auto series = lwtbench::variant_series(
@@ -19,9 +19,10 @@ int main() {
                                    });
             };
         });
-    lwt::benchsupport::run_and_print(
+    lwtbench::run_and_report(
+        "fig8_nested_task",
         "Figure 8: execution time of " + std::to_string(parents * children) +
             " nested tasks",
-        "ms", series);
+        "ms", series, argc, argv);
     return 0;
 }

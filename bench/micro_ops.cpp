@@ -10,7 +10,9 @@
 
 #include "arch/fcontext.hpp"
 #include "arch/stack.hpp"
+#include "core/metrics.hpp"
 #include "core/pool.hpp"
+#include "core/trace.hpp"
 #include "core/ult.hpp"
 #include "core/work_unit.hpp"
 #include "core/channel.hpp"
@@ -275,6 +277,79 @@ void BM_FebPurgeFill(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_FebPurgeFill);
+
+// --- observability hooks (the disabled-path ≈ one-relaxed-load claim) -------
+//
+// BM_TraceHookDisabled / BM_MetricsHookDisabled measure the cost every
+// scheduler hook pays when LWT_TRACE/LWT_METRICS are off — it should be
+// indistinguishable from BM_RelaxedAtomicLoad. The *Enabled variants show
+// what turning recording on costs per event.
+
+void BM_RelaxedAtomicLoad(benchmark::State& state) {
+    std::atomic<bool> flag{false};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(flag.load(std::memory_order_relaxed));
+    }
+}
+BENCHMARK(BM_RelaxedAtomicLoad);
+
+void BM_TraceHookDisabled(benchmark::State& state) {
+    auto& tracer = core::Tracer::instance();
+    tracer.disable();
+    core::Tasklet unit([] {});
+    for (auto _ : state) {
+        tracer.record(core::TraceEvent::kStart, &unit);
+    }
+}
+BENCHMARK(BM_TraceHookDisabled);
+
+void BM_TraceHookEnabled(benchmark::State& state) {
+    auto& tracer = core::Tracer::instance();
+    tracer.enable();
+    core::Tasklet unit([] {});
+    for (auto _ : state) {
+        tracer.record(core::TraceEvent::kStart, &unit);
+    }
+    tracer.disable();
+    tracer.clear();
+}
+BENCHMARK(BM_TraceHookEnabled);
+
+void BM_MetricsHookDisabled(benchmark::State& state) {
+    auto& metrics = core::Metrics::instance();
+    metrics.disable();
+    for (auto _ : state) {
+        // The call-site pattern used in xstream.cpp/ult.cpp: a relaxed
+        // enabled() check guards the record call.
+        if (metrics.enabled()) {
+            metrics.record_exec(1);
+        }
+    }
+}
+BENCHMARK(BM_MetricsHookDisabled);
+
+void BM_MetricsHookEnabled(benchmark::State& state) {
+    auto& metrics = core::Metrics::instance();
+    metrics.enable();
+    std::uint64_t v = 0;
+    for (auto _ : state) {
+        if (metrics.enabled()) {
+            metrics.record_exec(++v);
+        }
+    }
+    metrics.disable();
+    metrics.reset();
+}
+BENCHMARK(BM_MetricsHookEnabled);
+
+void BM_HistogramRecord(benchmark::State& state) {
+    core::LatencyHistogram hist;
+    std::uint64_t v = 0;
+    for (auto _ : state) {
+        hist.record(++v);
+    }
+}
+BENCHMARK(BM_HistogramRecord);
 
 }  // namespace
 

@@ -118,6 +118,15 @@ std::size_t Library::num_xstreams() const {
     return runtime_->num_streams() + dynamic_streams_.size();
 }
 
+core::SchedStats Library::sched_stats() const noexcept {
+    core::SchedStats total = runtime_->sched_stats();
+    std::lock_guard guard(streams_lock_);
+    for (const auto& s : dynamic_streams_) {
+        total += s->sched_stats();
+    }
+    return total;
+}
+
 std::size_t Library::xstream_create() {
     std::lock_guard guard(streams_lock_);
     const auto rank = static_cast<unsigned>(num_xstreams());

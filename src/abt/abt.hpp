@@ -161,6 +161,11 @@ class Library {
     [[nodiscard]] core::Runtime& runtime() { return *runtime_; }
     [[nodiscard]] const Config& config() const { return config_; }
 
+    /// Aggregate steal/idle counters over every stream, including
+    /// dynamically created ones (ABT_info-style introspection;
+    /// sched_stats.hpp).
+    [[nodiscard]] core::SchedStats sched_stats() const noexcept;
+
   private:
     friend class UnitHandle;
 
@@ -173,6 +178,10 @@ class Library {
     /// threads and dynamically created streams (they use the shared pool).
     arch::StackCache* local_stack_cache() noexcept;
 
+    // Declared first so it detaches LAST: the env-driven shutdown flush
+    // (LWT_TRACE / LWT_METRICS) must run after every stream — including
+    // dynamically created ones — has stopped.
+    core::ObservabilitySession obs_session_;
     Config config_;
     std::vector<std::unique_ptr<core::Pool>> pools_;
     std::unique_ptr<core::Runtime> runtime_;
@@ -183,7 +192,7 @@ class Library {
     /// of taking a central lock per ULT.
     arch::SharedStackPool stack_pool_;
     std::vector<std::unique_ptr<arch::StackCache>> stack_caches_;
-    sync::Spinlock streams_lock_;
+    mutable sync::Spinlock streams_lock_;
 };
 
 }  // namespace lwt::abt

@@ -97,4 +97,84 @@ void run_and_print(const std::string& title, const std::string& unit,
     print_figure(title, unit, config, series, grid);
 }
 
+namespace {
+
+// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+void write_metric_array(std::FILE* f, const char* key,
+                        const std::vector<Summary>& row,
+                        double (*get)(const Summary&), bool trailing_comma) {
+    std::fprintf(f, "      \"%s\": [", key);
+    for (std::size_t t = 0; t < row.size(); ++t) {
+        std::fprintf(f, "%s%.6f", t == 0 ? "" : ", ", get(row[t]));
+    }
+    std::fprintf(f, "]%s\n", trailing_comma ? "," : "");
+}
+
+}  // namespace
+
+bool write_figure_json(const std::string& path, const std::string& figure_id,
+                       const std::string& title, const std::string& unit,
+                       const SweepConfig& config,
+                       const std::vector<std::string>& series_names,
+                       const ResultGrid& grid) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        return false;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"figure\": \"%s\",\n", json_escape(figure_id).c_str());
+    std::fprintf(f, "  \"title\": \"%s\",\n", json_escape(title).c_str());
+    std::fprintf(f, "  \"unit\": \"%s\",\n", json_escape(unit).c_str());
+    std::fprintf(f, "  \"reps\": %zu,\n", config.reps);
+    std::fprintf(f, "  \"warmup\": %zu,\n", config.warmup);
+    std::fprintf(f, "  \"threads\": [");
+    for (std::size_t t = 0; t < config.thread_counts.size(); ++t) {
+        std::fprintf(f, "%s%zu", t == 0 ? "" : ", ", config.thread_counts[t]);
+    }
+    std::fprintf(f, "],\n");
+    std::fprintf(f, "  \"series\": [\n");
+    for (std::size_t s = 0; s < grid.size(); ++s) {
+        const std::string name =
+            s < series_names.size() ? series_names[s] : "series" + std::to_string(s);
+        std::fprintf(f, "    {\n      \"name\": \"%s\",\n",
+                     json_escape(name).c_str());
+        write_metric_array(f, "mean", grid[s],
+                           [](const Summary& x) { return x.mean; }, true);
+        write_metric_array(f, "min", grid[s],
+                           [](const Summary& x) { return x.min; }, true);
+        write_metric_array(f, "max", grid[s],
+                           [](const Summary& x) { return x.max; }, true);
+        write_metric_array(f, "rsd_percent", grid[s],
+                           [](const Summary& x) { return x.rsd_percent; },
+                           false);
+        std::fprintf(f, "    }%s\n", s + 1 < grid.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    const bool ok = std::ferror(f) == 0;
+    std::fclose(f);
+    return ok;
+}
+
 }  // namespace lwt::benchsupport

@@ -55,4 +55,18 @@ void print_figure(const std::string& title, const std::string& unit,
 void run_and_print(const std::string& title, const std::string& unit,
                    const std::vector<Series>& series);
 
+/// Write one figure's sweep as machine-readable JSON (the `--json` bench
+/// mode; see bench/bench_common.hpp). Layout:
+///   {"figure": id, "title": ..., "unit": ..., "reps": N, "warmup": N,
+///    "threads": [...],
+///    "series": [{"name": ..., "mean": [...], "min": [...], "max": [...],
+///                "rsd_percent": [...]}]}
+/// with one array entry per thread count, aligned with "threads".
+/// Returns false on IO failure.
+bool write_figure_json(const std::string& path, const std::string& figure_id,
+                       const std::string& title, const std::string& unit,
+                       const SweepConfig& config,
+                       const std::vector<std::string>& series_names,
+                       const ResultGrid& grid);
+
 }  // namespace lwt::benchsupport

@@ -1,7 +1,9 @@
 #include "core/runtime.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
+#include <string>
 
 #include "arch/cpu.hpp"
 
@@ -37,9 +39,23 @@ Runtime::Runtime(std::size_t num_streams, const SchedulerFactory& factory,
     for (std::size_t i = 1; i < num_streams; ++i) {
         streams_[i]->start();
     }
+    // Optional queue-depth sampling (LWT_METRICS_SAMPLE_US=N): one gauge
+    // per wired pool, updated every N microseconds by a background thread.
+    if (const char* env = std::getenv("LWT_METRICS_SAMPLE_US")) {
+        const long us = std::atol(env);
+        if (us > 0) {
+            for (std::size_t i = 0; i < wired_pools_.size(); ++i) {
+                Pool* pool = wired_pools_[i];
+                sampler_.add_source("pool" + std::to_string(i) + ".depth",
+                                    [pool] { return pool->size(); });
+            }
+            sampler_.start(std::chrono::microseconds(us));
+        }
+    }
 }
 
 Runtime::~Runtime() {
+    sampler_.stop();  // before the pools' queues quiesce/detach
     for (std::size_t i = 1; i < streams_.size(); ++i) {
         streams_[i]->stop_and_join();
     }

@@ -14,6 +14,9 @@
 #include <memory>
 #include <vector>
 
+#include "core/metrics.hpp"
+#include "core/observability.hpp"
+#include "core/trace.hpp"
 #include "core/xstream.hpp"
 #include "sync/idle_backoff.hpp"
 #include "sync/parking_lot.hpp"
@@ -69,10 +72,27 @@ class Runtime {
         }
     }
 
+    /// Zero ALL telemetry in one call: every stream's SchedCounters, the
+    /// process tracer, the per-stream unit-latency histograms, and the
+    /// registry values — so benches can scope measurement to exactly the
+    /// region after this call (the manual per-stream path is bug-prone:
+    /// forgetting one stream skews aggregate rates).
+    void reset_stats() noexcept {
+        reset_sched_stats();
+        Tracer::instance().clear();
+        Metrics::instance().reset();
+        MetricsRegistry::instance().reset_values();
+    }
+
   private:
+    // Declared first so it detaches LAST: the shutdown flush (LWT_TRACE /
+    // LWT_METRICS, see observability.hpp) must run after the streams have
+    // stopped recording.
+    ObservabilitySession obs_session_;
     sync::ParkingLot lot_;
     std::vector<std::unique_ptr<XStream>> streams_;
     std::vector<Pool*> wired_pools_;
+    QueueDepthSampler sampler_;
 };
 
 }  // namespace lwt::core

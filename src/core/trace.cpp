@@ -6,6 +6,17 @@
 #include "arch/cpu.hpp"
 
 namespace lwt::core {
+namespace {
+
+thread_local std::uint32_t tl_stream_rank = kNoStream;
+
+}  // namespace
+
+void set_this_thread_stream(std::uint32_t rank) noexcept {
+    tl_stream_rank = rank;
+}
+
+std::uint32_t this_thread_stream() noexcept { return tl_stream_rank; }
 
 std::string_view trace_event_name(TraceEvent e) {
     switch (e) {
@@ -36,28 +47,49 @@ Tracer::Ring& Tracer::ring_for_this_thread() {
 }
 
 void Tracer::record_slow(TraceEvent event, const void* unit) {
-    // Stream rank is attached lazily by the caller-side hook macros; we
-    // avoid a dependency cycle with XStream by storing kNoStream here and
-    // letting analysis group by ring (one ring per OS thread ≈ stream).
     Ring& ring = ring_for_this_thread();
+    // Single writer per ring (it is thread-local), so the index claim and
+    // the seqlock stores never contend; fetch_add stays for clarity.
     const std::uint64_t idx =
         ring.next.fetch_add(1, std::memory_order_relaxed);
-    TraceRecord& slot = ring.slots[idx % kRingCapacity];
-    slot.tsc = arch::rdtsc();
-    slot.unit = unit;
-    slot.event = event;
-    slot.stream = kNoStream;
+    Slot& slot = ring.slots[idx % kRingCapacity];
+    const std::uint32_t seq = slot.seq.load(std::memory_order_relaxed);
+    slot.seq.store(seq + 1, std::memory_order_relaxed);  // odd: in flight
+    slot.tsc.store(arch::rdtsc(), std::memory_order_relaxed);
+    slot.unit.store(unit, std::memory_order_relaxed);
+    slot.event.store(static_cast<std::uint8_t>(event),
+                     std::memory_order_relaxed);
+    slot.stream.store(tl_stream_rank, std::memory_order_relaxed);
+    slot.seq.store(seq + 2, std::memory_order_release);  // even: published
+}
+
+bool Tracer::read_slot(const Slot& slot, TraceRecord& out) noexcept {
+    const std::uint32_t s1 = slot.seq.load(std::memory_order_acquire);
+    if ((s1 & 1u) != 0) {
+        return false;  // writer mid-flight
+    }
+    out.tsc = slot.tsc.load(std::memory_order_relaxed);
+    out.unit = slot.unit.load(std::memory_order_relaxed);
+    out.event =
+        static_cast<TraceEvent>(slot.event.load(std::memory_order_relaxed));
+    out.stream = slot.stream.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    return slot.seq.load(std::memory_order_relaxed) == s1;
 }
 
 TraceStats Tracer::stats() const {
     TraceStats out;
     std::lock_guard g(registry_lock_);
     for (const auto& ring : rings_) {
-        const std::uint64_t n =
-            std::min<std::uint64_t>(ring->next.load(std::memory_order_acquire),
-                                    kRingCapacity);
+        const std::uint64_t next =
+            ring->next.load(std::memory_order_acquire);
+        const std::uint64_t n = std::min<std::uint64_t>(next, kRingCapacity);
+        out.dropped += next > kRingCapacity ? next - kRingCapacity : 0;
         for (std::uint64_t i = 0; i < n; ++i) {
-            ++out.counts[static_cast<std::size_t>(ring->slots[i].event)];
+            TraceRecord rec;
+            if (read_slot(ring->slots[i], rec)) {
+                ++out.counts[static_cast<std::size_t>(rec.event)];
+            }
         }
     }
     return out;
@@ -70,8 +102,13 @@ std::vector<TraceRecord> Tracer::snapshot() const {
         for (const auto& ring : rings_) {
             const std::uint64_t n = std::min<std::uint64_t>(
                 ring->next.load(std::memory_order_acquire), kRingCapacity);
-            out.insert(out.end(), ring->slots.begin(),
-                       ring->slots.begin() + static_cast<std::ptrdiff_t>(n));
+            out.reserve(out.size() + n);
+            for (std::uint64_t i = 0; i < n; ++i) {
+                TraceRecord rec;
+                if (read_slot(ring->slots[i], rec)) {
+                    out.push_back(rec);
+                }
+            }
         }
     }
     // Stable sort: records were appended per-ring in program order, so
@@ -87,6 +124,7 @@ std::vector<TraceRecord> Tracer::snapshot() const {
 void Tracer::clear() {
     std::lock_guard g(registry_lock_);
     for (auto& ring : rings_) {
+        // Resetting `next` also zeroes the derived dropped count.
         ring->next.store(0, std::memory_order_release);
     }
 }

@@ -3,8 +3,9 @@
 // Real LWT runtimes ship introspection (ABT_info, Qthreads' performance
 // hooks); this is ours. When enabled, the kernel records unit lifecycle
 // events (create/start/yield/block/wake/finish) into per-thread ring
-// buffers; a snapshot merges them for analysis. Disabled (the default) the
-// cost is one relaxed atomic load per hook.
+// buffers; a snapshot merges them for analysis or Chrome-trace export
+// (trace_export.hpp). Disabled (the default) the cost is one relaxed
+// atomic load per hook.
 //
 //   Tracer::instance().enable();
 //   ... run work ...
@@ -37,6 +38,8 @@ std::string_view trace_event_name(TraceEvent e);
 
 /// One recorded event. `unit` is an opaque identity (the unit's address at
 /// the time — may be reused after free; correlate via kCreate/kFinish).
+/// `stream` is the rank of the execution stream driving the recording
+/// thread, or kNoStream from unattached threads.
 struct TraceRecord {
     std::uint64_t tsc;
     const void* unit;
@@ -45,9 +48,20 @@ struct TraceRecord {
 };
 inline constexpr std::uint32_t kNoStream = 0xffffffffu;
 
+/// Declare the execution-stream rank of the calling OS thread; recorded
+/// into every subsequent TraceRecord (and picked up by Metrics' per-stream
+/// slots). XStream sets this on loop entry / attach_caller; pass kNoStream
+/// to detach.
+void set_this_thread_stream(std::uint32_t rank) noexcept;
+[[nodiscard]] std::uint32_t this_thread_stream() noexcept;
+
 /// Aggregated event counts.
 struct TraceStats {
     std::array<std::uint64_t, kTraceEventKinds> counts{};
+    /// Events overwritten by ring wrap-around, summed over all rings —
+    /// nonzero means stats()/snapshot() saw only the newest kRingCapacity
+    /// events per thread. clear() resets it.
+    std::uint64_t dropped = 0;
 
     [[nodiscard]] std::uint64_t of(TraceEvent e) const {
         return counts[static_cast<std::size_t>(e)];
@@ -72,31 +86,53 @@ class Tracer {
         }
     }
 
-    /// Counts per event kind over all buffers.
+    /// Counts per event kind over all buffers, plus the dropped
+    /// (overwritten) total. Skips records a concurrent writer is mid-way
+    /// through publishing.
     [[nodiscard]] TraceStats stats() const;
 
     /// Merged copy of every buffer, stably sorted by timestamp: records
-    /// with equal tsc keep their per-thread insertion order. Caveat: tsc
+    /// with equal tsc keep their per-thread insertion order. Caveats: tsc
     /// is only guaranteed monotonic per socket — on multi-socket machines
     /// without synchronized invariant TSCs, cross-thread ordering is
-    /// approximate (per-thread subsequences remain exact).
+    /// approximate (per-thread subsequences remain exact). Rings keep only
+    /// the newest kRingCapacity events per thread; check stats().dropped
+    /// to detect overwritten history. Safe to call while hooks fire:
+    /// records being written concurrently are skipped (never torn).
     [[nodiscard]] std::vector<TraceRecord> snapshot() const;
 
-    /// Drop all recorded events (buffers stay registered).
+    /// Drop all recorded events and reset the dropped counters (buffers
+    /// stay registered).
     void clear();
 
-    /// Capacity of each per-thread ring (oldest events overwritten).
+    /// Capacity of each per-thread ring (oldest events overwritten; see
+    /// TraceStats::dropped).
     static constexpr std::size_t kRingCapacity = 1 << 14;
 
   private:
+    // Per-slot sequence lock: the (single, per-ring) writer bumps `seq` to
+    // odd, fills the payload with relaxed stores, then publishes with a
+    // release store back to even. Readers that observe an odd or changed
+    // seq skip the slot — a concurrent snapshot never returns a
+    // half-written record. Payload fields are relaxed atomics so the
+    // protocol is data-race-free under TSan, not just in practice.
+    struct Slot {
+        std::atomic<std::uint32_t> seq{0};
+        std::atomic<std::uint64_t> tsc{0};
+        std::atomic<const void*> unit{nullptr};
+        std::atomic<std::uint32_t> stream{kNoStream};
+        std::atomic<std::uint8_t> event{0};
+    };
     struct Ring {
-        std::array<TraceRecord, kRingCapacity> slots;
+        std::array<Slot, kRingCapacity> slots;
         std::atomic<std::uint64_t> next{0};  // monotonically increasing
     };
 
     Tracer() = default;
     void record_slow(TraceEvent event, const void* unit);
     Ring& ring_for_this_thread();
+    /// Seqlock-guarded read of one slot; false when the writer is mid-way.
+    static bool read_slot(const Slot& slot, TraceRecord& out) noexcept;
 
     std::atomic<bool> enabled_{false};
     mutable sync::Spinlock registry_lock_;

@@ -1,0 +1,178 @@
+#include "core/trace_export.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <unordered_map>
+
+#include "arch/cpu.hpp"
+
+namespace lwt::core {
+namespace {
+
+/// Streaming JSON-array writer: buffers one event line at a time.
+class EventWriter {
+  public:
+    explicit EventWriter(std::ostream& os) : os_(os) {
+        os_ << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    }
+    ~EventWriter() { os_ << "\n]}\n"; }
+
+    template <typename... Args>
+    void emit(const char* fmt, Args... args) {
+        char line[256];
+        std::snprintf(line, sizeof(line), fmt, args...);
+        os_ << (first_ ? "\n" : ",\n") << line;
+        first_ = false;
+    }
+
+  private:
+    std::ostream& os_;
+    bool first_ = true;
+};
+
+}  // namespace
+
+double tsc_ticks_per_us() {
+    static const double rate = [] {
+        using Clock = std::chrono::steady_clock;
+        const std::uint64_t t0 = arch::rdtsc();
+        if (t0 == 0 && arch::rdtsc() == 0) {
+            return 1.0;  // no cycle counter on this platform
+        }
+        const Clock::time_point c0 = Clock::now();
+        // ~2ms busy window: long enough for <1% error, short enough to be
+        // invisible at first-export time.
+        while (Clock::now() - c0 < std::chrono::milliseconds(2)) {
+            arch::cpu_relax();
+        }
+        const std::uint64_t t1 = arch::rdtsc();
+        const double us = std::chrono::duration<double, std::micro>(
+                              Clock::now() - c0)
+                              .count();
+        const double ticks = static_cast<double>(t1 - t0);
+        return ticks > 0.0 && us > 0.0 ? ticks / us : 1.0;
+    }();
+    return rate;
+}
+
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<TraceRecord>& records,
+                        const ChromeTraceOptions& opts) {
+    const double ticks_per_us =
+        opts.ticks_per_us > 0.0 ? opts.ticks_per_us : tsc_ticks_per_us();
+
+    // Lane assignment: real stream ranks keep their rank as tid; the
+    // unattached-thread lane gets max_rank+1 (0 when no streams appear).
+    std::uint32_t max_rank = 0;
+    bool has_stream = false;
+    bool has_external = false;
+    for (const TraceRecord& r : records) {
+        if (r.stream == kNoStream) {
+            has_external = true;
+        } else {
+            has_stream = true;
+            max_rank = std::max(max_rank, r.stream);
+        }
+    }
+    const std::uint32_t external_tid = has_stream ? max_rank + 1 : 0;
+    const auto tid_of = [&](std::uint32_t stream) {
+        return stream == kNoStream ? external_tid : stream;
+    };
+
+    const std::uint64_t t0 = records.empty() ? 0 : records.front().tsc;
+    const auto us_of = [&](std::uint64_t tsc) {
+        return static_cast<double>(tsc - t0) / ticks_per_us;
+    };
+
+    EventWriter out(os);
+    if (has_stream) {
+        for (std::uint32_t rank = 0; rank <= max_rank; ++rank) {
+            out.emit(
+                "{\"ph\":\"M\",\"pid\":1,\"tid\":%u,\"name\":"
+                "\"thread_name\",\"args\":{\"name\":\"stream %u\"}}",
+                rank, rank);
+        }
+    }
+    if (has_external) {
+        out.emit(
+            "{\"ph\":\"M\",\"pid\":1,\"tid\":%u,\"name\":\"thread_name\","
+            "\"args\":{\"name\":\"external\"}}",
+            external_tid);
+    }
+
+    struct OpenSpan {
+        double start_us;
+        std::uint32_t tid;
+    };
+    std::unordered_map<const void*, OpenSpan> open;
+    double last_us = 0.0;
+
+    const auto emit_span = [&](const void* unit, const OpenSpan& span,
+                               double end_us) {
+        out.emit(
+            "{\"ph\":\"X\",\"pid\":1,\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f,"
+            "\"name\":\"run\",\"args\":{\"unit\":\"0x%" PRIxPTR "\"}}",
+            span.tid, span.start_us, end_us - span.start_us,
+            reinterpret_cast<std::uintptr_t>(unit));
+    };
+    const auto emit_instant = [&](const TraceRecord& r, double ts_us) {
+        out.emit(
+            "{\"ph\":\"i\",\"pid\":1,\"tid\":%u,\"ts\":%.3f,\"s\":\"t\","
+            "\"name\":\"%s\",\"args\":{\"unit\":\"0x%" PRIxPTR "\"}}",
+            tid_of(r.stream), ts_us,
+            std::string(trace_event_name(r.event)).c_str(),
+            reinterpret_cast<std::uintptr_t>(r.unit));
+    };
+
+    for (const TraceRecord& r : records) {
+        const double ts = us_of(r.tsc);
+        last_us = std::max(last_us, ts);
+        switch (r.event) {
+            case TraceEvent::kStart:
+                open[r.unit] = OpenSpan{ts, tid_of(r.stream)};
+                break;
+            case TraceEvent::kYield:
+            case TraceEvent::kBlock:
+            case TraceEvent::kFinish: {
+                auto it = open.find(r.unit);
+                if (it != open.end()) {
+                    emit_span(r.unit, it->second, ts);
+                    open.erase(it);
+                }
+                if (opts.instants && r.event != TraceEvent::kFinish) {
+                    emit_instant(r, ts);
+                }
+                break;
+            }
+            case TraceEvent::kCreate:
+            case TraceEvent::kWake:
+                if (opts.instants) {
+                    emit_instant(r, ts);
+                }
+                break;
+        }
+    }
+    // Units still running when the snapshot was taken: close their spans
+    // at the trace's end so Perfetto shows them instead of dropping them.
+    for (const auto& [unit, span] : open) {
+        emit_span(unit, span, std::max(last_us, span.start_us));
+    }
+}
+
+bool write_chrome_trace_file(const std::string& path,
+                             const std::vector<TraceRecord>& records,
+                             const ChromeTraceOptions& opts) {
+    std::ofstream file(path, std::ios::out | std::ios::trunc);
+    if (!file.is_open()) {
+        return false;
+    }
+    write_chrome_trace(file, records, opts);
+    file.flush();
+    return file.good();
+}
+
+}  // namespace lwt::core

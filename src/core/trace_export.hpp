@@ -1,0 +1,54 @@
+// trace_export.hpp — convert Tracer snapshots into Chrome trace-event JSON.
+//
+// The output loads in Perfetto (ui.perfetto.dev) and chrome://tracing:
+// one lane (tid) per execution stream plus an "external" lane for
+// unattached threads, a duration span ("X" phase) for every unit
+// execution interval (start -> yield/block/finish), and instant events
+// ("i" phase) for create/yield/block/wake markers. This is the timeline
+// view the paper's Figures 2-8 discussions reconstruct by hand — queue
+// dwell, steal migrations, and dispatch gaps become visible directly.
+//
+//   Tracer::instance().enable();
+//   ... run work ...
+//   write_chrome_trace_file("out.json", Tracer::instance().snapshot());
+//
+// Timestamps: TraceRecord carries raw TSC ticks; export converts to
+// microseconds with `ticks_per_us` (0 = calibrate once against the steady
+// clock; pass an explicit value for deterministic output in tests).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/trace.hpp"
+
+namespace lwt::core {
+
+struct ChromeTraceOptions {
+    /// TSC ticks per microsecond; 0 calibrates via tsc_ticks_per_us().
+    double ticks_per_us = 0.0;
+    /// Emit instant events for create/yield/block/wake markers (duration
+    /// spans are always emitted).
+    bool instants = true;
+};
+
+/// Measured TSC rate (ticks per microsecond), calibrated once per process
+/// against std::chrono::steady_clock. Returns 1.0 when the platform has no
+/// usable cycle counter (arch::rdtsc() == 0).
+double tsc_ticks_per_us();
+
+/// Write `records` (as returned by Tracer::snapshot(): time-sorted) as
+/// Chrome trace-event JSON.
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<TraceRecord>& records,
+                        const ChromeTraceOptions& opts = {});
+
+/// Convenience: export to a file. Returns false if the file cannot be
+/// opened or written.
+bool write_chrome_trace_file(const std::string& path,
+                             const std::vector<TraceRecord>& records,
+                             const ChromeTraceOptions& opts = {});
+
+}  // namespace lwt::core

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <thread>
 
+#include "arch/cpu.hpp"
+#include "core/metrics.hpp"
 #include "core/pool.hpp"
 #include "core/trace.hpp"
 #include "core/xstream.hpp"
@@ -72,6 +74,17 @@ YieldStatus Ult::resume_on_this_thread() {
 
 void Ult::wake(Ult* ult) {
     Tracer::instance().record(TraceEvent::kWake, ult);
+    if (Metrics::instance().enabled()) {
+        // Consume the block stamp exactly once even if wakers race; a
+        // kBlocking-stage wake reads a stamp from the unit's *previous*
+        // block, which is at worst one stale sample.
+        const std::uint64_t blocked_at =
+            ult->obs_block_tsc.exchange(0, std::memory_order_relaxed);
+        if (blocked_at != 0) {
+            Metrics::instance().record_wake_latency(arch::rdtsc() -
+                                                    blocked_at);
+        }
+    }
     for (;;) {
         State s = ult->state.load(std::memory_order_acquire);
         if (s == State::kBlocking) {

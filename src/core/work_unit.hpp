@@ -5,6 +5,8 @@
 #include <atomic>
 #include <cstdint>
 
+#include "arch/cpu.hpp"
+#include "core/metrics.hpp"
 #include "core/trace.hpp"
 #include "core/unique_function.hpp"
 #include "core/unit_cache.hpp"
@@ -39,6 +41,9 @@ struct WorkUnit {
     explicit WorkUnit(Kind k, UniqueFunction f) noexcept
         : kind(k), fn(std::move(f)) {
         Tracer::instance().record(TraceEvent::kCreate, this);
+        if (Metrics::instance().enabled()) {
+            obs_create_tsc = arch::rdtsc();
+        }
     }
     WorkUnit(const WorkUnit&) = delete;
     WorkUnit& operator=(const WorkUnit&) = delete;
@@ -51,6 +56,14 @@ struct WorkUnit {
     /// When true the stream deletes the unit after it terminates.
     bool detached = false;
     UniqueFunction fn;
+
+    // Metrics timestamps (raw TSC; 0 = unset / metrics disabled). The
+    // create stamp is consumed by the first dispatch (queue-dwell); the
+    // block stamp is written by the suspending scheduler and consumed by
+    // the waker (atomic: the two race by design, ordered by the state
+    // handshake).
+    std::uint64_t obs_create_tsc = 0;
+    std::atomic<std::uint64_t> obs_block_tsc{0};
 
     [[nodiscard]] bool terminated() const noexcept {
         return state.load(std::memory_order_acquire) == State::kTerminated;

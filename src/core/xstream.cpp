@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "arch/cpu.hpp"
+#include "core/metrics.hpp"
 #include "core/trace.hpp"
 
 namespace lwt::core {
@@ -49,11 +50,15 @@ void XStream::stop_and_join() {
     }
 }
 
-void XStream::attach_caller() noexcept { tl_current_xstream = this; }
+void XStream::attach_caller() noexcept {
+    tl_current_xstream = this;
+    set_this_thread_stream(rank_);
+}
 
 void XStream::detach_caller() noexcept {
     if (tl_current_xstream == this) {
         tl_current_xstream = nullptr;
+        set_this_thread_stream(kNoStream);
     }
 }
 
@@ -81,6 +86,7 @@ void XStream::count_idle_step(sync::IdleBackoff::Step step) noexcept {
 
 void XStream::loop() {
     tl_current_xstream = this;
+    set_this_thread_stream(rank_);
     if (on_start_) {
         on_start_();
     }
@@ -103,6 +109,7 @@ void XStream::loop() {
         }));
     }
     tl_current_xstream = nullptr;
+    set_this_thread_stream(kNoStream);
 }
 
 bool XStream::progress() {
@@ -139,6 +146,19 @@ void XStream::finish_unit(WorkUnit* unit) {
 void XStream::run_unit(WorkUnit* unit) {
     executed_.fetch_add(1, std::memory_order_relaxed);
     Tracer::instance().record(TraceEvent::kStart, unit);
+    // Per-unit latency metrics: queue dwell on first dispatch, execution
+    // time per dispatch slice (== start->finish for run-to-completion
+    // units). One relaxed load when disabled.
+    const bool metrics = Metrics::instance().enabled();
+    std::uint64_t dispatch_tsc = 0;
+    if (metrics) {
+        dispatch_tsc = arch::rdtsc();
+        if (unit->obs_create_tsc != 0) {
+            Metrics::instance().record_queue_dwell(dispatch_tsc -
+                                                   unit->obs_create_tsc);
+            unit->obs_create_tsc = 0;
+        }
+    }
     // Yields and wakes of this unit now funnel through this stream's main
     // pool: the unit has migrated here.
     if (Pool* main = scheduler().main_pool()) {
@@ -147,12 +167,18 @@ void XStream::run_unit(WorkUnit* unit) {
     if (unit->kind == Kind::kTasklet) {
         unit->state.store(State::kRunning, std::memory_order_relaxed);
         unit->fn();
+        if (metrics) {
+            Metrics::instance().record_exec(arch::rdtsc() - dispatch_tsc);
+        }
         finish_unit(unit);
         return;
     }
 
     auto* ult = static_cast<Ult*>(unit);
     const YieldStatus status = ult->resume_on_this_thread();
+    if (metrics) {
+        Metrics::instance().record_exec(arch::rdtsc() - dispatch_tsc);
+    }
     switch (status) {
         case YieldStatus::kFinished:
             finish_unit(ult);
@@ -164,6 +190,10 @@ void XStream::run_unit(WorkUnit* unit) {
             break;
         case YieldStatus::kBlocked: {
             Tracer::instance().record(TraceEvent::kBlock, ult);
+            if (metrics) {
+                ult->obs_block_tsc.store(arch::rdtsc(),
+                                         std::memory_order_relaxed);
+            }
             // Handshake with Ult::wake: the ULT set kBlocking before
             // suspending; a waker may have flagged kWakePending since.
             State expected = State::kBlocking;

@@ -18,6 +18,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/observability.hpp"
 #include "core/pool.hpp"
 #include "core/sync_ult.hpp"
 #include "core/ult.hpp"
@@ -115,7 +116,23 @@ class Library {
     /// Returns after all PEs ran it.
     void broadcast(const std::function<void(std::size_t)>& handler);
 
+    /// Aggregate steal/idle counters over all PEs including PE 0
+    /// (sched_stats.hpp).
+    [[nodiscard]] core::SchedStats sched_stats() const noexcept {
+        core::SchedStats total;
+        for (const auto& w : workers_) {
+            total += w->sched_stats();
+        }
+        if (primary_) {
+            total += primary_->sched_stats();
+        }
+        return total;
+    }
+
   private:
+    // Declared first so it detaches LAST: the env-driven shutdown flush
+    // (LWT_TRACE / LWT_METRICS) must run after the PEs have stopped.
+    core::ObservabilitySession obs_session_;
     Config config_;
     std::vector<std::unique_ptr<core::DequePool>> pools_;
     std::vector<std::unique_ptr<core::XStream>> workers_;  // PEs 1..n-1

@@ -8,6 +8,7 @@
 
 #include "core/channel.hpp"
 #include "core/sync_ult.hpp"
+#include "core/trace_export.hpp"
 
 namespace lwt::glt {
 
@@ -99,6 +100,8 @@ class AbtGlt final : public Runtime {
 
     void yield() override { abt::Library::yield(); }
 
+    core::SchedStats sched_stats() const override { return lib_.sched_stats(); }
+
     void join(UnitToken& token) override {
         if (auto* t = token.state_as<Token>()) {
             t->handle.free();  // join-and-free, the Argobots idiom
@@ -172,6 +175,8 @@ class QthGlt final : public Runtime {
 
     void yield() override { qth::Library::yield(); }
 
+    core::SchedStats sched_stats() const override { return lib_.sched_stats(); }
+
     void join(UnitToken& token) override {
         if (auto* t = token.state_as<Token>()) {
             lib_.read_ff(t->ret.get());  // the qthreads join primitive
@@ -243,6 +248,8 @@ class MthGlt final : public Runtime {
     }
 
     void yield() override { mth::Library::yield(); }
+
+    core::SchedStats sched_stats() const override { return lib_.sched_stats(); }
 
     void join(UnitToken& token) override {
         if (auto* t = token.state_as<Token>()) {
@@ -337,6 +344,8 @@ class CvtGlt final : public Runtime {
 
     void yield() override { cvt::Library::cth_yield(); }
 
+    core::SchedStats sched_stats() const override { return lib_.sched_stats(); }
+
     void join(UnitToken& token) override {
         if (auto* t = token.state_as<Token>()) {
             auto done = t->done;
@@ -428,6 +437,8 @@ class GolGlt final : public Runtime {
         }
     }
 
+    core::SchedStats sched_stats() const override { return lib_.sched_stats(); }
+
     void join(UnitToken& token) override {
         if (auto* t = token.state_as<Token>()) {
             t->done->recv();
@@ -484,6 +495,32 @@ std::unique_ptr<Runtime> Runtime::create_from_env() {
         }
     }
     return create(backend, workers);
+}
+
+Stats stats() {
+    return {core::Tracer::instance().stats(),
+            core::Metrics::instance().unit_metrics()};
+}
+
+void trace_begin() {
+    auto& tracer = core::Tracer::instance();
+    auto& metrics = core::Metrics::instance();
+    tracer.clear();
+    metrics.reset();
+    tracer.enable();
+    metrics.enable();
+}
+
+bool trace_end(const std::string& path) {
+    auto& tracer = core::Tracer::instance();
+    core::Metrics::instance().disable();
+    tracer.disable();
+    bool ok = true;
+    if (!path.empty()) {
+        ok = core::write_chrome_trace_file(path, tracer.snapshot());
+    }
+    tracer.clear();  // free the window's events; histograms are kept
+    return ok;
 }
 
 }  // namespace lwt::glt

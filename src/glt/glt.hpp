@@ -32,6 +32,9 @@
 #include <vector>
 
 #include "abt/abt.hpp"
+#include "core/metrics.hpp"
+#include "core/sched_stats.hpp"
+#include "core/trace.hpp"
 #include "core/unique_function.hpp"
 #include "cvt/cvt.hpp"
 #include "gol/gol.hpp"
@@ -160,9 +163,42 @@ class Runtime {
     /// Convenience overload for vector callers.
     void join_all(std::vector<UnitToken>& tokens);
 
+    /// Aggregate steal/idle counters over the backend's workers — the
+    /// uniform introspection surface every personality exposes natively
+    /// (ABT_info, Qthreads hooks, ...) mapped onto one signature.
+    [[nodiscard]] virtual core::SchedStats sched_stats() const = 0;
+
   protected:
     Runtime() = default;
 };
+
+/// Process-wide observability snapshot returned by glt::stats().
+struct Stats {
+    /// Lifecycle event counts (create/start/yield/block/wake/finish) plus
+    /// the ring-overwrite total; zero unless tracing is on.
+    core::TraceStats trace;
+    /// Per-stream queue-dwell / execution / wake-latency histograms in TSC
+    /// ticks; empty unless metrics recording is on.
+    std::vector<core::StreamUnitMetrics> unit_latency;
+};
+
+/// Snapshot the process-wide recorders. Data accumulates while recording
+/// is armed — either by the LWT_TRACE / LWT_METRICS environment switches
+/// (core/observability.hpp) or by an explicit trace_begin().
+[[nodiscard]] Stats stats();
+
+/// Begin a manual recording window: clears prior data and enables the
+/// process tracer and the unit-latency metrics, independent of the env
+/// switches. Affects all backends in the process (the recorders are
+/// process-wide singletons).
+void trace_begin();
+
+/// End the window started by trace_begin(): disables the recorders and
+/// writes the captured events as Chrome-trace JSON (Perfetto-loadable) to
+/// `path` (empty path: discard the events). Latency histograms are kept
+/// so stats() remains meaningful after the window closes. Returns false
+/// on IO failure.
+bool trace_end(const std::string& path);
 
 /// Join token implementation detail: type-erased state with a deleter.
 class UnitToken {

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/channel.hpp"
+#include "core/observability.hpp"
 #include "core/pool.hpp"
 #include "core/sync_ult.hpp"
 #include "core/unique_function.hpp"
@@ -68,7 +69,20 @@ class Library {
     /// Number of goroutines currently queued (diagnostics).
     [[nodiscard]] std::size_t runqueue_len() const { return global_.size(); }
 
+    /// Aggregate steal/idle counters over all scheduler threads
+    /// (sched_stats.hpp).
+    [[nodiscard]] core::SchedStats sched_stats() const noexcept {
+        core::SchedStats total;
+        for (const auto& t : threads_) {
+            total += t->sched_stats();
+        }
+        return total;
+    }
+
   private:
+    // Declared first so it detaches LAST: the env-driven shutdown flush
+    // (LWT_TRACE / LWT_METRICS) must run after the threads have stopped.
+    core::ObservabilitySession obs_session_;
     Config config_;
     mutable core::SharedFifoPool global_;
     std::vector<std::unique_ptr<core::XStream>> threads_;

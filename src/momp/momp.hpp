@@ -27,6 +27,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/observability.hpp"
 #include "momp/task_pool.hpp"
 #include "sync/barrier.hpp"
 
@@ -208,6 +209,9 @@ class Runtime {
     CachedWorker* cache_acquire();
     void cache_release(CachedWorker* worker);
 
+    // Declared first so it detaches LAST: the env-driven shutdown flush
+    // (LWT_TRACE / LWT_METRICS) must run after the team has stopped.
+    core::ObservabilitySession obs_session_;
     Config config_;
     std::atomic<std::uint64_t> threads_created_{0};
     std::atomic<std::uint64_t> last_inlined_{0};

@@ -17,6 +17,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/observability.hpp"
 #include "core/pool.hpp"
 #include "core/sync_ult.hpp"
 #include "core/ult.hpp"
@@ -101,9 +102,25 @@ class Library {
     /// myth_yield.
     static void yield();
 
+    /// Aggregate steal/idle counters over all workers including worker 0
+    /// (sched_stats.hpp).
+    [[nodiscard]] core::SchedStats sched_stats() const noexcept {
+        core::SchedStats total;
+        for (const auto& w : workers_) {
+            total += w->sched_stats();
+        }
+        if (primary_) {
+            total += primary_->sched_stats();
+        }
+        return total;
+    }
+
   private:
     core::Ult* spawn(core::UniqueFunction fn, bool detached);
 
+    // Declared first so it detaches LAST: the env-driven shutdown flush
+    // (LWT_TRACE / LWT_METRICS) must run after the workers have stopped.
+    core::ObservabilitySession obs_session_;
     Config config_;
     std::vector<std::unique_ptr<core::DequePool>> pools_;
     std::vector<std::unique_ptr<core::XStream>> workers_;  // ranks 1..n-1

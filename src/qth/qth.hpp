@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "arch/topology.hpp"
+#include "core/observability.hpp"
 #include "core/pool.hpp"
 #include "core/unique_function.hpp"
 #include "core/xstream.hpp"
@@ -141,10 +142,23 @@ class Library {
     double loop_accum_sum(std::size_t start, std::size_t stop,
                           const std::function<double(std::size_t)>& fn);
 
+    /// Aggregate steal/idle counters over all workers (the introspection
+    /// Qthreads exposes through its performance hooks; sched_stats.hpp).
+    [[nodiscard]] core::SchedStats sched_stats() const noexcept {
+        core::SchedStats total;
+        for (const auto& w : workers_) {
+            total += w->sched_stats();
+        }
+        return total;
+    }
+
   private:
     static void feb_waiter(void* ctx);
     std::size_t current_shepherd() const;
 
+    // Declared first so it detaches LAST: the env-driven shutdown flush
+    // (LWT_TRACE / LWT_METRICS) must run after the workers have stopped.
+    core::ObservabilitySession obs_session_;
     Config config_;
     sync::FebTable feb_;
     std::vector<std::unique_ptr<core::DequePool>> pools_;  // one per shepherd

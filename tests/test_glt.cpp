@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "glt/glt.hpp"
@@ -132,6 +134,45 @@ TEST_P(GltBackendTest, JoinAllSpanOverload) {
     for (const UnitToken& t : tokens) {
         EXPECT_FALSE(t.valid());
     }
+}
+
+TEST_P(GltBackendTest, SchedStatsAggregateAcrossWorkers) {
+    auto rt = Runtime::create(GetParam(), 2);
+    std::vector<UnitToken> tokens;
+    for (int i = 0; i < 32; ++i) {
+        tokens.push_back(rt->ult_create([] {}));
+    }
+    rt->join_all(std::span<UnitToken>(tokens.data(), tokens.size()));
+    // Counters aggregate across every worker of every backend; the exact
+    // values are timing-dependent, but the accounting invariants are not.
+    const lwt::core::SchedStats s = rt->sched_stats();
+    EXPECT_LE(s.steal_hits, s.steal_attempts);
+    EXPECT_LE(s.steal_empty + s.steal_lost, s.steal_attempts);
+    EXPECT_LE(s.unparks, s.parks);
+}
+
+TEST_P(GltBackendTest, TraceWindowCollectsStatsAndExports) {
+    auto rt = Runtime::create(GetParam(), 2);
+    lwt::glt::trace_begin();
+    std::vector<UnitToken> tokens;
+    for (int i = 0; i < 8; ++i) {
+        tokens.push_back(rt->ult_create([] {}));
+    }
+    rt->join_all(std::span<UnitToken>(tokens.data(), tokens.size()));
+    lwt::glt::Stats mid = lwt::glt::stats();
+    EXPECT_GE(mid.trace.of(lwt::core::TraceEvent::kCreate), 8u);
+    EXPECT_GE(mid.trace.of(lwt::core::TraceEvent::kFinish), 8u);
+    const std::string path = "glt_trace_" +
+                             std::string(lwt::glt::backend_name(GetParam())) +
+                             ".json";
+    ASSERT_TRUE(lwt::glt::trace_end(path));
+    // trace_end clears the event ring but keeps the latency histograms.
+    EXPECT_EQ(lwt::glt::stats().trace.of(lwt::core::TraceEvent::kCreate), 0u);
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    char first = static_cast<char>(std::fgetc(f));
+    std::fclose(f);
+    EXPECT_EQ(first, '{');
 }
 
 TEST(GltEnv, CreateFromEnvHonoursVariables) {
