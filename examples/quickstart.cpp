@@ -4,7 +4,7 @@
 // paper shows suffices for all its parallel patterns — then repeats the
 // same work through the v2 bulk fast path. Select the backend with
 // GLT_BACKEND (abt|qth|mth|cvt|gol; default abt) and the worker count with
-// GLT_NUM_WORKERS (legacy GLT_WORKERS also accepted).
+// GLT_NUM_WORKERS.
 //
 //   $ GLT_BACKEND=qth GLT_NUM_WORKERS=4 ./quickstart
 #include <atomic>

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cassert>
+#include <cstdlib>
 #include <span>
 #include <thread>
 #include <utility>
@@ -75,6 +76,38 @@ void UnitHandle::free() {
     lib_ = nullptr;
 }
 
+namespace {
+
+// One shared copy of a bulk body, refcounted by hand: the count starts at
+// `n`, so building each closure costs zero atomics on the (timed) creation
+// path — the decrements happen when the closures die on the worker
+// streams. A shared_ptr capture would pay an atomic increment per unit
+// right at creation.
+struct BulkBlock {
+    std::function<void(std::size_t)> fn;
+    std::atomic<std::size_t> refs;
+};
+struct BodyRef {
+    BulkBlock* blk;
+    explicit BodyRef(BulkBlock* b) noexcept : blk(b) {}
+    BodyRef(BodyRef&& o) noexcept : blk(std::exchange(o.blk, nullptr)) {}
+    BodyRef(const BodyRef& o) noexcept : blk(o.blk) {
+        if (blk != nullptr) {
+            blk->refs.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+    BodyRef& operator=(const BodyRef&) = delete;
+    BodyRef& operator=(BodyRef&&) = delete;
+    ~BodyRef() {
+        if (blk != nullptr &&
+            blk->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            delete blk;
+        }
+    }
+};
+
+}  // namespace
+
 // --- Library -----------------------------------------------------------------
 
 Library::Library(Config config)
@@ -90,20 +123,65 @@ Library::Library(Config config)
     for (std::size_t i = 0; i < n; ++i) {
         stack_caches_.push_back(std::make_unique<arch::StackCache>(&stack_pool_));
     }
-    if (config_.pool_kind == PoolKind::kShared) {
-        pools_.push_back(std::make_unique<core::MpmcPool>());
-    } else {
-        for (std::size_t i = 0; i < n; ++i) {
-            pools_.push_back(
-                std::make_unique<core::DequePool>(core::DequePool::PopOrder::kFifo));
+    const arch::BindPolicy bind = arch::bind_policy_from_string(
+        std::getenv("LWT_BIND"), config_.bind);
+    arch::LocalityMap locality(arch::Topology::from_env_or_discover(), bind,
+                               n);
+    for (std::size_t d = 0; d < locality.num_domains(); ++d) {
+        if (!locality.streams_in_domain(d).empty()) {
+            populated_domains_.push_back(d);
         }
     }
-    runtime_ = std::make_unique<core::Runtime>(n, [this](unsigned rank) {
-        core::Pool* p = config_.pool_kind == PoolKind::kShared
-                            ? pools_.front().get()
-                            : pools_[rank].get();
-        return std::make_unique<core::Scheduler>(std::vector<core::Pool*>{p});
-    });
+    switch (config_.pool_kind) {
+        case PoolKind::kShared:
+            pools_.push_back(std::make_unique<core::MpmcPool>());
+            break;
+        case PoolKind::kDomainShared:
+            // The domain pools ARE the dispatch pools: pool index == dense
+            // domain index. Unpopulated domains still get a pool (index
+            // stability) but pick_pool/domain_pool never select them.
+            for (std::size_t d = 0; d < locality.num_domains(); ++d) {
+                pools_.push_back(std::make_unique<core::MpmcPool>());
+            }
+            break;
+        case PoolKind::kPrivate:
+            for (std::size_t i = 0; i < n; ++i) {
+                pools_.push_back(std::make_unique<core::DequePool>(
+                    core::DequePool::PopOrder::kFifo));
+            }
+            // Per-domain overflow pools behind the private pools: where
+            // domain-targeted (and glt Placement::domain) spawns land.
+            for (std::size_t d = 0; d < locality.num_domains(); ++d) {
+                domain_pools_.push_back(std::make_unique<core::MpmcPool>());
+            }
+            break;
+    }
+    // Snapshot each rank's domain before the map moves into the Runtime —
+    // the factory runs during Runtime construction, before runtime_ is
+    // assigned.
+    std::vector<std::size_t> dom_of(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        dom_of[i] = locality.placement(i).domain;
+    }
+    runtime_ = std::make_unique<core::Runtime>(
+        n,
+        [this, &dom_of](unsigned rank) {
+            std::vector<core::Pool*> view;
+            switch (config_.pool_kind) {
+                case PoolKind::kShared:
+                    view.push_back(pools_.front().get());
+                    break;
+                case PoolKind::kDomainShared:
+                    view.push_back(pools_[dom_of[rank]].get());
+                    break;
+                case PoolKind::kPrivate:
+                    view.push_back(pools_[rank].get());
+                    view.push_back(domain_pools_[dom_of[rank]].get());
+                    break;
+            }
+            return std::make_unique<core::Scheduler>(std::move(view));
+        },
+        std::move(locality));
 }
 
 Library::~Library() {
@@ -133,6 +211,10 @@ std::size_t Library::xstream_create() {
     core::Pool* p;
     if (config_.pool_kind == PoolKind::kShared) {
         p = pools_.front().get();
+    } else if (config_.pool_kind == PoolKind::kDomainShared) {
+        // Dynamic streams join the first populated domain's pool — they
+        // have no placement of their own.
+        p = pools_[populated_domains_.front()].get();
     } else {
         pools_.push_back(
             std::make_unique<core::DequePool>(core::DequePool::PopOrder::kFifo));
@@ -179,22 +261,56 @@ void Library::recycle_stack(arch::Stack stack) {
 
 std::size_t Library::pick_pool(int pool_idx) {
     std::lock_guard guard(streams_lock_);
+    if (config_.pool_kind == PoolKind::kDomainShared) {
+        // Pool index == dense domain index; never select a pool no stream
+        // drains.
+        if (pool_idx >= 0 &&
+            static_cast<std::size_t>(pool_idx) < pools_.size() &&
+            !runtime_->locality()
+                 .streams_in_domain(static_cast<std::size_t>(pool_idx))
+                 .empty()) {
+            return static_cast<std::size_t>(pool_idx);
+        }
+        return populated_domains_[rr_next_.fetch_add(
+                                      1, std::memory_order_relaxed) %
+                                  populated_domains_.size()];
+    }
     if (pool_idx >= 0 && static_cast<std::size_t>(pool_idx) < pools_.size()) {
         return static_cast<std::size_t>(pool_idx);
     }
     return rr_next_.fetch_add(1, std::memory_order_relaxed) % pools_.size();
 }
 
+core::Pool* Library::domain_pool(std::size_t domain) {
+    const arch::LocalityMap& map = runtime_->locality();
+    std::size_t d = domain;
+    if (d >= map.num_domains() || map.streams_in_domain(d).empty()) {
+        d = populated_domains_.empty() ? 0 : populated_domains_.front();
+    }
+    switch (config_.pool_kind) {
+        case PoolKind::kShared:
+            return pools_.front().get();  // one pool: every domain is it
+        case PoolKind::kDomainShared:
+            return pools_[d].get();
+        case PoolKind::kPrivate:
+            return domain_pools_[d].get();
+    }
+    return pools_.front().get();
+}
+
+core::WorkUnit* Library::build_unit(UnitKind kind, core::UniqueFunction fn) {
+    if (kind == UnitKind::kTasklet) {
+        return new core::Tasklet(std::move(fn));
+    }
+    if (config_.reuse_stacks) {
+        return new core::Ult(std::move(fn), acquire_stack());
+    }
+    return new core::Ult(std::move(fn));
+}
+
 core::WorkUnit* Library::make_unit(UnitKind kind, core::UniqueFunction fn,
                                    bool detached, int pool_idx) {
-    core::WorkUnit* unit;
-    if (kind == UnitKind::kTasklet) {
-        unit = new core::Tasklet(std::move(fn));
-    } else if (config_.reuse_stacks) {
-        unit = new core::Ult(std::move(fn), acquire_stack());
-    } else {
-        unit = new core::Ult(std::move(fn));
-    }
+    core::WorkUnit* unit = build_unit(kind, std::move(fn));
     unit->detached = detached;
     const std::size_t idx = pick_pool(pool_idx);
     core::Pool* target;
@@ -214,6 +330,20 @@ UnitHandle Library::thread_create(core::UniqueFunction fn, int pool_idx) {
 UnitHandle Library::task_create(core::UniqueFunction fn, int pool_idx) {
     return UnitHandle(
         make_unit(UnitKind::kTasklet, std::move(fn), false, pool_idx), this);
+}
+
+UnitHandle Library::thread_create_domain(core::UniqueFunction fn,
+                                         std::size_t domain) {
+    core::WorkUnit* unit = build_unit(UnitKind::kUlt, std::move(fn));
+    domain_pool(domain)->push(unit);
+    return UnitHandle(unit, this);
+}
+
+UnitHandle Library::task_create_domain(core::UniqueFunction fn,
+                                       std::size_t domain) {
+    core::WorkUnit* unit = build_unit(UnitKind::kTasklet, std::move(fn));
+    domain_pool(domain)->push(unit);
+    return UnitHandle(unit, this);
 }
 
 void Library::thread_create_detached(core::UniqueFunction fn, int pool_idx) {
@@ -240,6 +370,12 @@ std::vector<UnitHandle> Library::create_bulk(
         if (pool_idx >= 0 &&
             static_cast<std::size_t>(pool_idx) < pools_.size()) {
             targets.push_back(pools_[static_cast<std::size_t>(pool_idx)].get());
+        } else if (config_.pool_kind == PoolKind::kDomainShared) {
+            // Only pools some stream actually drains.
+            targets.reserve(populated_domains_.size());
+            for (std::size_t d : populated_domains_) {
+                targets.push_back(pools_[d].get());
+            }
         } else {
             targets.reserve(pools_.size());
             for (auto& p : pools_) {
@@ -248,47 +384,13 @@ std::vector<UnitHandle> Library::create_bulk(
         }
     }
     const std::size_t npools = targets.size();
-    // One shared copy of the body, refcounted by hand: the count starts at
-    // `n`, so building each closure costs zero atomics on the (timed)
-    // creation path — the decrements happen when the closures die on the
-    // worker streams. A shared_ptr capture would pay an atomic increment
-    // per unit right here.
-    struct BulkBlock {
-        std::function<void(std::size_t)> fn;
-        std::atomic<std::size_t> refs;
-    };
-    struct BodyRef {
-        BulkBlock* blk;
-        explicit BodyRef(BulkBlock* b) noexcept : blk(b) {}
-        BodyRef(BodyRef&& o) noexcept : blk(std::exchange(o.blk, nullptr)) {}
-        BodyRef(const BodyRef& o) noexcept : blk(o.blk) {
-            if (blk != nullptr) {
-                blk->refs.fetch_add(1, std::memory_order_relaxed);
-            }
-        }
-        BodyRef& operator=(const BodyRef&) = delete;
-        BodyRef& operator=(BodyRef&&) = delete;
-        ~BodyRef() {
-            if (blk != nullptr &&
-                blk->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-                delete blk;
-            }
-        }
-    };
     auto* blk = new BulkBlock{body, {n}};
     std::vector<core::WorkUnit*> units;
     units.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
         core::UniqueFunction fn(
             [ref = BodyRef(blk), i] { ref.blk->fn(i); });
-        core::WorkUnit* unit;
-        if (kind == UnitKind::kTasklet) {
-            unit = new core::Tasklet(std::move(fn));
-        } else if (config_.reuse_stacks) {
-            unit = new core::Ult(std::move(fn), acquire_stack());
-        } else {
-            unit = new core::Ult(std::move(fn));
-        }
+        core::WorkUnit* unit = build_unit(kind, std::move(fn));
         units.push_back(unit);
         handles.push_back(UnitHandle(unit, this));
     }
@@ -305,6 +407,30 @@ std::vector<UnitHandle> Library::create_bulk(
             targets[(start + p) % npools]->push_bulk(all.subspan(lo, hi - lo));
         }
     }
+    return handles;
+}
+
+std::vector<UnitHandle> Library::create_bulk_domain(
+    UnitKind kind, std::size_t n,
+    const std::function<void(std::size_t)>& body, std::size_t domain) {
+    std::vector<UnitHandle> handles;
+    handles.reserve(n);
+    if (n == 0) {
+        return handles;
+    }
+    auto* blk = new BulkBlock{body, {n}};
+    std::vector<core::WorkUnit*> units;
+    units.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        core::UniqueFunction fn(
+            [ref = BodyRef(blk), i] { ref.blk->fn(i); });
+        core::WorkUnit* unit = build_unit(kind, std::move(fn));
+        units.push_back(unit);
+        handles.push_back(UnitHandle(unit, this));
+    }
+    // The whole batch lands on one package: one enqueue burst, one notify,
+    // and every consumer shares that socket's cache hierarchy.
+    domain_pool(domain)->push_bulk(units);
     return handles;
 }
 

@@ -28,6 +28,10 @@ namespace lwt::abt {
 enum class PoolKind {
     kPrivate,  ///< one pool per execution stream; creator dispatches round-robin
     kShared,   ///< one lock-free MPMC pool shared by every stream
+    /// One MPMC pool per locality domain (package), shared by the streams
+    /// placed there — the middle ground the paper's shared/private axis
+    /// skips: producers and consumers stay on one socket.
+    kDomainShared,
 };
 
 /// Work-unit type (§III-E): ULTs yield/suspend; tasklets are cheaper but
@@ -45,6 +49,10 @@ struct Config {
     /// Reuse ULT stacks through a pool (Argobots uses memory pools for
     /// stacks; turning this off makes every create pay an mmap).
     bool reuse_stacks = true;
+    /// Stream pinning (LWT_BIND overrides). The same topology — including
+    /// the LWT_TOPOLOGY fixture override — drives the locality-domain
+    /// grouping behind kDomainShared and the domain-targeted spawns.
+    arch::BindPolicy bind = arch::BindPolicy::kNone;
 };
 
 class Library;
@@ -118,6 +126,15 @@ class Library {
     /// Create a stackless tasklet (ABT_task_create).
     UnitHandle task_create(core::UniqueFunction fn, int pool_idx = -1);
 
+    /// Domain-targeted creation: the unit goes to locality domain
+    /// `domain`'s shared pool, so it runs on a stream of that package and
+    /// nowhere else. Domains with no streams fall back to the first
+    /// populated domain. (glt::Placement::domain routes here.)
+    UnitHandle thread_create_domain(core::UniqueFunction fn,
+                                    std::size_t domain);
+    UnitHandle task_create_domain(core::UniqueFunction fn,
+                                  std::size_t domain);
+
     /// Fire-and-forget variants: the runtime reclaims the unit on completion.
     void thread_create_detached(core::UniqueFunction fn, int pool_idx = -1);
     void task_create_detached(core::UniqueFunction fn, int pool_idx = -1);
@@ -131,6 +148,13 @@ class Library {
     std::vector<UnitHandle> create_bulk(
         UnitKind kind, std::size_t n,
         const std::function<void(std::size_t)>& body, int pool_idx = -1);
+
+    /// Bulk creation into one locality domain: the whole batch lands in the
+    /// domain's shared pool with a single push_bulk, and only that
+    /// package's streams consume it.
+    std::vector<UnitHandle> create_bulk_domain(
+        UnitKind kind, std::size_t n,
+        const std::function<void(std::size_t)>& body, std::size_t domain);
 
     /// Join-and-free a whole batch. From a stream's native thread this
     /// drives the scheduler with one run_until over the batch instead of a
@@ -161,6 +185,14 @@ class Library {
     [[nodiscard]] core::Runtime& runtime() { return *runtime_; }
     [[nodiscard]] const Config& config() const { return config_; }
 
+    /// The placement plan the initial streams were built under.
+    [[nodiscard]] const arch::LocalityMap& locality() const noexcept {
+        return runtime_->locality();
+    }
+    [[nodiscard]] std::size_t num_domains() const noexcept {
+        return runtime_->locality().num_domains();
+    }
+
     /// Aggregate steal/idle counters over every stream, including
     /// dynamically created ones (ABT_info-style introspection;
     /// sched_stats.hpp).
@@ -171,7 +203,11 @@ class Library {
 
     core::WorkUnit* make_unit(UnitKind kind, core::UniqueFunction fn,
                               bool detached, int pool_idx);
+    core::WorkUnit* build_unit(UnitKind kind, core::UniqueFunction fn);
     std::size_t pick_pool(int pool_idx);
+    /// The shared pool feeding locality domain `domain` (with fallback to
+    /// a populated domain when that one has no streams).
+    core::Pool* domain_pool(std::size_t domain);
     arch::Stack acquire_stack();
     void recycle_stack(arch::Stack stack);
     /// The calling stream's stack cache, or nullptr from unattached
@@ -184,6 +220,12 @@ class Library {
     core::ObservabilitySession obs_session_;
     Config config_;
     std::vector<std::unique_ptr<core::Pool>> pools_;
+    /// kPrivate only: one shared MPMC *overflow* pool per locality domain,
+    /// scanned by each of the domain's streams after its private pool —
+    /// the landing zone for domain-targeted spawns. (kDomainShared puts
+    /// its per-domain pools in pools_ itself; kShared needs none.)
+    std::vector<std::unique_ptr<core::Pool>> domain_pools_;
+    std::vector<std::size_t> populated_domains_;  // domains with >= 1 stream
     std::unique_ptr<core::Runtime> runtime_;
     std::vector<std::unique_ptr<core::XStream>> dynamic_streams_;
     std::atomic<std::size_t> rr_next_{0};

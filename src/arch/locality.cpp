@@ -1,0 +1,105 @@
+#include "arch/locality.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lwt::arch {
+
+const char* steal_tier_name(std::size_t t) noexcept {
+    switch (t) {
+        case 0:
+            return "sibling";
+        case 1:
+            return "package";
+        case 2:
+            return "remote";
+        default:
+            return "?";
+    }
+}
+
+LocalityMap LocalityMap::flat(std::size_t num_streams) {
+    LocalityMap map;
+    map.placements_.resize(num_streams);
+    map.domains_.emplace_back();
+    for (std::size_t r = 0; r < num_streams; ++r) {
+        // Distinct fake cores: no stream is anyone's SMT sibling.
+        map.placements_[r] = StreamPlacement{static_cast<unsigned>(r),
+                                             static_cast<unsigned>(r), 0, 0};
+        map.domains_[0].push_back(r);
+    }
+    return map;
+}
+
+LocalityMap::LocalityMap(const Topology& topo, BindPolicy policy,
+                         std::size_t num_streams) {
+    // kNone on a real machine gives us nothing to reason from — the OS
+    // scheduler owns placement, so grouping would be fiction. Degrade to
+    // the flat map. On a synthetic fixture, kNone still *groups* as if
+    // compact-placed (that is the whole point of LWT_TOPOLOGY fixtures),
+    // but never binds.
+    if ((policy == BindPolicy::kNone && !topo.synthetic()) ||
+        topo.num_cpus() == 0 || num_streams == 0) {
+        *this = flat(num_streams);
+        return;
+    }
+    const BindPolicy effective =
+        policy == BindPolicy::kNone ? BindPolicy::kCompact : policy;
+    plan_ = topo.plan(effective, num_streams);
+    should_bind_ = policy != BindPolicy::kNone && !topo.synthetic();
+
+    // Index CPUs once, then resolve each stream's planned CPU to its
+    // (core, package) coordinates.
+    const std::vector<CpuInfo>& cpus = topo.cpus();
+    std::vector<unsigned> package_ids;  // dense domain index <- package id
+    for (const CpuInfo& c : cpus) {
+        if (std::find(package_ids.begin(), package_ids.end(), c.package_id) ==
+            package_ids.end()) {
+            package_ids.push_back(c.package_id);
+        }
+    }
+    std::sort(package_ids.begin(), package_ids.end());
+    domains_.resize(package_ids.size());
+
+    placements_.resize(num_streams);
+    for (std::size_t r = 0; r < num_streams; ++r) {
+        const unsigned cpu = plan_[r % plan_.size()];
+        const auto it =
+            std::find_if(cpus.begin(), cpus.end(),
+                         [cpu](const CpuInfo& c) { return c.cpu_id == cpu; });
+        assert(it != cpus.end());
+        const auto dom = static_cast<unsigned>(
+            std::find(package_ids.begin(), package_ids.end(), it->package_id) -
+            package_ids.begin());
+        placements_[r] = StreamPlacement{cpu, it->core_id, it->package_id, dom};
+        domains_[dom].push_back(r);
+    }
+}
+
+LocalityMap::Tiers LocalityMap::victim_tiers(std::size_t rank) const {
+    Tiers tiers;
+    const StreamPlacement& self = placements_[rank];
+    for (std::size_t r = 0; r < placements_.size(); ++r) {
+        if (r == rank) {
+            continue;
+        }
+        const StreamPlacement& other = placements_[r];
+        if (other.package_id != self.package_id) {
+            tiers.remote.push_back(r);
+        } else if (other.core_id == self.core_id) {
+            tiers.sibling.push_back(r);
+        } else {
+            tiers.package.push_back(r);
+        }
+    }
+    return tiers;
+}
+
+bool LocalityMap::bind_stream(std::size_t rank) const {
+    if (!should_bind_ || plan_.empty()) {
+        return true;
+    }
+    return apply_binding(plan_, rank);
+}
+
+}  // namespace lwt::arch

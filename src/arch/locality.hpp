@@ -1,0 +1,111 @@
+// locality.hpp — stream-level locality: where each execution stream sits
+// in the package/core hierarchy, and who its near/far steal victims are.
+//
+// Topology (topology.hpp) describes CPUs; this layer maps *streams* onto
+// them. Given a Topology, a BindPolicy, and a stream count it computes one
+// StreamPlacement per stream and answers the two questions the scheduling
+// stack asks:
+//   * which locality domain (package) does stream r belong to, and who
+//     else lives there (per-domain overflow pools, Placement::domain), and
+//   * in what order should stream r rob its peers — SMT sibling first,
+//     then same-package streams, then remote packages (tiered stealing).
+//
+// With BindPolicy::kNone on a real (discovered) machine there is no CPU
+// assignment to reason from, so the map degrades to one flat domain: no
+// siblings, every peer "same-package" — exactly the pre-locality victim
+// set. On a synthetic() fixture (LWT_TOPOLOGY / explicit CPU lists) kNone
+// still *groups* as if compact-placed, so tests and CI can exercise the
+// hierarchy anywhere, but should_bind() stays false: a pretend machine
+// must never pin real threads.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "arch/topology.hpp"
+
+namespace lwt::arch {
+
+/// Where one stream sits in the hierarchy.
+struct StreamPlacement {
+    unsigned cpu_id = 0;      ///< planned logical CPU
+    unsigned core_id = 0;     ///< physical core within the package
+    unsigned package_id = 0;  ///< raw package id
+    unsigned domain = 0;      ///< dense package index, 0..num_domains()-1
+};
+
+/// The three steal distances, nearest first. Indexes the per-tier counters
+/// in core::SchedStats and the tier lists in VictimTiers.
+enum class StealTier : std::size_t {
+    kSibling = 0,  ///< same physical core (SMT sibling)
+    kPackage = 1,  ///< same package, different core
+    kRemote = 2,   ///< different package
+};
+inline constexpr std::size_t kStealTiers = 3;
+
+/// Display name for tier `t` ("sibling" | "package" | "remote").
+[[nodiscard]] const char* steal_tier_name(std::size_t t) noexcept;
+
+/// Per-stream placement plan over a topology.
+class LocalityMap {
+  public:
+    /// Empty map (no streams, no domains) — a placeholder to assign over.
+    LocalityMap() = default;
+
+    /// Map `num_streams` streams onto `topo` under `policy`. Streams beyond
+    /// the CPU count wrap around the plan (they share CPUs, and therefore
+    /// cores/domains, with earlier streams).
+    LocalityMap(const Topology& topo, BindPolicy policy,
+                std::size_t num_streams);
+
+    /// A flat single-domain map (the no-topology default): no siblings,
+    /// everyone in domain 0.
+    static LocalityMap flat(std::size_t num_streams);
+
+    [[nodiscard]] std::size_t num_streams() const noexcept {
+        return placements_.size();
+    }
+    [[nodiscard]] std::size_t num_domains() const noexcept {
+        return domains_.size();
+    }
+    [[nodiscard]] const StreamPlacement& placement(
+        std::size_t rank) const noexcept {
+        return placements_[rank];
+    }
+    /// Stream ranks in dense domain `d`, ascending.
+    [[nodiscard]] const std::vector<std::size_t>& streams_in_domain(
+        std::size_t d) const noexcept {
+        return domains_[d];
+    }
+
+    /// Steal order for stream `rank`: tiers[0] = SMT siblings (same
+    /// package+core), tiers[1] = same package other cores, tiers[2] =
+    /// remote packages. The union over tiers is every other stream.
+    struct Tiers {
+        std::vector<std::size_t> sibling;
+        std::vector<std::size_t> package;
+        std::vector<std::size_t> remote;
+    };
+    [[nodiscard]] Tiers victim_tiers(std::size_t rank) const;
+
+    /// True when apply_binding() should actually pin threads: an explicit
+    /// policy on a real (non-synthetic) topology.
+    [[nodiscard]] bool should_bind() const noexcept { return should_bind_; }
+
+    /// The CPU plan behind the placements (empty when nothing to bind).
+    [[nodiscard]] const std::vector<unsigned>& cpu_plan() const noexcept {
+        return plan_;
+    }
+
+    /// Pin the calling thread to stream `rank`'s planned CPU. No-op
+    /// (returns true) unless should_bind().
+    bool bind_stream(std::size_t rank) const;
+
+  private:
+    std::vector<StreamPlacement> placements_;
+    std::vector<std::vector<std::size_t>> domains_;  // dense domain -> ranks
+    std::vector<unsigned> plan_;
+    bool should_bind_ = false;
+};
+
+}  // namespace lwt::arch

@@ -1,7 +1,10 @@
 #include "arch/topology.hpp"
 
 #include <algorithm>
+#include <cctype>
+#include <charconv>
 #include <cstdio>
+#include <cstdlib>
 #include <set>
 #include <sstream>
 
@@ -25,7 +28,38 @@ long read_sysfs_long(const std::string& path) {
     return value;
 }
 
+bool ieq(std::string_view a, std::string_view b) {
+    if (a.size() != b.size()) {
+        return false;
+    }
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (std::tolower(static_cast<unsigned char>(a[i])) !=
+            std::tolower(static_cast<unsigned char>(b[i]))) {
+            return false;
+        }
+    }
+    return true;
+}
+
 }  // namespace
+
+BindPolicy bind_policy_from_string(const char* name,
+                                   BindPolicy fallback) noexcept {
+    if (name == nullptr) {
+        return fallback;
+    }
+    const std::string_view s(name);
+    if (ieq(s, "none")) {
+        return BindPolicy::kNone;
+    }
+    if (ieq(s, "compact")) {
+        return BindPolicy::kCompact;
+    }
+    if (ieq(s, "scatter")) {
+        return BindPolicy::kScatter;
+    }
+    return fallback;
+}
 
 Topology::Topology(std::vector<CpuInfo> cpus) : cpus_(std::move(cpus)) {
     std::sort(cpus_.begin(), cpus_.end(),
@@ -54,7 +88,79 @@ Topology Topology::discover() {
         info.package_id = pkg >= 0 ? static_cast<unsigned>(pkg) : 0;
         cpus.push_back(info);
     }
+    Topology topo(std::move(cpus));
+    topo.synthetic_ = false;
+    return topo;
+}
+
+std::optional<Topology> Topology::from_spec(std::string_view spec) {
+    // "PxCxT" or "PxC": up to three positive decimal extents split on
+    // 'x'/'X'. Anything else (including trailing junk) is malformed.
+    unsigned extents[3] = {0, 0, 1};
+    std::size_t n_extents = 0;
+    const char* p = spec.data();
+    const char* end = spec.data() + spec.size();
+    while (true) {
+        if (n_extents >= 3) {
+            return std::nullopt;
+        }
+        unsigned value = 0;
+        const auto [next, ec] = std::from_chars(p, end, value);
+        if (ec != std::errc{} || value == 0) {
+            return std::nullopt;
+        }
+        extents[n_extents++] = value;
+        p = next;
+        if (p == end) {
+            break;
+        }
+        if (*p != 'x' && *p != 'X') {
+            return std::nullopt;
+        }
+        ++p;
+    }
+    if (n_extents < 2) {
+        return std::nullopt;
+    }
+    const unsigned packages = extents[0];
+    const unsigned cores = extents[1];
+    const unsigned threads = extents[2];
+    std::vector<CpuInfo> cpus;
+    cpus.reserve(static_cast<std::size_t>(packages) * cores * threads);
+    unsigned cpu_id = 0;
+    for (unsigned pkg = 0; pkg < packages; ++pkg) {
+        for (unsigned core = 0; core < cores; ++core) {
+            for (unsigned t = 0; t < threads; ++t) {
+                cpus.push_back(CpuInfo{cpu_id++, core, pkg});
+            }
+        }
+    }
     return Topology(std::move(cpus));
+}
+
+Topology Topology::from_env_or_discover() {
+    if (const char* spec = std::getenv("LWT_TOPOLOGY")) {
+        if (auto topo = from_spec(spec)) {
+            return *std::move(topo);
+        }
+        std::fprintf(stderr,
+                     "[lwt] ignoring malformed LWT_TOPOLOGY=\"%s\" "
+                     "(expected PxCxT, e.g. 2x18x2)\n",
+                     spec);
+    }
+    return discover();
+}
+
+std::vector<LocalityDomain> Topology::domains() const {
+    std::vector<LocalityDomain> out;
+    // cpus_ is sorted by (package, core, cpu): one scan builds the list.
+    for (const CpuInfo& c : cpus_) {
+        if (out.empty() || out.back().package_id != c.package_id) {
+            out.push_back(LocalityDomain{c.package_id, {}});
+        }
+        out.back().cpus.push_back(c.cpu_id);
+    }
+    return out;
 }
 
 std::size_t Topology::num_packages() const {

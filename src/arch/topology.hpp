@@ -9,7 +9,9 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace lwt::arch {
@@ -28,6 +30,21 @@ enum class BindPolicy {
     kScatter,  ///< round-robin across sockets first (bandwidth spreading)
 };
 
+/// Parse a policy name ("none" | "compact" | "scatter", case-insensitive);
+/// `fallback` on null or anything else. Personalities pass
+/// getenv("LWT_BIND") here so a run can be re-pinned without a rebuild.
+[[nodiscard]] BindPolicy bind_policy_from_string(const char* name,
+                                                 BindPolicy fallback) noexcept;
+
+/// One locality domain: a package (socket) and the CPUs it owns. The
+/// granularity Qthreads' shepherd binding and our per-package overflow
+/// pools work at; SMT-sibling and core grouping live in LocalityMap
+/// (locality.hpp), which maps *streams* rather than CPUs.
+struct LocalityDomain {
+    unsigned package_id = 0;     ///< raw package id as the kernel names it
+    std::vector<unsigned> cpus;  ///< logical CPU ids, (core, cpu) order
+};
+
 /// Snapshot of the visible topology.
 class Topology {
   public:
@@ -35,13 +52,35 @@ class Topology {
     /// hardware_threads() CPUs when sysfs is unavailable).
     static Topology discover();
 
+    /// Parse a synthetic fixture spec "PxCxT" (packages x cores-per-package
+    /// x threads-per-core, e.g. the paper machine "2x18x2"); "PxC" implies
+    /// one thread per core. CPU ids are assigned sequentially in
+    /// (package, core, thread) order. Empty optional on malformed specs or
+    /// zero extents. The result is synthetic(): plans describe *placement*
+    /// only and are never applied to real CPUs.
+    static std::optional<Topology> from_spec(std::string_view spec);
+
+    /// LWT_TOPOLOGY override (a from_spec() string) when set and valid,
+    /// else discover(). The override is how tests/CI reproduce the paper's
+    /// 2-socket hierarchy on any host.
+    static Topology from_env_or_discover();
+
     /// Build from an explicit CPU list (tests, synthetic topologies).
+    /// Explicitly-built topologies are synthetic().
     explicit Topology(std::vector<CpuInfo> cpus);
 
     [[nodiscard]] std::size_t num_cpus() const { return cpus_.size(); }
     [[nodiscard]] std::size_t num_packages() const;
     [[nodiscard]] std::size_t num_cores() const;  // distinct (package, core)
     [[nodiscard]] const std::vector<CpuInfo>& cpus() const { return cpus_; }
+
+    /// True for fixture topologies (from_spec / explicit CPU lists): the
+    /// layout describes a *pretend* machine, so placement planning applies
+    /// but thread binding must not.
+    [[nodiscard]] bool synthetic() const noexcept { return synthetic_; }
+
+    /// The package-level locality domains, ascending by package id.
+    [[nodiscard]] std::vector<LocalityDomain> domains() const;
 
     /// CPU assignment for `count` streams under `policy` (entries are
     /// logical CPU ids; streams beyond the CPU count wrap around).
@@ -53,6 +92,7 @@ class Topology {
 
   private:
     std::vector<CpuInfo> cpus_;  // sorted by (package, core, cpu)
+    bool synthetic_ = true;      // discover() clears it
 };
 
 /// Bind the calling thread according to a plan entry (wraps

@@ -5,6 +5,8 @@
 #include <cstring>
 
 #include "arch/cpu.hpp"
+#include "core/metrics.hpp"
+#include "core/sched_stats.hpp"
 
 namespace lwt::benchsupport {
 
@@ -171,7 +173,28 @@ bool write_figure_json(const std::string& path, const std::string& figure_id,
                            false);
         std::fprintf(f, "    }%s\n", s + 1 < grid.size() ? "," : "");
     }
-    std::fprintf(f, "  ]\n}\n");
+    std::fprintf(f, "  ],\n");
+    // Tiered-stealing telemetry accumulated over the whole sweep: every
+    // execution stream folds its per-tier steal counters into the metrics
+    // registry when it is destroyed (core::accumulate_sched_counters), so
+    // by the time the figure is written the totals cover every runner the
+    // sweep booted. All-zero on a flat (single-domain) topology is normal;
+    // set LWT_TOPOLOGY to exercise the package/remote tiers.
+    std::fprintf(f, "  \"steal_tiers\": {\n");
+    auto& reg = core::MetricsRegistry::instance();
+    for (std::size_t t = 0; t < core::kStealTiers; ++t) {
+        const std::string tier = core::steal_tier_name(t);
+        const std::uint64_t attempts =
+            reg.counter("sched.steal.tier." + tier + ".attempts").value();
+        const std::uint64_t hits =
+            reg.counter("sched.steal.tier." + tier + ".hits").value();
+        std::fprintf(f, "    \"%s\": {\"attempts\": %llu, \"hits\": %llu}%s\n",
+                     tier.c_str(),
+                     static_cast<unsigned long long>(attempts),
+                     static_cast<unsigned long long>(hits),
+                     t + 1 < core::kStealTiers ? "," : "");
+    }
+    std::fprintf(f, "  }\n}\n");
     const bool ok = std::ferror(f) == 0;
     std::fclose(f);
     return ok;

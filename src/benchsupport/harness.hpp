@@ -60,8 +60,12 @@ void run_and_print(const std::string& title, const std::string& unit,
 ///   {"figure": id, "title": ..., "unit": ..., "reps": N, "warmup": N,
 ///    "threads": [...],
 ///    "series": [{"name": ..., "mean": [...], "min": [...], "max": [...],
-///                "rsd_percent": [...]}]}
+///                "rsd_percent": [...]}],
+///    "steal_tiers": {"sibling": {"attempts": N, "hits": N},
+///                    "package": {...}, "remote": {...}}}
 /// with one array entry per thread count, aligned with "threads".
+/// "steal_tiers" is the process-wide tiered-stealing telemetry accumulated
+/// over the whole sweep (all zero on a flat topology).
 /// Returns false on IO failure.
 bool write_figure_json(const std::string& path, const std::string& figure_id,
                        const std::string& title, const std::string& unit,

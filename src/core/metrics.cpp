@@ -97,6 +97,23 @@ std::vector<MetricsRegistry::HistogramEntry> MetricsRegistry::histograms()
     return out;
 }
 
+void accumulate_sched_counters(const SchedStats& stats) {
+    // Skip streams that never stole: keeps pristine runs (and the flat
+    // single-stream configs) from registering all-zero tier names.
+    if (stats.steal_attempts == 0) {
+        return;
+    }
+    MetricsRegistry& reg = MetricsRegistry::instance();
+    reg.counter("sched.steal.attempts").inc(stats.steal_attempts);
+    reg.counter("sched.steal.hits").inc(stats.steal_hits);
+    for (std::size_t t = 0; t < kStealTiers; ++t) {
+        std::string base = "sched.steal.tier.";
+        base += steal_tier_name(t);
+        reg.counter(base + ".attempts").inc(stats.tier_attempts[t]);
+        reg.counter(base + ".hits").inc(stats.tier_hits[t]);
+    }
+}
+
 void MetricsRegistry::reset_values() {
     std::lock_guard g(lock_);
     for (auto& cell : counters_) {

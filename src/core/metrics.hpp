@@ -30,6 +30,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/sched_stats.hpp"
 #include "sync/spinlock.hpp"
 
 namespace lwt::core {
@@ -219,6 +220,14 @@ class MetricsRegistry {
     std::deque<GaugeCell> gauges_;
     std::deque<HistCell> hists_;
 };
+
+/// Fold one stream's steal telemetry into the process-wide registry:
+/// "sched.steal.attempts"/"sched.steal.hits" totals plus
+/// "sched.steal.tier.<sibling|package|remote>.{attempts,hits}". XStream
+/// calls this at teardown, so the registry (and the bench harness's
+/// steal_tiers JSON block) sees every stream that ever ran, whichever
+/// personality built it.
+void accumulate_sched_counters(const SchedStats& stats);
 
 /// Per-stream unit-latency snapshot (one per execution stream that ran
 /// work; stream == core::kNoStream aggregates unattached threads).

@@ -10,7 +10,14 @@
 namespace lwt::core {
 
 Runtime::Runtime(std::size_t num_streams, const SchedulerFactory& factory,
-                 sync::IdleConfig idle) {
+                 sync::IdleConfig idle)
+    : Runtime(num_streams, factory,
+              arch::LocalityMap::flat(num_streams == 0 ? 1 : num_streams),
+              idle) {}
+
+Runtime::Runtime(std::size_t num_streams, const SchedulerFactory& factory,
+                 arch::LocalityMap locality, sync::IdleConfig idle)
+    : locality_(std::move(locality)) {
     if (num_streams == 0) {
         num_streams = 1;
     }
@@ -22,6 +29,14 @@ Runtime::Runtime(std::size_t num_streams, const SchedulerFactory& factory,
             static_cast<unsigned>(i), factory(static_cast<unsigned>(i))));
         streams_.back()->set_idle_config(idle);
         streams_.back()->set_parking_lot(&lot_);
+        if (i < locality_.num_streams()) {
+            streams_.back()->set_placement(locality_.placement(i));
+        }
+        if (i > 0 && locality_.should_bind()) {
+            // Dedicated threads pin themselves before their loop starts.
+            streams_.back()->set_on_start(
+                [this, i] { locality_.bind_stream(i); });
+        }
     }
     // Wire the lot as waker of every pool the schedulers can see, so a
     // push into any of them wakes parked streams. Victim-only pools are
@@ -34,6 +49,11 @@ Runtime::Runtime(std::size_t num_streams, const SchedulerFactory& factory,
                 wired_pools_.push_back(pool);
             }
         }
+    }
+    if (locality_.should_bind()) {
+        // The primary stream is the calling thread: pin it here, mirroring
+        // what the on_start hooks do for the dedicated threads.
+        locality_.bind_stream(0);
     }
     primary().attach_caller();
     for (std::size_t i = 1; i < num_streams; ++i) {

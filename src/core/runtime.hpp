@@ -39,6 +39,15 @@ class Runtime {
     /// works out of the box.
     Runtime(std::size_t num_streams, const SchedulerFactory& factory,
             sync::IdleConfig idle = {});
+
+    /// Locality-aware form: `locality` (an arch::LocalityMap over the same
+    /// stream count) stamps each stream's placement, and — when
+    /// locality.should_bind() — pins every stream's OS thread (including
+    /// the adopted primary/calling thread) to its planned CPU before the
+    /// scheduling loop runs. The factory typically derives tiered victim
+    /// lists from the same map (LocalityMap::victim_tiers).
+    Runtime(std::size_t num_streams, const SchedulerFactory& factory,
+            arch::LocalityMap locality, sync::IdleConfig idle = {});
     ~Runtime();
     Runtime(const Runtime&) = delete;
     Runtime& operator=(const Runtime&) = delete;
@@ -57,6 +66,12 @@ class Runtime {
     /// The lot idle streams park on; pools created outside the schedulers
     /// can be wired to it with Pool::set_waker.
     [[nodiscard]] sync::ParkingLot& parking_lot() noexcept { return lot_; }
+
+    /// The placement plan the streams were built under (a flat single-domain
+    /// map when the locality-blind constructor was used).
+    [[nodiscard]] const arch::LocalityMap& locality() const noexcept {
+        return locality_;
+    }
 
     /// Sum of every stream's steal/idle counters (see sched_stats.hpp).
     [[nodiscard]] SchedStats sched_stats() const noexcept {
@@ -90,6 +105,7 @@ class Runtime {
     // stopped recording.
     ObservabilitySession obs_session_;
     sync::ParkingLot lot_;
+    arch::LocalityMap locality_;  // before streams_: bind hooks reference it
     std::vector<std::unique_ptr<XStream>> streams_;
     std::vector<Pool*> wired_pools_;
     QueueDepthSampler sampler_;

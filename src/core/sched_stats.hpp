@@ -10,12 +10,24 @@
 // operator+= so Runtime::sched_stats() can aggregate across streams.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 
 #include "arch/cpu.hpp"
+#include "arch/locality.hpp"
 
 namespace lwt::core {
+
+/// Number of steal-distance tiers (sibling / package / remote); indexed by
+/// arch::StealTier. Re-exported here so core code need not spell the arch
+/// constant.
+inline constexpr std::size_t kStealTiers = arch::kStealTiers;
+
+/// Display name for tier `t` ("sibling" | "package" | "remote").
+[[nodiscard]] inline const char* steal_tier_name(std::size_t t) noexcept {
+    return arch::steal_tier_name(t);
+}
 
 /// Plain (non-atomic) counter snapshot; the unit of reporting.
 struct SchedStats {
@@ -28,6 +40,13 @@ struct SchedStats {
     std::uint64_t parks = 0;           ///< blocked on the parking lot
     std::uint64_t unparks = 0;         ///< parks ended by a notify
     std::uint64_t park_timeouts = 0;   ///< parks ended by the safety net
+
+    /// Per-tier breakdown of steal_attempts/steal_hits, indexed by
+    /// arch::StealTier (sibling / package / remote). A flat (untiered)
+    /// StealingScheduler accounts everything to the package tier; tier
+    /// sums equal the totals above.
+    std::array<std::uint64_t, kStealTiers> tier_attempts{};
+    std::array<std::uint64_t, kStealTiers> tier_hits{};
 
     /// Fraction of steal probes that produced work (0 when no probes).
     [[nodiscard]] double steal_hit_rate() const noexcept {
@@ -47,6 +66,10 @@ struct SchedStats {
         parks += o.parks;
         unparks += o.unparks;
         park_timeouts += o.park_timeouts;
+        for (std::size_t t = 0; t < kStealTiers; ++t) {
+            tier_attempts[t] += o.tier_attempts[t];
+            tier_hits[t] += o.tier_hits[t];
+        }
         return *this;
     }
 };
@@ -64,6 +87,8 @@ struct alignas(arch::kCacheLine) SchedCounters {
     std::atomic<std::uint64_t> parks{0};
     std::atomic<std::uint64_t> unparks{0};
     std::atomic<std::uint64_t> park_timeouts{0};
+    std::array<std::atomic<std::uint64_t>, kStealTiers> tier_attempts{};
+    std::array<std::atomic<std::uint64_t>, kStealTiers> tier_hits{};
 
     static void bump(std::atomic<std::uint64_t>& c) noexcept {
         c.fetch_add(1, std::memory_order_relaxed);
@@ -80,6 +105,10 @@ struct alignas(arch::kCacheLine) SchedCounters {
         s.parks = parks.load(std::memory_order_relaxed);
         s.unparks = unparks.load(std::memory_order_relaxed);
         s.park_timeouts = park_timeouts.load(std::memory_order_relaxed);
+        for (std::size_t t = 0; t < kStealTiers; ++t) {
+            s.tier_attempts[t] = tier_attempts[t].load(std::memory_order_relaxed);
+            s.tier_hits[t] = tier_hits[t].load(std::memory_order_relaxed);
+        }
         return s;
     }
 
@@ -93,6 +122,10 @@ struct alignas(arch::kCacheLine) SchedCounters {
         parks.store(0, std::memory_order_relaxed);
         unparks.store(0, std::memory_order_relaxed);
         park_timeouts.store(0, std::memory_order_relaxed);
+        for (std::size_t t = 0; t < kStealTiers; ++t) {
+            tier_attempts[t].store(0, std::memory_order_relaxed);
+            tier_hits[t].store(0, std::memory_order_relaxed);
+        }
     }
 };
 

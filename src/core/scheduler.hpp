@@ -77,26 +77,63 @@ class Scheduler {
 /// all pools uniformly (and a probe can never be wasted on the home pool —
 /// the pre-fix code returned nullptr on that roll, burning the whole idle
 /// iteration).
+///
+/// Victims can be *tiered* by locality (arch::LocalityMap::victim_tiers):
+/// a sweep exhausts SMT siblings (linear — the tier is tiny), then
+/// same-package victims (probes + linear), then remote packages (probes +
+/// linear), so a thief only crosses the socket when its own package is
+/// provably dry. Per-tier attempts/hits land in SchedCounters next to the
+/// flat totals. The untiered constructor puts every victim in the package
+/// tier, which reproduces the flat sweep exactly.
 /// Steal-sweep shape for StealingScheduler.
 struct StealConfig {
-    /// Random probes per sweep before the linear fallback.
+    /// Random probes per sweep (per tier) before the linear fallback.
     unsigned probes = 4;
     /// Scan every victim (from a random start) once the probes miss.
     bool linear_fallback = true;
 };
 
+/// Victim pools bucketed by steal distance (nearest first). Indexed by
+/// arch::StealTier; built from arch::LocalityMap::victim_tiers.
+struct VictimTiers {
+    std::vector<Pool*> sibling;  ///< same physical core (SMT)
+    std::vector<Pool*> package;  ///< same package, different core
+    std::vector<Pool*> remote;   ///< different package
+};
+
 class StealingScheduler : public Scheduler {
   public:
-    /// `home` is this stream's own pool; `victims` are the other streams'
-    /// pools (may include `home`; it is removed).
+    /// Flat form: `home` is this stream's own pool; `victims` are the other
+    /// streams' pools (may include `home`; it is removed). All victims land
+    /// in the package tier — one locality class, exactly the old sweep.
     StealingScheduler(Pool* home, std::vector<Pool*> victims,
                       unsigned seed = 0x9e3779b9u, StealConfig config = {})
+        : StealingScheduler(home,
+                            VictimTiers{{}, std::move(victims), {}},
+                            seed, config) {}
+
+    /// Tiered form: victims bucketed by steal distance. Null pools and the
+    /// home pool are filtered from every tier.
+    StealingScheduler(Pool* home, VictimTiers tiers,
+                      unsigned seed = 0x9e3779b9u, StealConfig config = {})
         : Scheduler({home}), config_(config), rng_(seed) {
-        victims_.reserve(victims.size());
-        for (Pool* v : victims) {
-            if (v != nullptr && v != home) {
-                victims_.push_back(v);
+        auto filter = [home](std::vector<Pool*>& v) {
+            std::size_t out = 0;
+            for (Pool* p : v) {
+                if (p != nullptr && p != home) {
+                    v[out++] = p;
+                }
             }
+            v.resize(out);
+        };
+        filter(tiers.sibling);
+        filter(tiers.package);
+        filter(tiers.remote);
+        tiers_[0] = std::move(tiers.sibling);
+        tiers_[1] = std::move(tiers.package);
+        tiers_[2] = std::move(tiers.remote);
+        for (const auto& tier : tiers_) {
+            victims_.insert(victims_.end(), tier.begin(), tier.end());
         }
     }
 
@@ -107,32 +144,33 @@ class StealingScheduler : public Scheduler {
         return steal();
     }
 
-    /// One full steal sweep (probes + optional linear fallback); nullptr
-    /// when every probed victim came up empty.
+    /// One full steal sweep, nearest tier first; nullptr when every probed
+    /// victim came up empty.
     WorkUnit* steal() {
-        const std::size_t n = victims_.size();
-        if (n == 0) {
-            return nullptr;
+        // Siblings share our L1/L2: the tier is at most (SMT-1) pools, so
+        // scan it outright rather than rolling dice.
+        if (WorkUnit* unit = sweep_linear(tiers_[0], 0, 0)) {
+            return unit;
         }
-        for (unsigned p = 0; p < config_.probes; ++p) {
-            Pool* victim = victims_[rng_() % n];
-            if (victim == pools_.front()) {
-                // Unreachable after the constructor filter, but a probe
-                // that lands home must reroll, never end the sweep.
+        for (std::size_t t = 1; t < kStealTiers; ++t) {
+            const std::vector<Pool*>& tier = tiers_[t];
+            const std::size_t n = tier.size();
+            if (n == 0) {
                 continue;
             }
-            if (WorkUnit* unit = probe(victim)) {
-                return unit;
-            }
-        }
-        if (config_.linear_fallback) {
-            const std::size_t start = rng_() % n;
-            for (std::size_t k = 0; k < n; ++k) {
-                Pool* victim = victims_[(start + k) % n];
+            for (unsigned p = 0; p < config_.probes; ++p) {
+                Pool* victim = tier[rng_() % n];
                 if (victim == pools_.front()) {
+                    // Unreachable after the constructor filter, but a probe
+                    // that lands home must reroll, never end the sweep.
                     continue;
                 }
-                if (WorkUnit* unit = probe(victim)) {
+                if (WorkUnit* unit = probe(victim, t)) {
+                    return unit;
+                }
+            }
+            if (config_.linear_fallback) {
+                if (WorkUnit* unit = sweep_linear(tier, rng_() % n, t)) {
                     return unit;
                 }
             }
@@ -153,22 +191,45 @@ class StealingScheduler : public Scheduler {
         return false;
     }
 
+    /// All victims, flattened nearest-tier first.
     [[nodiscard]] const std::vector<Pool*>& victims() const noexcept {
         return victims_;
+    }
+    /// Victims in steal-distance tier `t` (indexed by arch::StealTier).
+    [[nodiscard]] const std::vector<Pool*>& tier_victims(
+        std::size_t t) const noexcept {
+        return tiers_[t];
     }
     [[nodiscard]] const StealConfig& steal_config() const noexcept {
         return config_;
     }
 
   private:
-    WorkUnit* probe(Pool* victim) {
+    WorkUnit* sweep_linear(const std::vector<Pool*>& tier, std::size_t start,
+                           std::size_t t) {
+        const std::size_t n = tier.size();
+        for (std::size_t k = 0; k < n; ++k) {
+            Pool* victim = tier[(start + k) % n];
+            if (victim == pools_.front()) {
+                continue;
+            }
+            if (WorkUnit* unit = probe(victim, t)) {
+                return unit;
+            }
+        }
+        return nullptr;
+    }
+
+    WorkUnit* probe(Pool* victim, std::size_t tier) {
         StealOutcome outcome;
         WorkUnit* unit = victim->steal(outcome);
         if (stats_ != nullptr) {
             SchedCounters::bump(stats_->steal_attempts);
+            SchedCounters::bump(stats_->tier_attempts[tier]);
             switch (outcome) {
                 case StealOutcome::kSuccess:
                     SchedCounters::bump(stats_->steal_hits);
+                    SchedCounters::bump(stats_->tier_hits[tier]);
                     break;
                 case StealOutcome::kEmpty:
                     SchedCounters::bump(stats_->steal_empty);
@@ -182,7 +243,8 @@ class StealingScheduler : public Scheduler {
     }
 
     StealConfig config_;
-    std::vector<Pool*> victims_;
+    std::array<std::vector<Pool*>, kStealTiers> tiers_;
+    std::vector<Pool*> victims_;  // flattened tiers, nearest first
     std::minstd_rand rng_;
 };
 

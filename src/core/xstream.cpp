@@ -20,7 +20,13 @@ XStream::XStream(unsigned rank, std::unique_ptr<Scheduler> scheduler)
     sched_stack_.push_back(std::move(scheduler));
 }
 
-XStream::~XStream() { stop_and_join(); }
+XStream::~XStream() {
+    stop_and_join();
+    // Fold this stream's steal telemetry into the process-wide registry so
+    // post-run reporting (metrics dump, bench --json steal_tiers) survives
+    // the stream. The counters themselves die with us.
+    accumulate_sched_counters(counters_.snapshot());
+}
 
 XStream* XStream::current() noexcept { return tl_current_xstream; }
 

@@ -18,6 +18,7 @@
 #include <thread>
 #include <vector>
 
+#include "arch/locality.hpp"
 #include "core/sched_stats.hpp"
 #include "core/scheduler.hpp"
 #include "core/ult.hpp"
@@ -122,6 +123,16 @@ class XStream {
         return executed_.load(std::memory_order_relaxed);
     }
 
+    /// Record where this stream sits in the machine hierarchy (see
+    /// arch::LocalityMap). Set by the runtime/personality that owns the
+    /// stream; defaults to domain 0 (everything local).
+    void set_placement(const arch::StreamPlacement& p) noexcept {
+        placement_ = p;
+    }
+    [[nodiscard]] const arch::StreamPlacement& placement() const noexcept {
+        return placement_;
+    }
+
     /// Live steal/idle counters for this stream (see sched_stats.hpp).
     [[nodiscard]] const SchedCounters& counters() const noexcept {
         return counters_;
@@ -149,6 +160,7 @@ class XStream {
 
     sync::IdleConfig idle_config_{};
     sync::ParkingLot* parking_lot_ = nullptr;
+    arch::StreamPlacement placement_{};
     SchedCounters counters_;
 
     mutable sync::Spinlock sched_lock_;

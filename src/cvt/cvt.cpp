@@ -1,6 +1,7 @@
 #include "cvt/cvt.hpp"
 
 #include <cassert>
+#include <cstdlib>
 
 #include "core/runtime.hpp"
 #include "core/work_unit.hpp"
@@ -47,6 +48,10 @@ Library::Library(Config config) : config_(config) {
     const std::size_t n =
         core::Runtime::resolve_stream_count(config_.num_pes, "LWT_NUM_PES");
     config_.num_pes = n;
+    const arch::BindPolicy bind = arch::bind_policy_from_string(
+        std::getenv("LWT_BIND"), config_.bind);
+    locality_ = arch::LocalityMap(arch::Topology::from_env_or_discover(),
+                                  bind, n);
     pools_.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
         pools_.push_back(
@@ -56,11 +61,18 @@ Library::Library(Config config) : config_(config) {
         return std::make_unique<core::Scheduler>(
             std::vector<core::Pool*>{pools_[rank].get()});
     };
+    locality_.bind_stream(0);  // PE 0 = the calling thread
     primary_ = std::make_unique<core::XStream>(0, make_sched(0));
+    primary_->set_placement(locality_.placement(0));
     primary_->attach_caller();
     for (std::size_t i = 1; i < n; ++i) {
         workers_.push_back(std::make_unique<core::XStream>(
             static_cast<unsigned>(i), make_sched(static_cast<unsigned>(i))));
+        workers_.back()->set_placement(locality_.placement(i));
+        if (locality_.should_bind()) {
+            workers_.back()->set_on_start(
+                [this, i] { locality_.bind_stream(i); });
+        }
         workers_.back()->start();
     }
 }
@@ -106,6 +118,38 @@ void Library::send_bulk(std::size_t count,
     }
     for (std::size_t pe = 0; pe < npes; ++pe) {
         pools_[pe]->push_bulk(batches[pe]);
+    }
+}
+
+void Library::send_bulk_domain(
+    std::size_t count, const std::function<void(std::size_t)>& handler,
+    std::size_t domain) {
+    if (count == 0) {
+        return;
+    }
+    // Round-robin over the domain's PEs only. An out-of-range or empty
+    // domain degrades to the all-PE broadcast path.
+    const std::vector<std::size_t>* pes =
+        domain < locality_.num_domains()
+            ? &locality_.streams_in_domain(domain)
+            : nullptr;
+    if (pes == nullptr || pes->empty()) {
+        send_bulk(count, handler);
+        return;
+    }
+    auto shared =
+        std::make_shared<const std::function<void(std::size_t)>>(handler);
+    std::vector<std::vector<core::WorkUnit*>> batches(pes->size());
+    for (auto& b : batches) {
+        b.reserve(count / pes->size() + 1);
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+        auto* msg = new core::Tasklet([shared, i] { (*shared)(i); });
+        msg->detached = true;
+        batches[i % pes->size()].push_back(msg);
+    }
+    for (std::size_t b = 0; b < batches.size(); ++b) {
+        pools_[(*pes)[b]]->push_bulk(batches[b]);
     }
 }
 

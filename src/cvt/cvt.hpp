@@ -18,6 +18,7 @@
 #include <memory>
 #include <vector>
 
+#include "arch/locality.hpp"
 #include "core/observability.hpp"
 #include "core/pool.hpp"
 #include "core/sync_ult.hpp"
@@ -30,6 +31,9 @@ namespace lwt::cvt {
 struct Config {
     /// Number of processors (PEs); 0 resolves via LWT_NUM_PES then hardware.
     std::size_t num_pes = 0;
+    /// PE pinning (LWT_BIND overrides). Converse has no shared queues, so
+    /// locality only affects which PEs domain-targeted sends pick.
+    arch::BindPolicy bind = arch::BindPolicy::kNone;
 };
 
 /// Handle to a Cth ULT (CthThread).
@@ -80,6 +84,22 @@ class Library {
     /// The handler is shared, not copied per message.
     void send_bulk(std::size_t count,
                    const std::function<void(std::size_t)>& handler);
+
+    /// Bulk send confined to locality domain `domain`: messages are
+    /// round-robined over that package's PEs only (Converse's queues are
+    /// strictly per-PE, so domain targeting is a choice of recipients, not
+    /// a shared pool). Domains with no PEs fall back to every PE.
+    void send_bulk_domain(std::size_t count,
+                          const std::function<void(std::size_t)>& handler,
+                          std::size_t domain);
+
+    /// The placement plan the PEs were built under.
+    [[nodiscard]] const arch::LocalityMap& locality() const noexcept {
+        return locality_;
+    }
+    [[nodiscard]] std::size_t num_domains() const noexcept {
+        return locality_.num_domains();
+    }
 
     /// CthCreate: a ULT on the *current* PE (PE 0 when called from main).
     /// Cth threads cannot be pushed to other PEs.
@@ -134,6 +154,7 @@ class Library {
     // (LWT_TRACE / LWT_METRICS) must run after the PEs have stopped.
     core::ObservabilitySession obs_session_;
     Config config_;
+    arch::LocalityMap locality_;  // before the PEs: bind hooks use it
     std::vector<std::unique_ptr<core::DequePool>> pools_;
     std::vector<std::unique_ptr<core::XStream>> workers_;  // PEs 1..n-1
     std::unique_ptr<core::XStream> primary_;               // PE 0

@@ -1,6 +1,7 @@
 #include "glt/glt.hpp"
 
 #include <atomic>
+#include <cctype>
 #include <cstdlib>
 #include <stdexcept>
 #include <thread>
@@ -13,11 +14,29 @@
 namespace lwt::glt {
 
 std::optional<Backend> backend_from_name(std::string_view name) noexcept {
-    if (name == "abt") return Backend::kAbt;
-    if (name == "qth") return Backend::kQth;
-    if (name == "mth") return Backend::kMth;
-    if (name == "cvt") return Backend::kCvt;
-    if (name == "gol") return Backend::kGol;
+    // Tolerate surrounding whitespace and any letter case: names usually
+    // arrive via environment variables, where " Abt" is a config typo, not
+    // a different backend.
+    constexpr std::string_view kSpace = " \t\n\r\f\v";
+    const std::size_t first = name.find_first_not_of(kSpace);
+    if (first == std::string_view::npos) {
+        return std::nullopt;
+    }
+    name = name.substr(first, name.find_last_not_of(kSpace) - first + 1);
+    if (name.size() != 3) {
+        return std::nullopt;
+    }
+    char lower[3];
+    for (std::size_t i = 0; i < 3; ++i) {
+        lower[i] = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(name[i])));
+    }
+    const std::string_view n(lower, 3);
+    if (n == "abt") return Backend::kAbt;
+    if (n == "qth") return Backend::kQth;
+    if (n == "mth") return Backend::kMth;
+    if (n == "cvt") return Backend::kCvt;
+    if (n == "gol") return Backend::kGol;
     return std::nullopt;
 }
 
@@ -63,31 +82,49 @@ class AbtGlt final : public Runtime {
         return {.native_tasklets = true,
                 .placement_hints = true,
                 .native_bulk = true,
-                .yieldable = true};
+                .yieldable = true,
+                .locality_domains = lib_.num_domains()};
     }
 
-    UnitToken ult_create(core::UniqueFunction fn, int where) override {
+    std::vector<std::size_t> domain_workers(std::size_t d) const override {
+        if (d >= lib_.num_domains()) {
+            return {};
+        }
+        return lib_.locality().streams_in_domain(d);
+    }
+
+    UnitToken ult_create(core::UniqueFunction fn, Placement where) override {
         auto state = std::make_unique<Token>();
-        state->handle = lib_.thread_create(std::move(fn), where);
+        state->handle =
+            where.kind() == Placement::Kind::kDomain
+                ? lib_.thread_create_domain(std::move(fn), where.index())
+                : lib_.thread_create(std::move(fn), to_pool(where));
         return UnitToken(std::move(state));
     }
 
-    UnitToken tasklet_create(core::UniqueFunction fn, int where) override {
+    UnitToken tasklet_create(core::UniqueFunction fn,
+                             Placement where) override {
         auto state = std::make_unique<Token>();
-        state->handle = lib_.task_create(std::move(fn), where);
+        state->handle =
+            where.kind() == Placement::Kind::kDomain
+                ? lib_.task_create_domain(std::move(fn), where.index())
+                : lib_.task_create(std::move(fn), to_pool(where));
         return UnitToken(std::move(state));
     }
 
     BulkHandle spawn_bulk(std::size_t n, BulkBody fn, UnitKind kind,
-                          int where) override {
+                          Placement where) override {
         if (n == 0) {
             return {};
         }
+        const abt::UnitKind ak = kind == UnitKind::kTasklet
+                                     ? abt::UnitKind::kTasklet
+                                     : abt::UnitKind::kUlt;
         auto state = std::make_unique<Bulk>();
-        state->handles = lib_.create_bulk(kind == UnitKind::kTasklet
-                                              ? abt::UnitKind::kTasklet
-                                              : abt::UnitKind::kUlt,
-                                          n, fn, where);
+        state->handles =
+            where.kind() == Placement::Kind::kDomain
+                ? lib_.create_bulk_domain(ak, n, fn, where.index())
+                : lib_.create_bulk(ak, n, fn, to_pool(where));
         return BulkHandle(std::move(state), n);
     }
 
@@ -116,6 +153,13 @@ class AbtGlt final : public Runtime {
         return c;
     }
 
+    /// any() -> -1 (library round-robin), worker(i) -> pool i.
+    static int to_pool(Placement where) {
+        return where.kind() == Placement::Kind::kWorker
+                   ? static_cast<int>(where.index())
+                   : -1;
+    }
+
     abt::Library lib_;
 };
 
@@ -138,31 +182,61 @@ class QthGlt final : public Runtime {
         return {.native_tasklets = false,
                 .placement_hints = true,
                 .native_bulk = true,
-                .yieldable = true};
+                .yieldable = true,
+                .locality_domains = lib_.num_domains()};
     }
 
-    UnitToken ult_create(core::UniqueFunction fn, int where) override {
+    std::vector<std::size_t> domain_workers(std::size_t d) const override {
+        // workers_per_shepherd == 1, so worker rank == shepherd index.
+        if (d >= lib_.num_domains()) {
+            return {};
+        }
+        return lib_.locality().streams_in_domain(d);
+    }
+
+    UnitToken ult_create(core::UniqueFunction fn, Placement where) override {
         auto state = std::make_unique<Token>();
-        const std::size_t shepherd =
-            where >= 0 ? static_cast<std::size_t>(where) % lib_.num_shepherds()
-                       : rr_++ % lib_.num_shepherds();
-        lib_.fork_to(std::move(fn), state->ret.get(), shepherd);
+        if (where.kind() == Placement::Kind::kDomain) {
+            lib_.fork_to_domain(std::move(fn), state->ret.get(),
+                                where.index());
+        } else {
+            const std::size_t shepherd =
+                where.kind() == Placement::Kind::kWorker
+                    ? where.index() % lib_.num_shepherds()
+                    : rr_++ % lib_.num_shepherds();
+            lib_.fork_to(std::move(fn), state->ret.get(), shepherd);
+        }
         return UnitToken(std::move(state));
     }
 
-    UnitToken tasklet_create(core::UniqueFunction fn, int where) override {
+    UnitToken tasklet_create(core::UniqueFunction fn,
+                             Placement where) override {
         // Table I: Qthreads has no tasklet type; degrade to a ULT.
         return ult_create(std::move(fn), where);
     }
 
     BulkHandle spawn_bulk(std::size_t n, BulkBody fn, UnitKind /*kind*/,
-                          int /*where*/) override {
-        // Everything is a ULT; fork_bulk block-distributes over shepherds.
+                          Placement where) override {
+        // Everything is a ULT; fork_bulk block-distributes over shepherds,
+        // fork_bulk_domain pins the batch to one package's shared queue.
+        // A worker() hint applies to the whole batch via its shepherd.
         if (n == 0) {
             return {};
         }
         auto state = std::make_unique<Bulk>();
-        lib_.fork_bulk(n, fn, state->sinc);
+        if (where.kind() == Placement::Kind::kDomain) {
+            lib_.fork_bulk_domain(n, fn, state->sinc, where.index());
+        } else if (where.kind() == Placement::Kind::kWorker) {
+            const std::size_t shepherd = where.index() % lib_.num_shepherds();
+            state->sinc.expect(static_cast<std::int64_t>(n));
+            auto* sinc = &state->sinc;
+            for (std::size_t i = 0; i < n; ++i) {
+                lib_.fork_to([fn, sinc, i] { fn(i); sinc->submit(); },
+                             nullptr, shepherd);
+            }
+        } else {
+            lib_.fork_bulk(n, fn, state->sinc);
+        }
         return BulkHandle(std::move(state), n);
     }
 
@@ -218,7 +292,8 @@ class MthGlt final : public Runtime {
                 .yieldable = true};
     }
 
-    UnitToken ult_create(core::UniqueFunction fn, int /*where*/) override {
+    UnitToken ult_create(core::UniqueFunction fn,
+                         Placement /*where*/) override {
         // MassiveThreads places work via its creation policy + stealing;
         // there is no explicit target (Table I: no cross-queue creation).
         auto state = std::make_unique<Token>();
@@ -226,12 +301,13 @@ class MthGlt final : public Runtime {
         return UnitToken(std::move(state));
     }
 
-    UnitToken tasklet_create(core::UniqueFunction fn, int where) override {
+    UnitToken tasklet_create(core::UniqueFunction fn,
+                             Placement where) override {
         return ult_create(std::move(fn), where);
     }
 
     BulkHandle spawn_bulk(std::size_t n, BulkBody fn, UnitKind /*kind*/,
-                          int /*where*/) override {
+                          Placement /*where*/) override {
         if (n == 0) {
             return {};
         }
@@ -294,43 +370,62 @@ class CvtGlt final : public Runtime {
         return {.native_tasklets = true,
                 .placement_hints = true,
                 .native_bulk = true,
-                .yieldable = true};
+                .yieldable = true,
+                .locality_domains = lib_.num_domains()};
     }
 
-    UnitToken ult_create(core::UniqueFunction fn, int where) override {
+    std::vector<std::size_t> domain_workers(std::size_t d) const override {
+        if (d >= lib_.num_domains()) {
+            return {};
+        }
+        return lib_.locality().streams_in_domain(d);
+    }
+
+    UnitToken ult_create(core::UniqueFunction fn, Placement where) override {
         // As in the paper's microbenchmarks, cross-PE work travels as
         // Messages; ULT semantics degrade to message execution for remote
         // targets (Converse restricts Cth threads to their home PE).
         return tasklet_create(std::move(fn), where);
     }
 
-    UnitToken tasklet_create(core::UniqueFunction fn, int where) override {
+    UnitToken tasklet_create(core::UniqueFunction fn,
+                             Placement where) override {
         auto state = std::make_unique<Token>();
         auto done = state->done;
-        const std::size_t pe =
-            where >= 0 ? static_cast<std::size_t>(where) % lib_.num_pes()
-                       : rr_++ % lib_.num_pes();
-        lib_.send_message(pe, [body = std::move(fn), done]() mutable {
-            body();
-            done->store(true, std::memory_order_release);
-        });
+        lib_.send_message(pick_pe(where),
+                          [body = std::move(fn), done]() mutable {
+                              body();
+                              done->store(true, std::memory_order_release);
+                          });
         return UnitToken(std::move(state));
     }
 
     BulkHandle spawn_bulk(std::size_t n, BulkBody fn, UnitKind /*kind*/,
-                          int /*where*/) override {
+                          Placement where) override {
         // Every unit is a Message regardless of kind; send_bulk groups
-        // them round-robin and pushes one batch per PE queue.
+        // them round-robin and pushes one batch per PE queue
+        // (send_bulk_domain restricts the recipients to one package's
+        // PEs). A worker() hint sends the whole batch to that PE.
         if (n == 0) {
             return {};
         }
         auto state = std::make_unique<Bulk>();
         auto done = state->done;
         done->add(static_cast<std::int64_t>(n));
-        lib_.send_bulk(n, [body = std::move(fn), done](std::size_t i) {
-            body(i);
+        auto body = [fn = std::move(fn), done](std::size_t i) {
+            fn(i);
             done->signal();
-        });
+        };
+        if (where.kind() == Placement::Kind::kDomain) {
+            lib_.send_bulk_domain(n, body, where.index());
+        } else if (where.kind() == Placement::Kind::kWorker) {
+            const std::size_t pe = where.index() % lib_.num_pes();
+            for (std::size_t i = 0; i < n; ++i) {
+                lib_.send_message(pe, [body, i] { body(i); });
+            }
+        } else {
+            lib_.send_bulk(n, body);
+        }
         return BulkHandle(std::move(state), n);
     }
 
@@ -360,6 +455,25 @@ class CvtGlt final : public Runtime {
         cvt::Config c;
         c.num_pes = n;
         return c;
+    }
+
+    /// Resolve a placement to one PE: worker(i) -> PE i, domain(d) ->
+    /// round-robin over the domain's PEs (Converse queues are strictly
+    /// per-PE, so domain targeting is recipient choice), any() ->
+    /// round-robin over all PEs. Empty/out-of-range domains degrade to
+    /// the all-PE rotation.
+    std::size_t pick_pe(Placement where) {
+        if (where.kind() == Placement::Kind::kWorker) {
+            return where.index() % lib_.num_pes();
+        }
+        if (where.kind() == Placement::Kind::kDomain &&
+            where.index() < lib_.num_domains()) {
+            const auto& pes = lib_.locality().streams_in_domain(where.index());
+            if (!pes.empty()) {
+                return pes[rr_++ % pes.size()];
+            }
+        }
+        return rr_++ % lib_.num_pes();
     }
 
     cvt::Library lib_;
@@ -393,7 +507,8 @@ class GolGlt final : public Runtime {
                 .yieldable = false};
     }
 
-    UnitToken ult_create(core::UniqueFunction fn, int /*where*/) override {
+    UnitToken ult_create(core::UniqueFunction fn,
+                         Placement /*where*/) override {
         // One global queue: placement hints are meaningless in Go.
         auto state = std::make_unique<Token>();
         auto done = state->done;
@@ -404,12 +519,13 @@ class GolGlt final : public Runtime {
         return UnitToken(std::move(state));
     }
 
-    UnitToken tasklet_create(core::UniqueFunction fn, int where) override {
+    UnitToken tasklet_create(core::UniqueFunction fn,
+                             Placement where) override {
         return ult_create(std::move(fn), where);
     }
 
     BulkHandle spawn_bulk(std::size_t n, BulkBody fn, UnitKind /*kind*/,
-                          int /*where*/) override {
+                          Placement /*where*/) override {
         if (n == 0) {
             return {};
         }
@@ -483,10 +599,9 @@ std::unique_ptr<Runtime> Runtime::create_from_env() {
         }
     }
     std::size_t workers = 0;
+    // Only GLT_NUM_WORKERS is honoured; the legacy GLT_WORKERS alias was
+    // dropped in v2.
     const char* count = std::getenv("GLT_NUM_WORKERS");
-    if (count == nullptr) {
-        count = std::getenv("GLT_WORKERS");  // legacy spelling
-    }
     if (count != nullptr) {
         char* end = nullptr;
         const unsigned long parsed = std::strtoul(count, &end, 10);

@@ -52,11 +52,74 @@ enum class Backend {
     kGol,  ///< Go-like
 };
 
-/// Parse a backend name ("abt", "qth", "mth", "cvt", "gol"); empty optional
-/// on anything else.
+/// Parse a backend name ("abt", "qth", "mth", "cvt", "gol"). Matching is
+/// case-insensitive and ignores surrounding whitespace, so an environment
+/// like GLT_BACKEND=" Abt" still selects abt instead of silently falling
+/// back to the default. Empty optional on anything else.
 [[nodiscard]] std::optional<Backend> backend_from_name(
     std::string_view name) noexcept;
 std::string_view backend_name(Backend backend);
+
+/// Typed placement hint for creation calls — replaces the v1 raw
+/// `int where` (whose -1/index encoding could not say "this package").
+///
+///   Placement::any()       backend picks (round-robin where natural)
+///   Placement::worker(i)   a specific worker/shepherd/PE's queue
+///   Placement::domain(d)   any worker of locality domain (package) d —
+///                          lands in the backend's per-package shared pool
+///                          where it has one (abt, qth), or on the
+///                          domain's workers (cvt)
+///
+/// Backends without placement_hints ignore the hint entirely (mth, gol);
+/// capabilities().locality_domains says whether domain() is meaningful.
+class Placement {
+  public:
+    enum class Kind {
+        kAny,
+        kWorker,
+        kDomain,
+    };
+
+    /// Default: no preference (== any()).
+    constexpr Placement() noexcept = default;
+
+    [[nodiscard]] static constexpr Placement any() noexcept { return {}; }
+    [[nodiscard]] static constexpr Placement worker(std::size_t i) noexcept {
+        return Placement(Kind::kWorker, i);
+    }
+    [[nodiscard]] static constexpr Placement domain(std::size_t d) noexcept {
+        return Placement(Kind::kDomain, d);
+    }
+
+    /// Adapter for the deprecated v1 encoding: negative -> any(), else
+    /// worker(where).
+    [[nodiscard]] static constexpr Placement from_where(int where) noexcept {
+        return where < 0 ? any()
+                         : worker(static_cast<std::size_t>(where));
+    }
+
+    [[nodiscard]] constexpr Kind kind() const noexcept { return kind_; }
+    /// Worker or domain index; 0 for any().
+    [[nodiscard]] constexpr std::size_t index() const noexcept {
+        return index_;
+    }
+
+    [[nodiscard]] constexpr bool is_any() const noexcept {
+        return kind_ == Kind::kAny;
+    }
+
+    friend constexpr bool operator==(const Placement& a,
+                                     const Placement& b) noexcept {
+        return a.kind_ == b.kind_ && a.index_ == b.index_;
+    }
+
+  private:
+    constexpr Placement(Kind kind, std::size_t index) noexcept
+        : kind_(kind), index_(index) {}
+
+    Kind kind_ = Kind::kAny;
+    std::size_t index_ = 0;
+};
 
 /// What a backend natively supports — the queryable subset of the paper's
 /// Table I feature matrix. Callers branch on this instead of hard-coding
@@ -73,6 +136,10 @@ struct Capabilities {
     bool native_bulk = false;
     /// yield() reschedules from unit context (Go exposes no yield).
     bool yieldable = false;
+    /// Locality domains (packages) Placement::domain() can target; 0 when
+    /// the backend has no domain routing (mth steals freely, gol has one
+    /// global queue).
+    std::size_t locality_domains = 0;
 };
 
 /// Work-unit flavour for spawn_bulk, mirroring Table I's two unit types.
@@ -108,8 +175,10 @@ class Runtime {
                                            std::size_t num_workers = 0);
 
     /// Build from the environment: GLT_BACKEND selects the backend
-    /// ("abt" when unset or unrecognised), GLT_NUM_WORKERS (then the
-    /// legacy GLT_WORKERS) the worker count (0 = per-backend default).
+    /// ("abt" when unset or unrecognised; name matching is case- and
+    /// whitespace-insensitive), GLT_NUM_WORKERS the worker count (0 =
+    /// per-backend default). The legacy GLT_WORKERS alias is no longer
+    /// consulted.
     static std::unique_ptr<Runtime> create_from_env();
 
     virtual ~Runtime() = default;
@@ -121,30 +190,52 @@ class Runtime {
     [[nodiscard]] virtual Capabilities capabilities() const = 0;
 
     /// True if tasklet_create maps to a genuine stackless unit.
-    /// (v1 shim; prefer capabilities().native_tasklets.)
+    [[deprecated("query capabilities().native_tasklets instead")]]
     [[nodiscard]] bool has_native_tasklets() const {
         return capabilities().native_tasklets;
     }
 
-    /// ULT creation (Table II row 2). `where` hints the target
-    /// worker/queue; -1 lets the backend pick (round-robin where natural).
-    virtual UnitToken ult_create(core::UniqueFunction fn, int where = -1) = 0;
+    /// Worker indices belonging to locality domain `d` — the streams a
+    /// Placement::domain(d) spawn may land on. Empty when the backend has
+    /// no domain routing or `d` is out of range.
+    [[nodiscard]] virtual std::vector<std::size_t> domain_workers(
+        std::size_t /*d*/) const {
+        return {};
+    }
+
+    /// ULT creation (Table II row 2). `where` hints placement; any() lets
+    /// the backend pick (round-robin where natural), worker(i) targets a
+    /// specific queue, domain(d) any worker of package d.
+    virtual UnitToken ult_create(core::UniqueFunction fn,
+                                 Placement where = {}) = 0;
 
     /// Tasklet creation (Table II row 3). Backends without a stackless
     /// unit type (qth, mth, gol) fall back to a ULT, which is exactly what
     /// the paper's Table I says those libraries offer.
     virtual UnitToken tasklet_create(core::UniqueFunction fn,
-                                     int where = -1) = 0;
+                                     Placement where = {}) = 0;
 
     /// Bulk creation fast path (v2): spawn `n` units running `fn(i)` as a
     /// single batch. Backends with native_bulk build the whole batch and
     /// submit it with one enqueue burst + one wakeup per target queue;
     /// completion is tracked by the backend's aggregate mechanism, not one
     /// token per unit. `where` as in ult_create; it applies to the whole
-    /// batch. n == 0 yields an invalid handle (wait on it is a no-op).
+    /// batch (domain(d) submits everything to package d's shared pool).
+    /// n == 0 yields an invalid handle (wait on it is a no-op).
     virtual BulkHandle spawn_bulk(std::size_t n, BulkBody fn,
                                   UnitKind kind = UnitKind::kUlt,
-                                  int where = -1) = 0;
+                                  Placement where = {}) = 0;
+
+    // v1 `int where` shims (-1 = any, >= 0 = worker index). Thin wrappers
+    // over the typed calls; behaviour is identical by construction.
+    // Defined after UnitToken/BulkHandle below.
+    [[deprecated("pass a glt::Placement instead of an int where")]]
+    UnitToken ult_create(core::UniqueFunction fn, int where);
+    [[deprecated("pass a glt::Placement instead of an int where")]]
+    UnitToken tasklet_create(core::UniqueFunction fn, int where);
+    [[deprecated("pass a glt::Placement instead of an int where")]]
+    BulkHandle spawn_bulk(std::size_t n, BulkBody fn, UnitKind kind,
+                          int where);
 
     /// Join a batch created by spawn_bulk, reclaiming it. Cooperative from
     /// unit context where the backend allows; callable from the main
@@ -264,5 +355,17 @@ class BulkHandle {
     std::unique_ptr<State> state_;
     std::size_t count_ = 0;
 };
+
+// Deprecated v1 shim bodies (UnitToken/BulkHandle are complete here).
+inline UnitToken Runtime::ult_create(core::UniqueFunction fn, int where) {
+    return ult_create(std::move(fn), Placement::from_where(where));
+}
+inline UnitToken Runtime::tasklet_create(core::UniqueFunction fn, int where) {
+    return tasklet_create(std::move(fn), Placement::from_where(where));
+}
+inline BulkHandle Runtime::spawn_bulk(std::size_t n, BulkBody fn,
+                                      UnitKind kind, int where) {
+    return spawn_bulk(n, std::move(fn), kind, Placement::from_where(where));
+}
 
 }  // namespace lwt::glt

@@ -1,6 +1,7 @@
 #include "mth/mth.hpp"
 
 #include <cassert>
+#include <cstdlib>
 #include <thread>
 
 #include "core/runtime.hpp"
@@ -50,25 +51,44 @@ Library::Library(Config config) : config_(config) {
     const std::size_t n = core::Runtime::resolve_stream_count(
         config_.num_workers, "LWT_NUM_WORKERS");
     config_.num_workers = n;
+    const arch::BindPolicy bind = arch::bind_policy_from_string(
+        std::getenv("LWT_BIND"), config_.bind);
+    locality_ = arch::LocalityMap(arch::Topology::from_env_or_discover(),
+                                  bind, n);
     pools_.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
         pools_.push_back(
             std::make_unique<core::DequePool>(core::DequePool::PopOrder::kLifo));
     }
-    std::vector<core::Pool*> victims;
-    victims.reserve(n);
-    for (auto& p : pools_) {
-        victims.push_back(p.get());
-    }
+    // Tier each worker's victims by steal distance (MassiveThreads steals
+    // uniformly at random; we keep random probes *within* a tier but rob
+    // the nearest non-empty tier first).
     auto make_sched = [&](unsigned rank) {
+        const arch::LocalityMap::Tiers t = locality_.victim_tiers(rank);
+        auto to_pools = [&](const std::vector<std::size_t>& ranks) {
+            std::vector<core::Pool*> out;
+            out.reserve(ranks.size());
+            for (std::size_t r : ranks) {
+                out.push_back(pools_[r].get());
+            }
+            return out;
+        };
         return std::make_unique<core::StealingScheduler>(
-            pools_[rank].get(), victims, /*seed=*/0x9e3779b9u + rank);
+            pools_[rank].get(),
+            core::VictimTiers{to_pools(t.sibling), to_pools(t.package),
+                              to_pools(t.remote)},
+            /*seed=*/0x9e3779b9u + rank);
     };
+    locality_.bind_stream(0);  // primary = the calling thread
     primary_ = std::make_unique<core::XStream>(0, make_sched(0));
+    primary_->set_placement(locality_.placement(0));
     primary_->attach_caller();
     for (std::size_t i = 1; i < n; ++i) {
         workers_.push_back(std::make_unique<core::XStream>(
             static_cast<unsigned>(i), make_sched(static_cast<unsigned>(i))));
+        workers_.back()->set_placement(locality_.placement(i));
+        workers_.back()->set_on_start(
+            [this, i] { locality_.bind_stream(i); });
         workers_.back()->start();
     }
 }

@@ -17,6 +17,7 @@
 #include <memory>
 #include <vector>
 
+#include "arch/locality.hpp"
 #include "core/observability.hpp"
 #include "core/pool.hpp"
 #include "core/sync_ult.hpp"
@@ -37,6 +38,10 @@ struct Config {
     /// Number of workers; 0 resolves via LWT_NUM_WORKERS then hardware.
     std::size_t num_workers = 0;
     Policy policy = Policy::kWorkFirst;
+    /// Worker pinning (LWT_BIND overrides). Whatever the policy, the
+    /// topology (LWT_TOPOLOGY override included) tiers each worker's steal
+    /// order: SMT sibling first, then same package, then remote.
+    arch::BindPolicy bind = arch::BindPolicy::kNone;
 };
 
 /// Joinable handle to a spawned ULT (myth_thread_t).
@@ -71,6 +76,11 @@ class Library {
 
     [[nodiscard]] std::size_t num_workers() const { return pools_.size(); }
     [[nodiscard]] Policy policy() const { return config_.policy; }
+
+    /// The placement plan the workers were built under.
+    [[nodiscard]] const arch::LocalityMap& locality() const noexcept {
+        return locality_;
+    }
 
     /// Run `main_fn` as the program's main ULT on worker 0 and return when
     /// it finishes. All create() calls must happen inside this scope (from
@@ -122,6 +132,7 @@ class Library {
     // (LWT_TRACE / LWT_METRICS) must run after the workers have stopped.
     core::ObservabilitySession obs_session_;
     Config config_;
+    arch::LocalityMap locality_;  // before the streams: bind hooks use it
     std::vector<std::unique_ptr<core::DequePool>> pools_;
     std::vector<std::unique_ptr<core::XStream>> workers_;  // ranks 1..n-1
     std::unique_ptr<core::XStream> primary_;               // worker 0

@@ -1,5 +1,6 @@
 #include "qth/qth.hpp"
 
+#include <cstdlib>
 #include <functional>
 #include <thread>
 
@@ -29,24 +30,48 @@ Library::Library(Config config) : config_(config) {
         pools_.push_back(
             std::make_unique<core::DequePool>(core::DequePool::PopOrder::kFifo));
     }
-    // Workers of shepherd s all drain pools_[s]; rank encodes (s, w).
-    const auto plan = arch::Topology::discover().plan(
-        config_.bind,
-        config_.num_shepherds * config_.workers_per_shepherd);
+    // Workers of shepherd s all drain pools_[s]; rank encodes (s, w). The
+    // locality map (LWT_TOPOLOGY/LWT_BIND aware) pins workers when an
+    // explicit policy asks for it and places every worker in a package
+    // domain either way.
+    const std::size_t nworkers =
+        config_.num_shepherds * config_.workers_per_shepherd;
+    const arch::BindPolicy bind = arch::bind_policy_from_string(
+        std::getenv("LWT_BIND"), config_.bind);
+    locality_ = arch::LocalityMap(arch::Topology::from_env_or_discover(),
+                                  bind, nworkers);
+    for (std::size_t d = 0; d < locality_.num_domains(); ++d) {
+        domain_pools_.push_back(std::make_unique<core::MpmcPool>());
+        if (!locality_.streams_in_domain(d).empty()) {
+            populated_domains_.push_back(d);
+        }
+    }
     for (std::size_t s = 0; s < config_.num_shepherds; ++s) {
         for (std::size_t w = 0; w < config_.workers_per_shepherd; ++w) {
             const auto rank =
                 static_cast<unsigned>(s * config_.workers_per_shepherd + w);
+            const std::size_t dom = locality_.placement(rank).domain;
             workers_.push_back(std::make_unique<core::XStream>(
                 rank, std::make_unique<core::Scheduler>(
-                          std::vector<core::Pool*>{pools_[s].get()})));
-            if (!plan.empty()) {
+                          std::vector<core::Pool*>{
+                              pools_[s].get(), domain_pools_[dom].get()})));
+            workers_.back()->set_placement(locality_.placement(rank));
+            if (locality_.should_bind()) {
                 workers_.back()->set_on_start(
-                    [plan, rank] { arch::apply_binding(plan, rank); });
+                    [this, rank] { locality_.bind_stream(rank); });
             }
             workers_.back()->start();
         }
     }
+}
+
+core::Pool* Library::domain_queue(std::size_t domain) {
+    std::size_t d = domain;
+    if (d >= locality_.num_domains() ||
+        locality_.streams_in_domain(d).empty()) {
+        d = populated_domains_.empty() ? 0 : populated_domains_.front();
+    }
+    return domain_pools_[d].get();
 }
 
 Library::~Library() {
@@ -80,6 +105,20 @@ void Library::fork_to(Fn fn, aligned_t* ret, std::size_t shepherd) {
     pools_[shepherd % pools_.size()]->push(ult);
 }
 
+void Library::fork_to_domain(Fn fn, aligned_t* ret, std::size_t domain) {
+    if (ret != nullptr) {
+        feb_.purge(ret);
+    }
+    auto* ult = new core::Ult([this, body = std::move(fn), ret]() mutable {
+        body();
+        if (ret != nullptr) {
+            feb_.write_f(ret, 1);
+        }
+    });
+    ult->detached = true;
+    domain_queue(domain)->push(ult);
+}
+
 void Library::fork_bulk(std::size_t n,
                         const std::function<void(std::size_t)>& body,
                         Sinc& sinc) {
@@ -107,6 +146,31 @@ void Library::fork_bulk(std::size_t n,
     for (std::size_t s = 0; s < nshep; ++s) {
         pools_[s]->push_bulk(batches[s]);
     }
+}
+
+void Library::fork_bulk_domain(std::size_t n,
+                               const std::function<void(std::size_t)>& body,
+                               Sinc& sinc, std::size_t domain) {
+    if (n == 0) {
+        return;
+    }
+    sinc.expect(static_cast<std::int64_t>(n));
+    auto shared =
+        std::make_shared<const std::function<void(std::size_t)>>(body);
+    Sinc* psinc = &sinc;
+    std::vector<core::WorkUnit*> batch;
+    batch.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        auto* ult = new core::Ult([shared, psinc, i] {
+            (*shared)(i);
+            psinc->submit();
+        });
+        ult->detached = true;
+        batch.push_back(ult);
+    }
+    // One enqueue burst into the domain's shared queue: the batch stays on
+    // one package end to end.
+    domain_queue(domain)->push_bulk(batch);
 }
 
 void Library::yield() { core::yield_anywhere(); }

@@ -20,6 +20,7 @@
 #include <memory>
 #include <vector>
 
+#include "arch/locality.hpp"
 #include "arch/topology.hpp"
 #include "core/observability.hpp"
 #include "core/pool.hpp"
@@ -101,6 +102,15 @@ class Library {
     [[nodiscard]] std::size_t num_shepherds() const { return pools_.size(); }
     [[nodiscard]] std::size_t num_workers() const { return workers_.size(); }
 
+    /// The placement plan the workers were built under (worker rank =
+    /// shepherd * workers_per_shepherd + worker).
+    [[nodiscard]] const arch::LocalityMap& locality() const noexcept {
+        return locality_;
+    }
+    [[nodiscard]] std::size_t num_domains() const noexcept {
+        return locality_.num_domains();
+    }
+
     /// qthread_fork: spawn a ULT into the *current* shepherd's queue (the
     /// shepherd of the calling worker, or shepherd 0 from outside). When
     /// `ret` is non-null the word is emptied now and filled with 1 when the
@@ -111,6 +121,12 @@ class Library {
     /// round-robin dispatch the paper found necessary for load balance.
     void fork_to(Fn fn, aligned_t* ret, std::size_t shepherd);
 
+    /// Fork into locality domain `domain`'s shared overflow queue: any
+    /// worker whose shepherd sits on that package may run it (Qthreads'
+    /// socket-level binding granularity, §III-D). Domains with no workers
+    /// fall back to the first populated one.
+    void fork_to_domain(Fn fn, aligned_t* ret, std::size_t domain);
+
     /// Bulk fork fast path: spawn `n` ULTs running `body(i)`, block-
     /// distributed round-robin over shepherds, submitted with ONE
     /// Pool::push_bulk per shepherd queue. Completion is reported through
@@ -119,6 +135,13 @@ class Library {
     /// one-readFF-per-task join cost.
     void fork_bulk(std::size_t n, const std::function<void(std::size_t)>& body,
                    Sinc& sinc);
+
+    /// Bulk fork pinned to one locality domain: the whole batch goes to
+    /// the domain's shared overflow queue with a single push_bulk, so only
+    /// that package's workers consume it.
+    void fork_bulk_domain(std::size_t n,
+                          const std::function<void(std::size_t)>& body,
+                          Sinc& sinc, std::size_t domain);
 
     /// qthread_yield.
     static void yield();
@@ -155,13 +178,20 @@ class Library {
   private:
     static void feb_waiter(void* ctx);
     std::size_t current_shepherd() const;
+    core::Pool* domain_queue(std::size_t domain);
 
     // Declared first so it detaches LAST: the env-driven shutdown flush
     // (LWT_TRACE / LWT_METRICS) must run after the workers have stopped.
     core::ObservabilitySession obs_session_;
     Config config_;
+    arch::LocalityMap locality_;  // before the workers: bind hooks use it
     sync::FebTable feb_;
     std::vector<std::unique_ptr<core::DequePool>> pools_;  // one per shepherd
+    /// One shared MPMC overflow queue per locality domain, scanned by the
+    /// domain's workers after their shepherd queue; the landing zone for
+    /// fork_to_domain / fork_bulk_domain.
+    std::vector<std::unique_ptr<core::Pool>> domain_pools_;
+    std::vector<std::size_t> populated_domains_;  // domains with >= 1 worker
     std::vector<std::unique_ptr<core::XStream>> workers_;
 };
 

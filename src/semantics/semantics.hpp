@@ -5,7 +5,7 @@
 // Table II (the per-library names of the six common functions) from data,
 // and lets tests cross-check the descriptors against what the backends
 // actually implement (e.g. "Tasklet Support" must agree with
-// glt::Runtime::has_native_tasklets()).
+// glt::Runtime::capabilities().native_tasklets).
 #pragma once
 
 #include <array>

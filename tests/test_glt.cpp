@@ -2,6 +2,7 @@
 // exercised over every backend.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -9,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "core/xstream.hpp"
 #include "glt/glt.hpp"
 
 namespace {
@@ -16,6 +18,7 @@ namespace {
 using lwt::glt::Backend;
 using lwt::glt::backend_from_name;
 using lwt::glt::backend_name;
+using lwt::glt::Placement;
 using lwt::glt::Runtime;
 using lwt::glt::UnitToken;
 
@@ -27,6 +30,32 @@ TEST(GltNames, RoundTrip) {
     }
     EXPECT_FALSE(backend_from_name("nope").has_value());
     EXPECT_FALSE(backend_from_name("").has_value());
+}
+
+TEST(GltNames, CaseAndWhitespaceInsensitive) {
+    // Names usually arrive via environment variables; tolerate the obvious
+    // config typos instead of silently selecting the default backend.
+    EXPECT_EQ(backend_from_name(" Abt"), Backend::kAbt);
+    EXPECT_EQ(backend_from_name("ABT"), Backend::kAbt);
+    EXPECT_EQ(backend_from_name("qTh\n"), Backend::kQth);
+    EXPECT_EQ(backend_from_name("\tMTH "), Backend::kMth);
+    EXPECT_EQ(backend_from_name("Cvt"), Backend::kCvt);
+    EXPECT_EQ(backend_from_name("GOL"), Backend::kGol);
+    EXPECT_FALSE(backend_from_name("a bt").has_value());
+    EXPECT_FALSE(backend_from_name("abtx").has_value());
+    EXPECT_FALSE(backend_from_name("   ").has_value());
+}
+
+TEST(GltPlacement, ValueSemantics) {
+    EXPECT_TRUE(Placement().is_any());
+    EXPECT_EQ(Placement(), Placement::any());
+    EXPECT_EQ(Placement::worker(3).kind(), Placement::Kind::kWorker);
+    EXPECT_EQ(Placement::worker(3).index(), 3u);
+    EXPECT_EQ(Placement::domain(1).kind(), Placement::Kind::kDomain);
+    EXPECT_FALSE(Placement::worker(0) == Placement::domain(0));
+    // The deprecated int encoding maps -1 -> any, >= 0 -> worker.
+    EXPECT_EQ(Placement::from_where(-1), Placement::any());
+    EXPECT_EQ(Placement::from_where(2), Placement::worker(2));
 }
 
 class GltBackendTest : public ::testing::TestWithParam<Backend> {};
@@ -76,11 +105,29 @@ TEST_P(GltBackendTest, PlacementHintsAccepted) {
     std::atomic<int> ran{0};
     std::vector<UnitToken> tokens;
     for (int i = 0; i < 12; ++i) {
-        tokens.push_back(
-            rt->ult_create([&] { ran.fetch_add(1); }, i % 3));
+        tokens.push_back(rt->ult_create([&] { ran.fetch_add(1); },
+                                        Placement::worker(i % 3)));
     }
     rt->join_all(tokens);
     EXPECT_EQ(ran.load(), 12);
+}
+
+TEST_P(GltBackendTest, PlacementRoundTripAllKinds) {
+    // Every backend must accept every Placement kind — backends without
+    // the matching routing ignore the hint, they never reject or crash.
+    auto rt = Runtime::create(GetParam(), 2);
+    std::atomic<int> ran{0};
+    std::vector<UnitToken> tokens;
+    for (Placement p : {Placement::any(), Placement::worker(1),
+                        Placement::domain(0), Placement::domain(7)}) {
+        tokens.push_back(rt->ult_create([&] { ran.fetch_add(1); }, p));
+        tokens.push_back(rt->tasklet_create([&] { ran.fetch_add(1); }, p));
+        auto h = rt->spawn_bulk(4, [&](std::size_t) { ran.fetch_add(1); },
+                                lwt::glt::UnitKind::kUlt, p);
+        rt->wait(h);
+    }
+    rt->join_all(tokens);
+    EXPECT_EQ(ran.load(), 4 * (2 + 4));
 }
 
 TEST_P(GltBackendTest, SscalKernelMatchesSerial) {
@@ -103,7 +150,6 @@ TEST_P(GltBackendTest, TaskletCapabilityMatchesTableOne) {
     // Table I: only Argobots and Converse Threads support tasklets.
     const bool expect_native =
         GetParam() == Backend::kAbt || GetParam() == Backend::kCvt;
-    EXPECT_EQ(rt->has_native_tasklets(), expect_native);
     EXPECT_EQ(rt->capabilities().native_tasklets, expect_native);
 }
 
@@ -120,6 +166,14 @@ TEST_P(GltBackendTest, CapabilitiesMatchTableOne) {
     EXPECT_EQ(caps.placement_hints, expect_hints);
     // Go is the only backend without a yield (Table I).
     EXPECT_EQ(caps.yieldable, GetParam() != Backend::kGol);
+    // Domain routing exists exactly where placement hints do; without a
+    // topology override the map is flat, i.e. a single domain.
+    if (expect_hints) {
+        EXPECT_GE(caps.locality_domains, 1u);
+    } else {
+        EXPECT_EQ(caps.locality_domains, 0u);
+        EXPECT_TRUE(rt->domain_workers(0).empty());
+    }
 }
 
 TEST_P(GltBackendTest, JoinAllSpanOverload) {
@@ -175,6 +229,73 @@ TEST_P(GltBackendTest, TraceWindowCollectsStatsAndExports) {
     EXPECT_EQ(first, '{');
 }
 
+// --- domain-targeted placement under a synthetic topology -----------------------
+
+TEST(GltDomainPlacement, DomainSpawnsLandOnlyOnThatPackage) {
+    // Paper-style 2-package fixture: with 4 workers compact-grouped over
+    // 2x2x1, domain 0 owns workers {0, 1} and domain 1 owns {2, 3}. Every
+    // unit spawned with Placement::domain(1) must execute on a worker of
+    // domain 1 — the per-package pools are scanned by nobody else.
+    ::setenv("LWT_TOPOLOGY", "2x2x1", 1);
+    for (Backend b : {Backend::kAbt, Backend::kQth, Backend::kCvt}) {
+        SCOPED_TRACE(std::string(backend_name(b)));
+        auto rt = Runtime::create(b, 4);
+        ASSERT_EQ(rt->capabilities().locality_domains, 2u);
+        const std::vector<std::size_t> workers = rt->domain_workers(1);
+        ASSERT_EQ(workers, (std::vector<std::size_t>{2, 3}));
+        EXPECT_EQ(rt->domain_workers(0), (std::vector<std::size_t>{0, 1}));
+        EXPECT_TRUE(rt->domain_workers(2).empty());
+
+        std::array<std::atomic<int>, 4> per_rank{};
+        std::atomic<int> elsewhere{0};
+        auto record = [&] {
+            lwt::core::XStream* s = lwt::core::XStream::current();
+            if (s != nullptr && s->rank() < per_rank.size()) {
+                per_rank[s->rank()].fetch_add(1);
+            } else {
+                elsewhere.fetch_add(1);
+            }
+        };
+        std::vector<UnitToken> tokens;
+        for (int i = 0; i < 8; ++i) {
+            tokens.push_back(rt->ult_create(record, Placement::domain(1)));
+        }
+        auto h = rt->spawn_bulk(16, [&](std::size_t) { record(); },
+                                lwt::glt::UnitKind::kUlt,
+                                Placement::domain(1));
+        rt->wait(h);
+        rt->join_all(tokens);
+        EXPECT_EQ(elsewhere.load(), 0);
+        EXPECT_EQ(per_rank[0].load(), 0) << "domain-0 worker ran domain-1 work";
+        EXPECT_EQ(per_rank[1].load(), 0) << "domain-0 worker ran domain-1 work";
+        EXPECT_EQ(per_rank[2].load() + per_rank[3].load(), 24);
+    }
+    ::unsetenv("LWT_TOPOLOGY");
+}
+
+// --- deprecated v1 shims ---------------------------------------------------------
+
+TEST(GltDeprecatedShims, IntWhereBehavesLikeTypedPlacement) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    auto rt = Runtime::create(Backend::kAbt, 2);
+    std::atomic<int> ran{0};
+    UnitToken a = rt->ult_create([&] { ran.fetch_add(1); }, -1);
+    UnitToken b = rt->ult_create([&] { ran.fetch_add(1); }, 1);
+    UnitToken c = rt->tasklet_create([&] { ran.fetch_add(1); }, 0);
+    rt->join(a);
+    rt->join(b);
+    rt->join(c);
+    auto h = rt->spawn_bulk(8, [&](std::size_t) { ran.fetch_add(1); },
+                            lwt::glt::UnitKind::kUlt, 0);
+    rt->wait(h);
+    EXPECT_EQ(ran.load(), 11);
+    // has_native_tasklets survives as a deprecated alias for the
+    // capability bit.
+    EXPECT_EQ(rt->has_native_tasklets(), rt->capabilities().native_tasklets);
+#pragma GCC diagnostic pop
+}
+
 TEST(GltEnv, CreateFromEnvHonoursVariables) {
     ::setenv("GLT_BACKEND", "gol", 1);
     ::setenv("GLT_NUM_WORKERS", "2", 1);
@@ -186,15 +307,28 @@ TEST(GltEnv, CreateFromEnvHonoursVariables) {
     ::unsetenv("GLT_NUM_WORKERS");
 }
 
-TEST(GltEnv, CreateFromEnvDefaultsToAbt) {
+TEST(GltEnv, CreateFromEnvDefaultsToAbtAndIgnoresLegacyAlias) {
     ::unsetenv("GLT_BACKEND");
     ::unsetenv("GLT_NUM_WORKERS");
-    ::setenv("GLT_WORKERS", "2", 1);  // legacy spelling still honoured
+    // The legacy GLT_WORKERS alias was dropped in v2: setting it must not
+    // change the worker count vs the plain default.
+    auto defaulted = Runtime::create(Backend::kAbt, 0);
+    ::setenv("GLT_WORKERS", "7", 1);
     auto rt = Runtime::create_from_env();
     ASSERT_NE(rt, nullptr);
     EXPECT_EQ(rt->backend(), Backend::kAbt);
-    EXPECT_EQ(rt->num_workers(), 2u);
+    EXPECT_EQ(rt->num_workers(), defaulted->num_workers());
     ::unsetenv("GLT_WORKERS");
+}
+
+TEST(GltEnv, BackendNameToleratesCaseAndSpace) {
+    ::setenv("GLT_BACKEND", " GOL ", 1);
+    ::setenv("GLT_NUM_WORKERS", "2", 1);
+    auto rt = Runtime::create_from_env();
+    ASSERT_NE(rt, nullptr);
+    EXPECT_EQ(rt->backend(), Backend::kGol);
+    ::unsetenv("GLT_BACKEND");
+    ::unsetenv("GLT_NUM_WORKERS");
 }
 
 INSTANTIATE_TEST_SUITE_P(Backends, GltBackendTest,

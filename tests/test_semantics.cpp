@@ -78,7 +78,7 @@ TEST(TableOne, TaskletSupportAgreesWithLiveBackends) {
         const Capabilities* caps =
             find_capabilities(lwt::glt::backend_name(b));
         ASSERT_NE(caps, nullptr);
-        EXPECT_EQ(rt->has_native_tasklets(), caps->tasklet_support)
+        EXPECT_EQ(rt->capabilities().native_tasklets, caps->tasklet_support)
             << lwt::glt::backend_name(b);
     }
 }

@@ -127,17 +127,92 @@ TEST(StealingScheduler, CountsProbesAndOutcomes) {
     EXPECT_LT(stats.steal_hit_rate(), 1.0);
 }
 
+// --- tiered victim ordering --------------------------------------------------
+
+TEST(StealingScheduler, TieredStealPrefersSiblingThenPackageThenRemote) {
+    DequePool home;
+    DequePool sibling;
+    DequePool same_pkg;
+    DequePool remote;
+    SchedCounters counters;
+    StealingScheduler sched(&home,
+                            VictimTiers{{&sibling}, {&same_pkg}, {&remote}},
+                            /*seed=*/11);
+    sched.bind_stats(&counters);
+
+    // One unit in every tier: the sweep must take the SMT sibling's.
+    auto a = make_noop_tasklet();
+    auto b = make_noop_tasklet();
+    auto c = make_noop_tasklet();
+    sibling.push(a.get());
+    same_pkg.push(b.get());
+    remote.push(c.get());
+    EXPECT_EQ(sched.next(), a.get());
+    SchedStats stats = counters.snapshot();
+    EXPECT_EQ(stats.tier_hits[0], 1u);
+    EXPECT_EQ(stats.tier_hits[1], 0u);
+    EXPECT_EQ(stats.tier_hits[2], 0u);
+
+    // Sibling drained: next comes from the package tier, then remote.
+    EXPECT_EQ(sched.next(), b.get());
+    EXPECT_EQ(sched.next(), c.get());
+    stats = counters.snapshot();
+    EXPECT_EQ(stats.tier_hits[0], 1u);
+    EXPECT_EQ(stats.tier_hits[1], 1u);
+    EXPECT_EQ(stats.tier_hits[2], 1u);
+    EXPECT_EQ(stats.steal_hits, 3u);
+    EXPECT_EQ(stats.tier_attempts[0] + stats.tier_attempts[1] +
+                  stats.tier_attempts[2],
+              stats.steal_attempts);
+}
+
+TEST(StealingScheduler, TieredCtorFiltersHomeAndNullPerTier) {
+    DequePool home;
+    DequePool v1;
+    DequePool v2;
+    StealingScheduler sched(
+        &home, VictimTiers{{&home, &v1}, {nullptr, &v2}, {&home, nullptr}});
+    ASSERT_EQ(sched.victims().size(), 2u);
+    EXPECT_EQ(sched.tier_victims(0), (std::vector<Pool*>{&v1}));
+    EXPECT_EQ(sched.tier_victims(1), (std::vector<Pool*>{&v2}));
+    EXPECT_TRUE(sched.tier_victims(2).empty());
+}
+
+TEST(StealingScheduler, FlatCtorAccountsToPackageTier) {
+    // The flat (untiered) constructor treats every victim as same-package,
+    // so the legacy totals and the tier breakdown stay consistent.
+    DequePool home;
+    DequePool victim;
+    SchedCounters counters;
+    StealingScheduler sched(&home, {&victim}, /*seed=*/5);
+    sched.bind_stats(&counters);
+    auto unit = make_noop_tasklet();
+    victim.push(unit.get());
+    ASSERT_EQ(sched.next(), unit.get());
+    ASSERT_EQ(sched.next(), nullptr);  // an all-empty sweep on top
+    const SchedStats stats = counters.snapshot();
+    EXPECT_EQ(stats.tier_hits[1], 1u);
+    EXPECT_EQ(stats.tier_attempts[0], 0u);
+    EXPECT_EQ(stats.tier_attempts[2], 0u);
+    EXPECT_EQ(stats.tier_attempts[1], stats.steal_attempts);
+}
+
 TEST(SchedStats, SnapshotsAggregate) {
     SchedStats a;
     a.steal_attempts = 4;
     a.steal_hits = 1;
+    a.tier_attempts[1] = 4;
     SchedStats b;
     b.steal_attempts = 6;
     b.parks = 2;
+    b.tier_attempts[1] = 5;
+    b.tier_attempts[2] = 1;
     a += b;
     EXPECT_EQ(a.steal_attempts, 10u);
     EXPECT_EQ(a.steal_hits, 1u);
     EXPECT_EQ(a.parks, 2u);
+    EXPECT_EQ(a.tier_attempts[1], 9u);
+    EXPECT_EQ(a.tier_attempts[2], 1u);
     EXPECT_DOUBLE_EQ(a.steal_hit_rate(), 0.1);
 }
 

@@ -8,11 +8,11 @@
 # exactly the code this PR's overhaul touches and are tasklet-only).
 #
 # Usage: tools/tsan.sh [ctest-regex]
-#   default regex: 'test_steal|test_trace|test_metrics'
+#   default regex: 'test_steal|test_trace|test_metrics|test_topology'
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-REGEX="${1:-test_steal|test_trace|test_metrics}"
+REGEX="${1:-test_steal|test_trace|test_metrics|test_topology}"
 BUILD=build-tsan
 
 cmake -B "$BUILD" -S . \
