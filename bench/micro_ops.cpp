@@ -5,7 +5,9 @@
 // (e.g. tasklet create ≈ closure alloc, ULT create ≈ + stack + context).
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "arch/fcontext.hpp"
@@ -257,6 +259,35 @@ void BM_EventCounterAddSignal(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_EventCounterAddSignal);
+
+void BM_EventCounterSignalResumeLatency(benchmark::State& state) {
+    // Cross-thread signal→resume round trip on the parker path — the
+    // latency the join.signal_resume_ticks histogram captures in situ. A
+    // partner thread signals each armed counter; the measured region is
+    // arm + park + direct wake + resume.
+    core::EventCounter ec;
+    std::atomic<core::EventCounter*> armed{nullptr};
+    std::atomic<bool> stop{false};
+    std::thread partner([&] {
+        for (;;) {
+            core::EventCounter* c =
+                armed.exchange(nullptr, std::memory_order_acq_rel);
+            if (c != nullptr) {
+                c->signal();
+            } else if (stop.load(std::memory_order_acquire)) {
+                return;
+            }
+        }
+    });
+    for (auto _ : state) {
+        ec.add(1);
+        armed.store(&ec, std::memory_order_release);
+        ec.wait();
+    }
+    stop.store(true, std::memory_order_release);
+    partner.join();
+}
+BENCHMARK(BM_EventCounterSignalResumeLatency)->UseRealTime();
 
 void BM_FebWriteFReadFF(benchmark::State& state) {
     sync::FebTable table;

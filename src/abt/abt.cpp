@@ -7,6 +7,7 @@
 #include <thread>
 #include <utility>
 
+#include "core/join.hpp"
 #include "core/ult.hpp"
 #include "core/xstream.hpp"
 
@@ -40,22 +41,10 @@ void UnitHandle::join() {
     if (unit_ == nullptr) {
         return;
     }
-    core::WorkUnit* unit = unit_;
-    if (core::Ult::current() != nullptr) {
-        // Joining from inside a ULT: cooperative yield until done.
-        while (!unit->terminated()) {
-            core::Ult::current()->yield();
-        }
-    } else if (core::XStream* stream = core::XStream::current()) {
-        // Joining from a stream's native thread (typically the primary):
-        // keep executing work while waiting — the Argobots join behaviour
-        // (the main thread participates in draining its pool).
-        stream->run_until([unit] { return unit->terminated(); });
-    } else {
-        while (!unit->terminated()) {
-            std::this_thread::yield();
-        }
-    }
+    // Direct-handoff join (core/join.hpp): register in the unit's joiner
+    // slot and get woken by the terminating stream — with join-stealing of
+    // still-queued units and the LWT_JOIN=poll fallback handled inside.
+    core::join_unit(unit_);
 }
 
 void UnitHandle::free() {
@@ -435,23 +424,46 @@ std::vector<UnitHandle> Library::create_bulk_domain(
 }
 
 void Library::join_all_free(std::span<UnitHandle> handles) {
-    if (core::Ult::current() == nullptr) {
-        if (core::XStream* stream = core::XStream::current()) {
-            // One run_until over the whole batch: the cursor only advances,
-            // so each handle's terminated flag is polled O(1) amortised.
-            std::size_t cursor = 0;
-            stream->run_until([&] {
-                while (cursor < handles.size() &&
-                       (!handles[cursor].valid() ||
-                        handles[cursor].terminated())) {
-                    ++cursor;
-                }
-                return cursor == handles.size();
-            });
+    if (core::join_mode() == core::JoinMode::kPoll) {
+        // LWT_JOIN=poll: the pre-handoff shape. One run_until over the
+        // whole batch: the cursor only advances, so each handle's
+        // terminated flag is polled O(1) amortised.
+        if (core::Ult::current() == nullptr) {
+            if (core::XStream* stream = core::XStream::current()) {
+                std::size_t cursor = 0;
+                stream->run_until([&] {
+                    while (cursor < handles.size() &&
+                           (!handles[cursor].valid() ||
+                            handles[cursor].terminated())) {
+                        ++cursor;
+                    }
+                    return cursor == handles.size();
+                });
+            }
+        }
+        for (UnitHandle& h : handles) {
+            h.free();
+        }
+        return;
+    }
+    // Direct handoff over the batch: one countdown EventCounter. Each
+    // pending unit registers the counter in its joiner slot; its
+    // terminating stream signals on publish, and the LAST signal wakes us
+    // directly (EventCounter::wait suspends a ULT caller or parks a native
+    // one while still draining its pools). Zero polling of n flags.
+    core::EventCounter done;
+    for (UnitHandle& h : handles) {
+        if (!h.valid()) {
+            continue;
+        }
+        done.add(1);
+        if (!core::register_counter_joiner(h.unit_, &done)) {
+            done.signal();  // already terminated: balance the count
         }
     }
+    done.wait();
     for (UnitHandle& h : handles) {
-        h.free();
+        h.free();  // all units published; free() hits the join fast path
     }
 }
 

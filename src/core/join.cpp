@@ -1,0 +1,290 @@
+#include "core/join.hpp"
+
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "arch/cpu.hpp"
+#include "core/metrics.hpp"
+#include "core/pool.hpp"
+#include "core/sync_ult.hpp"
+#include "core/ult.hpp"
+#include "core/xstream.hpp"
+#include "sync/parking_lot.hpp"
+
+namespace lwt::core {
+namespace {
+
+std::atomic<JoinMode> g_join_mode{JoinMode::kHandoff};
+std::atomic<bool> g_join_mode_set{false};
+
+/// Bounded pre-registration backoff for native-thread joiners: 64
+/// pipeline pauses, then a few OS yields (arch::Backoff's ladder). The
+/// pauses catch a child that is terminating RIGHT NOW without paying the
+/// register/notify round trip; the yields matter when threads exceed
+/// cores — each one donates the joiner's quantum to the stream that must
+/// finish the child, which then typically retires a whole run of units,
+/// letting the next joins return on the fast path (per-join direct
+/// wakeups there would force a context switch per unit). Bounded: a
+/// joiner that exhausts the ladder registers and parks for its one
+/// direct wake — this is never an open-ended poll.
+constexpr unsigned kJoinBackoffSteps = 64 + 16;
+
+JoinMode join_mode_from_env() noexcept {
+    const char* env = std::getenv("LWT_JOIN");
+    if (env != nullptr && std::strcmp(env, "poll") == 0) {
+        return JoinMode::kPoll;
+    }
+    return JoinMode::kHandoff;
+}
+
+/// The pre-handoff join shape, kept verbatim as the LWT_JOIN=poll escape
+/// hatch (and the degraded path when a second joiner finds the slot
+/// occupied). Ends by waiting out the terminator's slot publish so the
+/// caller may reclaim the unit.
+void poll_join(WorkUnit* unit) {
+    if (Ult* self = Ult::current()) {
+        while (!unit->terminated()) {
+            self->yield();
+        }
+    } else if (XStream* stream = XStream::current()) {
+        stream->run_until([unit] { return unit->terminated(); });
+    } else {
+        while (!unit->terminated()) {
+            std::this_thread::yield();
+        }
+    }
+    unit->await_reclaim();
+}
+
+/// Install `tagged` as the unit's joiner. Returns kJoinerNone on success;
+/// otherwise the value that occupied the slot (kJoinerTerminated, or a
+/// competing waiter).
+std::uintptr_t register_joiner(WorkUnit* unit,
+                               std::uintptr_t tagged) noexcept {
+    std::uintptr_t expected = kJoinerNone;
+    if (unit->joiner.compare_exchange_strong(expected, tagged,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_acquire)) {
+        return kJoinerNone;
+    }
+    return expected;
+}
+
+/// Attached-stream wait on a bare parker: keep draining the stream's
+/// pools, with a bounded condvar nap between empty sweeps so the direct
+/// wake is prompt and the stream still serves work other streams push at
+/// it (a private-pool chain may need this thread). Must not return before
+/// notified() — the terminator touches the parker in notify().
+void stream_wait(XStream* stream, sync::ThreadParker& parker) {
+    while (!parker.notified()) {
+        if (stream->progress()) {
+            continue;
+        }
+        (void)parker.wait_for(std::chrono::microseconds(50));
+    }
+}
+
+}  // namespace
+
+JoinMode join_mode() noexcept {
+    if (!g_join_mode_set.load(std::memory_order_acquire)) {
+        g_join_mode.store(join_mode_from_env(), std::memory_order_relaxed);
+        g_join_mode_set.store(true, std::memory_order_release);
+    }
+    return g_join_mode.load(std::memory_order_relaxed);
+}
+
+void set_join_mode(JoinMode mode) noexcept {
+    g_join_mode.store(mode, std::memory_order_relaxed);
+    g_join_mode_set.store(true, std::memory_order_release);
+}
+
+void record_join_latency(WorkUnit* unit) noexcept {
+    if (!Metrics::instance().enabled()) {
+        return;
+    }
+    const std::uint64_t stamp =
+        unit->obs_terminate_tsc.exchange(0, std::memory_order_relaxed);
+    if (stamp != 0) {
+        static MetricsRegistry& reg = MetricsRegistry::instance();
+        static LatencyHistogram& hist =
+            reg.histogram("join.signal_resume_ticks");
+        hist.record(arch::rdtsc() - stamp);
+    }
+}
+
+void publish_termination(WorkUnit* unit) noexcept {
+    if (Metrics::instance().enabled()) {
+        unit->obs_terminate_tsc.store(arch::rdtsc(),
+                                      std::memory_order_relaxed);
+    }
+    // The exchange is our LAST access to the unit: the instant it lands, a
+    // joiner gating on join_done()/await_reclaim() may free it. Everything
+    // we wake below is waiter-owned, never unit memory.
+    const std::uintptr_t waiter =
+        unit->joiner.exchange(kJoinerTerminated, std::memory_order_acq_rel);
+    switch (waiter & kJoinerTagMask) {
+        case kJoinerUltTag:
+            Ult::wake(reinterpret_cast<Ult*>(waiter & ~kJoinerTagMask));
+            break;
+        case kJoinerThreadTag:
+            reinterpret_cast<sync::ThreadParker*>(waiter & ~kJoinerTagMask)
+                ->notify();
+            break;
+        case kJoinerCounterTag:
+            reinterpret_cast<EventCounter*>(waiter & ~kJoinerTagMask)
+                ->signal();
+            break;
+        default:
+            break;  // kJoinerNone: nobody waiting yet
+    }
+}
+
+bool register_counter_joiner(WorkUnit* unit, EventCounter* counter) noexcept {
+    return register_joiner(unit,
+                           reinterpret_cast<std::uintptr_t>(counter) |
+                               kJoinerCounterTag) == kJoinerNone;
+}
+
+bool try_join_steal(WorkUnit* unit) {
+    XStream* stream = XStream::current();
+    assert(stream != nullptr);
+    if (unit->state.load(std::memory_order_acquire) != State::kReady) {
+        return false;
+    }
+    // The home_pool read races with a concurrent dispatch (relaxed by
+    // design), but remove() verifies identity under the pool's own
+    // synchronisation: a stale pointer simply fails to find the unit.
+    Pool* pool = unit->home_pool.load(std::memory_order_relaxed);
+    if (pool == nullptr || !stream->scheduler().can_run_from(pool) ||
+        !pool->remove(unit)) {
+        // Placement guard: a unit queued where this stream could never
+        // dispatch from (another stream's private pool) must run there —
+        // stealing it would silently migrate explicitly-placed work.
+        return false;
+    }
+    // The unit is ours: it sits in no pool and no scheduler can see it.
+    Ult* self = Ult::current();
+    if (unit->kind == Kind::kUlt && self != nullptr) {
+        // ULT joining a ULT: hand the stream to the child (yield_to shape);
+        // we go back to our home pool behind it.
+        stream->set_next_hint(unit);
+        self->suspend(YieldStatus::kYielded);
+        return true;
+    }
+    // Tasklet target, or a native-thread joiner driving its stream: run
+    // the child inline on this stack, exactly as progress() would.
+    stream->run_unit(unit);
+    return true;
+}
+
+void join_unit(WorkUnit* unit) {
+    if (unit == nullptr) {
+        return;
+    }
+    assert(!unit->detached && "joining a detached unit");
+    if (unit->join_done()) {
+        return;
+    }
+    if (join_mode() == JoinMode::kPoll) {
+        poll_join(unit);
+        return;
+    }
+    XStream* stream = XStream::current();
+    bool may_steal = stream != nullptr;
+    for (;;) {
+        if (unit->join_done()) {
+            return;
+        }
+        // Work-first: while the child is still queued, run it ourselves
+        // instead of sleeping on it.
+        if (may_steal && try_join_steal(unit)) {
+            // A ULT joiner keeps re-stealing (the yield_to shape: each pass
+            // hands the stream to the child again, the myth_join loop). A
+            // native joiner runs the child inline at most ONCE: if it
+            // yielded instead of terminating, the parked wait below drains
+            // the stream's pools in order — re-stealing here would run the
+            // child out of turn, jumping yield_to hints and queue order.
+            if (Ult::current() == nullptr) {
+                may_steal = false;
+            }
+            continue;
+        }
+        if (Ult* self = Ult::current()) {
+            // Arm the kBlocking/kWakePending handshake BEFORE publishing
+            // ourselves: the terminator's Ult::wake may fire the instant
+            // the CAS lands, even before we reach suspend().
+            self->state.store(State::kBlocking, std::memory_order_release);
+            const std::uintptr_t prev = register_joiner(
+                unit, reinterpret_cast<std::uintptr_t>(self) | kJoinerUltTag);
+            if (prev == kJoinerNone) {
+                self->suspend(YieldStatus::kBlocked);
+                // Only the terminator's wake routes through the slot, so
+                // resuming means the join is done (and published).
+                record_join_latency(unit);
+                assert(unit->join_done());
+                return;
+            }
+            self->state.store(State::kRunning, std::memory_order_relaxed);
+            if (prev == kJoinerTerminated) {
+                return;
+            }
+            poll_join(unit);  // second joiner: degrade, don't deadlock
+            return;
+        }
+        // OS-thread joiner. Help-first: while this stream still holds
+        // runnable work, run it instead of registering — every unit run
+        // is progress the workload needs, on FIFO pools the joinee
+        // surfaces in queue order anyway, and fine-grained join storms
+        // never pay the register/notify round trip while queues are
+        // nonempty. (This is exactly what the poll loop's run_until did
+        // productively; handoff changes what happens when the stream
+        // runs DRY — register once + one direct wake, no idle ladder.)
+        if (stream != nullptr && stream->progress()) {
+            continue;
+        }
+        // Backoff-then-suspend (see kJoinBackoffSteps). A ULT joiner
+        // never spins: suspending it is cheap and frees the stream for
+        // other work.
+        arch::Backoff backoff;
+        for (unsigned step = 0; step < kJoinBackoffSteps; ++step) {
+            backoff.pause();
+            if (unit->join_done()) {
+                record_join_latency(unit);
+                return;
+            }
+        }
+        // Bare parker even for attached streams: the termination then
+        // wakes exactly this thread (one condvar signal) instead of
+        // broadcasting on the runtime lot, which would wake every parked
+        // stream per join — a context-switch storm on oversubscribed
+        // hosts. The attached-stream wait below still drains the
+        // stream's pools between bounded naps, so a private-pool chain
+        // that needs this thread is served within ~50µs.
+        sync::ThreadParker parker(nullptr);
+        const std::uintptr_t prev = register_joiner(
+            unit,
+            reinterpret_cast<std::uintptr_t>(&parker) | kJoinerThreadTag);
+        if (prev == kJoinerNone) {
+            if (stream != nullptr) {
+                stream_wait(stream, parker);
+            } else {
+                parker.wait();
+            }
+            record_join_latency(unit);
+            assert(unit->join_done());
+            return;
+        }
+        if (prev == kJoinerTerminated) {
+            return;
+        }
+        poll_join(unit);
+        return;
+    }
+}
+
+}  // namespace lwt::core

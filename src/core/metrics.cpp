@@ -98,12 +98,24 @@ std::vector<MetricsRegistry::HistogramEntry> MetricsRegistry::histograms()
 }
 
 void accumulate_sched_counters(const SchedStats& stats) {
+    MetricsRegistry& reg = MetricsRegistry::instance();
+    // Idle-ladder counters register whenever the stream was ever idle —
+    // the join-path comparisons (LWT_JOIN=handoff vs poll) read these even
+    // on single-stream runs that never steal.
+    if (stats.idle_spins != 0 || stats.idle_yields != 0 || stats.parks != 0) {
+        reg.counter("sched.idle.spins").inc(stats.idle_spins);
+        reg.counter("sched.idle.yields").inc(stats.idle_yields);
+        reg.counter("sched.park.count").inc(stats.parks);
+        reg.counter("sched.park.timeouts").inc(stats.park_timeouts);
+    }
+    if (stats.wakeups_avoided != 0) {
+        reg.counter("sched.park.wakeups_avoided").inc(stats.wakeups_avoided);
+    }
     // Skip streams that never stole: keeps pristine runs (and the flat
     // single-stream configs) from registering all-zero tier names.
     if (stats.steal_attempts == 0) {
         return;
     }
-    MetricsRegistry& reg = MetricsRegistry::instance();
     reg.counter("sched.steal.attempts").inc(stats.steal_attempts);
     reg.counter("sched.steal.hits").inc(stats.steal_hits);
     for (std::size_t t = 0; t < kStealTiers; ++t) {

@@ -229,6 +229,16 @@ bool write_metrics_json(const std::string& path) {
         out += "\"" + g.name + "\":{\"value\":" + std::to_string(g.value) +
                ",\"max\":" + std::to_string(g.max) + "}";
     }
+    out += "},\"histograms\":{";
+    first = true;
+    for (const auto& h : MetricsRegistry::instance().histograms()) {
+        if (!first) {
+            out += ",";
+        }
+        first = false;
+        out += "\"" + h.name + "\":";
+        append_histogram_json(out, h.name.c_str(), h.hist, tpu);
+    }
     out += "}}\n";
 
     std::ofstream file(path, std::ios::out | std::ios::trunc);

@@ -35,7 +35,7 @@ class Pool {
     /// the implementation; see each subclass.
     void push(WorkUnit* unit) {
         do_push(unit);
-        notify_waker();
+        notify_waker(/*single_unit=*/true);
     }
 
     /// Enqueue a whole batch, then wake parked streams ONCE. This is the
@@ -76,16 +76,37 @@ class Pool {
         return false;
     }
 
-    /// Number of queued units (may be approximate for lock-free pools).
-    [[nodiscard]] virtual std::size_t size() const = 0;
+    /// Approximate number of queued units — a HINT, not a count. Lock-free
+    /// pools may report stale values, and UnboundedSharedPool can only
+    /// report emptiness (0 or 1). Use empty() for gating decisions and
+    /// treat nonzero values as "roughly this much" (depth sampling,
+    /// diagnostics) — never as an exact occupancy.
+    [[nodiscard]] virtual std::size_t size_hint() const = 0;
 
-    [[nodiscard]] bool empty() const { return size() == 0; }
+    /// Emptiness check. Default derives from size_hint(); pools whose
+    /// backing queue has a cheaper or more truthful emptiness test
+    /// override it (UnboundedSharedPool: an MS queue has no O(1) size but
+    /// an exact empty()).
+    [[nodiscard]] virtual bool empty() const { return size_hint() == 0; }
+
+    /// How push() wakes parked consumers. kAll broadcasts (safe default);
+    /// kOne wakes a single stream — correct only when EVERY stream that
+    /// parks on the lot can consume from this pool (a truly shared pool),
+    /// otherwise the one woken stream may not be able to run the work.
+    /// Runtime computes this from the schedulers' pool views; push_bulk
+    /// always broadcasts (a batch has work for everyone).
+    enum class WakeMode : std::uint8_t { kAll, kOne };
 
     /// Attach the parking lot whose streams consume this pool: every push
     /// then wakes parked streams (after the unit is visible in the queue).
     /// Runtime wires this; detach with nullptr before the lot dies.
-    void set_waker(sync::ParkingLot* lot) noexcept { waker_ = lot; }
+    void set_waker(sync::ParkingLot* lot,
+                   WakeMode mode = WakeMode::kAll) noexcept {
+        waker_ = lot;
+        wake_mode_ = mode;
+    }
     [[nodiscard]] sync::ParkingLot* waker() const noexcept { return waker_; }
+    [[nodiscard]] WakeMode wake_mode() const noexcept { return wake_mode_; }
 
   protected:
     /// Implementation of the enqueue itself. Called by push(); must leave
@@ -105,20 +126,31 @@ class Pool {
     /// ready and this pool becomes its home (where yields/wakes return it,
     /// and where yield_to looks for it).
     void on_push(WorkUnit* unit) noexcept {
-        unit->home_pool = this;
+        unit->home_pool.store(this, std::memory_order_relaxed);
         unit->state.store(State::kReady, std::memory_order_release);
     }
 
     /// Wake parked consumers. push() calls this after do_push; pools with
     /// extra entry points (PriorityPool::push_with) call it themselves.
-    void notify_waker() noexcept {
-        if (waker_ != nullptr) {
+    /// A single-unit publish into a kOne pool wakes one stream — one unit
+    /// can occupy one consumer; the rest would wake, find nothing, and
+    /// walk the idle ladder back to the park (the thundering herd the
+    /// lot's wakeups_avoided counter measures). Batches and kAll pools
+    /// broadcast.
+    void notify_waker(bool single_unit = false) noexcept {
+        if (waker_ == nullptr) {
+            return;
+        }
+        if (single_unit && wake_mode_ == WakeMode::kOne) {
+            waker_->notify_one();
+        } else {
             waker_->notify_all();
         }
     }
 
   private:
     sync::ParkingLot* waker_ = nullptr;
+    WakeMode wake_mode_ = WakeMode::kAll;
 };
 
 /// Shared FIFO guarded by one lock — the Go / gcc-OpenMP topology. Any
@@ -128,7 +160,9 @@ class SharedFifoPool final : public Pool {
     WorkUnit* pop() override { return queue_.try_pop().value_or(nullptr); }
     WorkUnit* steal() override { return pop(); }  // same end: it's one queue
     bool remove(WorkUnit* unit) override;
-    [[nodiscard]] std::size_t size() const override { return queue_.size(); }
+    [[nodiscard]] std::size_t size_hint() const override {
+        return queue_.size();
+    }
 
   protected:
     void do_push(WorkUnit* unit) override {
@@ -154,7 +188,7 @@ class MpmcPool final : public Pool {
 
     WorkUnit* pop() override { return queue_.try_pop().value_or(nullptr); }
     WorkUnit* steal() override { return pop(); }
-    [[nodiscard]] std::size_t size() const override {
+    [[nodiscard]] std::size_t size_hint() const override {
         return queue_.size_approx();
     }
 
@@ -174,10 +208,12 @@ class UnboundedSharedPool final : public Pool {
   public:
     WorkUnit* pop() override { return queue_.try_pop().value_or(nullptr); }
     WorkUnit* steal() override { return pop(); }
-    [[nodiscard]] std::size_t size() const override {
-        // MS queues have no O(1) size; report emptiness only.
+    [[nodiscard]] std::size_t size_hint() const override {
+        // MS queues have no O(1) size: the hint saturates at 1 ("not
+        // empty"). Callers wanting occupancy must not sum this pool in.
         return queue_.empty() ? 0 : 1;
     }
+    [[nodiscard]] bool empty() const override { return queue_.empty(); }
 
   protected:
     void do_push(WorkUnit* unit) override {
@@ -212,7 +248,9 @@ class DequePool final : public Pool {
         return out.value_or(nullptr);
     }
     bool remove(WorkUnit* unit) override;
-    [[nodiscard]] std::size_t size() const override { return deque_.size(); }
+    [[nodiscard]] std::size_t size_hint() const override {
+        return deque_.size();
+    }
 
   protected:
     void do_push(WorkUnit* unit) override {
@@ -246,7 +284,7 @@ class WsPool final : public Pool {
         outcome = deque_.steal_top(unit);
         return outcome == StealOutcome::kSuccess ? unit : nullptr;
     }
-    [[nodiscard]] std::size_t size() const override {
+    [[nodiscard]] std::size_t size_hint() const override {
         return deque_.size_approx();
     }
 

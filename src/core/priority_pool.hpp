@@ -58,7 +58,7 @@ class PriorityPool final : public Pool {
         return false;
     }
 
-    [[nodiscard]] std::size_t size() const override {
+    [[nodiscard]] std::size_t size_hint() const override {
         std::size_t total = 0;
         for (const auto& level : levels_) {
             total += level.size();

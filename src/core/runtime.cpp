@@ -41,14 +41,30 @@ Runtime::Runtime(std::size_t num_streams, const SchedulerFactory& factory,
     // Wire the lot as waker of every pool the schedulers can see, so a
     // push into any of them wakes parked streams. Victim-only pools are
     // some other stream's home pool, so scanning pools() covers them.
+    // Wake mode: a pool visible to EVERY stream is truly shared — any
+    // woken stream can consume from it, so a single-unit push may wake
+    // just one stream (WakeMode::kOne) instead of the whole herd. A pool
+    // missing from any stream's view keeps the broadcast (the one woken
+    // stream might be unable to reach the work).
+    std::vector<std::size_t> seen_in;  // parallel to wired_pools_
     for (auto& stream : streams_) {
         for (Pool* pool : stream->scheduler().pools()) {
-            if (std::find(wired_pools_.begin(), wired_pools_.end(), pool) ==
-                wired_pools_.end()) {
-                pool->set_waker(&lot_);
+            auto it =
+                std::find(wired_pools_.begin(), wired_pools_.end(), pool);
+            if (it == wired_pools_.end()) {
                 wired_pools_.push_back(pool);
+                seen_in.push_back(1);
+            } else {
+                ++seen_in[static_cast<std::size_t>(
+                    it - wired_pools_.begin())];
             }
         }
+    }
+    for (std::size_t i = 0; i < wired_pools_.size(); ++i) {
+        const bool shared_by_all = seen_in[i] == streams_.size();
+        wired_pools_[i]->set_waker(&lot_, shared_by_all
+                                              ? Pool::WakeMode::kOne
+                                              : Pool::WakeMode::kAll);
     }
     if (locality_.should_bind()) {
         // The primary stream is the calling thread: pin it here, mirroring
@@ -67,7 +83,7 @@ Runtime::Runtime(std::size_t num_streams, const SchedulerFactory& factory,
             for (std::size_t i = 0; i < wired_pools_.size(); ++i) {
                 Pool* pool = wired_pools_[i];
                 sampler_.add_source("pool" + std::to_string(i) + ".depth",
-                                    [pool] { return pool->size(); });
+                                    [pool] { return pool->size_hint(); });
             }
             sampler_.start(std::chrono::microseconds(us));
         }
@@ -79,6 +95,12 @@ Runtime::~Runtime() {
     for (std::size_t i = 1; i < streams_.size(); ++i) {
         streams_[i]->stop_and_join();
     }
+    // The herd-wakeup savings live in the lot, not in any stream's
+    // counters; fold them into the registry alongside the streams' own
+    // dtor-time folds so the post-run metrics dump sees them.
+    SchedStats lot_stats;
+    lot_stats.wakeups_avoided = lot_.wakeups_avoided();
+    accumulate_sched_counters(lot_stats);
     primary().detach_caller();
     // The pools belong to the caller and outlive this runtime (and with it
     // the lot): detach the wakers before the lot dies.

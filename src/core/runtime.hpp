@@ -73,12 +73,14 @@ class Runtime {
         return locality_;
     }
 
-    /// Sum of every stream's steal/idle counters (see sched_stats.hpp).
+    /// Sum of every stream's steal/idle counters (see sched_stats.hpp),
+    /// plus the lot's herd-wakeup savings (Pool::WakeMode::kOne).
     [[nodiscard]] SchedStats sched_stats() const noexcept {
         SchedStats total;
         for (const auto& s : streams_) {
             total += s->sched_stats();
         }
+        total.wakeups_avoided += lot_.wakeups_avoided();
         return total;
     }
     void reset_sched_stats() noexcept {
@@ -94,6 +96,7 @@ class Runtime {
     /// forgetting one stream skews aggregate rates).
     void reset_stats() noexcept {
         reset_sched_stats();
+        lot_.reset_wake_stats();
         Tracer::instance().clear();
         Metrics::instance().reset();
         MetricsRegistry::instance().reset_values();

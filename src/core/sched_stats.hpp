@@ -41,6 +41,12 @@ struct SchedStats {
     std::uint64_t unparks = 0;         ///< parks ended by a notify
     std::uint64_t park_timeouts = 0;   ///< parks ended by the safety net
 
+    /// Herd wakeups a single-unit push skipped by waking one stream instead
+    /// of broadcasting (Pool::WakeMode::kOne). Lives in the ParkingLot, not
+    /// in SchedCounters; Runtime::sched_stats()/TaskPool::sched_stats() fold
+    /// it into the aggregate snapshot.
+    std::uint64_t wakeups_avoided = 0;
+
     /// Per-tier breakdown of steal_attempts/steal_hits, indexed by
     /// arch::StealTier (sibling / package / remote). A flat (untiered)
     /// StealingScheduler accounts everything to the package tier; tier
@@ -66,6 +72,7 @@ struct SchedStats {
         parks += o.parks;
         unparks += o.unparks;
         park_timeouts += o.park_timeouts;
+        wakeups_avoided += o.wakeups_avoided;
         for (std::size_t t = 0; t < kStealTiers; ++t) {
             tier_attempts[t] += o.tier_attempts[t];
             tier_hits[t] += o.tier_hits[t];

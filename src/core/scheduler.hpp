@@ -55,6 +55,20 @@ class Scheduler {
     }
     [[nodiscard]] const std::vector<Pool*>& pools() const { return pools_; }
 
+    /// Could this scheduler legally dispatch a unit sitting in `pool`?
+    /// Gates join-stealing (core/join.hpp): pulling a unit out of a pool
+    /// this stream could never see would break placement semantics (a unit
+    /// spawned onto another stream's private pool must run THERE).
+    /// StealingScheduler widens this to its victim set.
+    [[nodiscard]] virtual bool can_run_from(const Pool* pool) const {
+        for (const Pool* p : pools_) {
+            if (p == pool) {
+                return true;
+            }
+        }
+        return false;
+    }
+
     /// Attach the owning stream's telemetry counters (steal outcomes land
     /// there). XStream binds this when the scheduler is installed; a
     /// standalone scheduler (unit tests) may bind its own or leave null.
@@ -185,6 +199,19 @@ class StealingScheduler : public Scheduler {
         }
         for (const Pool* v : victims_) {
             if (!v->empty()) {
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /// A steal victim's unit may run here too — that's what stealing is.
+    [[nodiscard]] bool can_run_from(const Pool* pool) const override {
+        if (Scheduler::can_run_from(pool)) {
+            return true;
+        }
+        for (const Pool* v : victims_) {
+            if (v == pool) {
                 return true;
             }
         }

@@ -1,10 +1,116 @@
 #include "core/sync_ult.hpp"
 
 #include <cassert>
+#include <chrono>
 #include <mutex>
 #include <thread>
 
+#include "core/join.hpp"
+#include "core/xstream.hpp"
+
 namespace lwt::core {
+
+// --- EventCounter -------------------------------------------------------------
+
+void EventCounter::wake_all_waiters() noexcept {
+    // Drain onto our stack first: after the swap only we (and each woken
+    // waiter's own objects) are touched, so a waiter returning from wait()
+    // may destroy the counter while we finish the loop.
+    std::vector<Waiter> to_wake;
+    {
+        std::lock_guard g(guard_);
+        to_wake.swap(waiters_);
+    }
+    for (const Waiter& w : to_wake) {
+        if (w.kind == Waiter::Kind::kUlt) {
+            Ult::wake(static_cast<Ult*>(w.ptr));
+        } else {
+            static_cast<sync::ThreadParker*>(w.ptr)->notify();
+        }
+    }
+}
+
+void EventCounter::signal() noexcept {
+    if (count_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // We drove the count to zero: wake everyone registered. A waiter
+        // registering concurrently re-checks the count under the same
+        // guard, so it either lands in the list we drain or sees <= 0 and
+        // never blocks (the guard orders its count load after our
+        // decrement — no lost wakeup).
+        wake_all_waiters();
+    }
+}
+
+void EventCounter::wait() noexcept {
+    if (value() <= 0) {
+        return;
+    }
+    if (join_mode() == JoinMode::kPoll) {
+        while (value() > 0) {
+            yield_anywhere();
+        }
+        return;
+    }
+    if (Ult* self = Ult::current()) {
+        // A woken ULT loops: an add() may have re-raised the count between
+        // our wake and this check (WaitGroup reuse), in which case we wait
+        // for the next zero crossing like a fresh waiter.
+        while (value() > 0) {
+            {
+                std::lock_guard g(guard_);
+                if (value() <= 0) {
+                    break;
+                }
+                self->state.store(State::kBlocking,
+                                  std::memory_order_release);
+                waiters_.push_back({Waiter::Kind::kUlt, self});
+            }
+            self->suspend(YieldStatus::kBlocked);
+        }
+        return;
+    }
+    XStream* stream = XStream::current();
+    sync::ThreadParker parker(stream != nullptr ? stream->parking_lot()
+                                                : nullptr);
+    {
+        std::lock_guard g(guard_);
+        if (value() <= 0) {
+            return;
+        }
+        waiters_.push_back({Waiter::Kind::kParker, &parker});
+    }
+    // Registered: from here we must not return until notified() — the
+    // zero-crossing signaller holds a pointer to our stack parker.
+    if (stream == nullptr) {
+        parker.wait();
+        return;
+    }
+    // Attached stream (typically the primary): keep draining our pools
+    // while waiting. With a runtime lot we park on it — pool pushes and
+    // the final signal() both notify it; without one, short condvar naps
+    // between empty sweeps bound the wake latency.
+    if (sync::ParkingLot* lot = parker.lot()) {
+        while (!parker.notified()) {
+            if (stream->progress()) {
+                continue;
+            }
+            const std::uint64_t ticket = lot->prepare_park();
+            if (parker.notified() || stream->scheduler().has_work() ||
+                stream->stop_requested()) {
+                lot->cancel_park();
+                continue;
+            }
+            (void)lot->park(ticket, std::chrono::microseconds(1000));
+        }
+        return;
+    }
+    while (!parker.notified()) {
+        if (stream->progress()) {
+            continue;
+        }
+        (void)parker.wait_for(std::chrono::microseconds(50));
+    }
+}
 
 void UltMutex::lock() {
     for (;;) {

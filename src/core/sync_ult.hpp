@@ -11,40 +11,69 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <vector>
 
 #include "core/ult.hpp"
+#include "sync/parking_lot.hpp"
 #include "sync/spinlock.hpp"
 
 namespace lwt::core {
 
 /// Counts outstanding events; wait() returns when the count reaches zero.
 /// This is the join object behind most personalities (and Go's WaitGroup).
+///
+/// Suspend-based since the direct-handoff join PR: waiters register under
+/// the guard and the signal() that drives the count to zero wakes them
+/// directly — a suspended ULT through Ult::wake, a blocked OS thread
+/// through its ThreadParker. No poll anywhere on the default path
+/// (LWT_JOIN=poll restores the old yield loop; docs/join_path.md).
 class EventCounter {
   public:
     explicit EventCounter(std::int64_t initial = 0) noexcept
         : count_(initial) {}
+    EventCounter(const EventCounter&) = delete;
+    EventCounter& operator=(const EventCounter&) = delete;
 
     /// Register `n` more outstanding events.
     void add(std::int64_t n = 1) noexcept {
         count_.fetch_add(n, std::memory_order_relaxed);
     }
 
-    /// Mark one event complete.
-    void signal() noexcept { count_.fetch_sub(1, std::memory_order_release); }
+    /// Mark one event complete; the completion that reaches zero wakes
+    /// every registered waiter. Safe to call from any context, including
+    /// the terminator path that must not touch the counter after the
+    /// waiter returns (the wake list is drained onto the signaller's
+    /// stack first).
+    void signal() noexcept;
 
-    /// Cooperatively wait until all events completed.
-    void wait() noexcept {
-        while (count_.load(std::memory_order_acquire) > 0) {
-            yield_anywhere();
-        }
-    }
+    /// Cooperatively wait until all events completed: a ULT suspends, an
+    /// attached stream drains its pools and parks on its lot, a plain
+    /// thread blocks. Returns once the count is <= 0.
+    void wait() noexcept;
 
     [[nodiscard]] std::int64_t value() const noexcept {
         return count_.load(std::memory_order_acquire);
     }
 
+    /// Rearm for reuse (qt_sinc_reset shape). Caller must guarantee no
+    /// concurrent waiters.
+    void reset(std::int64_t v = 0) noexcept {
+        count_.store(v, std::memory_order_relaxed);
+    }
+
   private:
+    struct Waiter {
+        enum class Kind : std::uint8_t { kUlt, kParker };
+        Kind kind;
+        void* ptr;
+    };
+
+    /// Move the waiter list onto the caller's stack and wake each entry.
+    void wake_all_waiters() noexcept;
+
     std::atomic<std::int64_t> count_;
+    sync::Spinlock guard_;
+    std::vector<Waiter> waiters_;
 };
 
 /// Mutual exclusion that suspends the calling ULT instead of spinning the

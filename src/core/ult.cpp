@@ -96,8 +96,9 @@ void Ult::wake(Ult* ult) {
         } else if (s == State::kBlocked) {
             if (ult->state.compare_exchange_weak(s, State::kReady,
                                                  std::memory_order_acq_rel)) {
-                assert(ult->home_pool != nullptr);
-                ult->home_pool->push(ult);
+                assert(ult->home_pool.load(std::memory_order_relaxed) !=
+                       nullptr);
+                ult->home_pool.load(std::memory_order_relaxed)->push(ult);
                 return;
             }
         } else {

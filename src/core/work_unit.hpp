@@ -33,6 +33,21 @@ enum class State : std::uint8_t {
     kTerminated,   ///< finished; safe to reclaim once joined
 };
 
+// --- joiner slot ------------------------------------------------------------
+//
+// One atomic word per unit carries the direct-handoff join protocol
+// (docs/join_path.md): a joiner CASes a tagged pointer to itself into the
+// slot and suspends; the terminating stream exchanges the slot to
+// kJoinerTerminated and wakes whatever it found — zero polling, exactly one
+// wakeup. All waiter objects are >= 8-byte aligned, so the low three bits
+// encode the waiter kind.
+inline constexpr std::uintptr_t kJoinerNone = 0;        ///< nobody waiting
+inline constexpr std::uintptr_t kJoinerTerminated = 1;  ///< unit finished
+inline constexpr std::uintptr_t kJoinerTagMask = 7;
+inline constexpr std::uintptr_t kJoinerUltTag = 2;      ///< Ult* waiter
+inline constexpr std::uintptr_t kJoinerThreadTag = 3;   ///< ThreadParker*
+inline constexpr std::uintptr_t kJoinerCounterTag = 4;  ///< EventCounter*
+
 /// Common header of every schedulable unit. Personalities allocate these
 /// (or the Ult subclass) and hand ownership to the runtime via pools; the
 /// `detached` flag says whether the stream reclaims the unit on completion
@@ -51,8 +66,11 @@ struct WorkUnit {
 
     const Kind kind;
     std::atomic<State> state{State::kCreated};
-    /// Pool this unit returns to when yielded or woken.
-    Pool* home_pool = nullptr;
+    /// Pool this unit returns to when yielded or woken. Atomic (relaxed)
+    /// because a join-stealing thread reads it while the dispatching
+    /// stream rebinds it; correctness never rides on the value read —
+    /// Pool::remove() re-verifies membership under the pool's own lock.
+    std::atomic<Pool*> home_pool{nullptr};
     /// When true the stream deletes the unit after it terminates.
     bool detached = false;
     UniqueFunction fn;
@@ -64,9 +82,35 @@ struct WorkUnit {
     // handshake).
     std::uint64_t obs_create_tsc = 0;
     std::atomic<std::uint64_t> obs_block_tsc{0};
+    /// Stamped by the terminating stream just before it publishes the
+    /// joiner slot; consumed once by the resuming joiner (signal->resume
+    /// join latency, "join.signal_resume_ticks").
+    std::atomic<std::uint64_t> obs_terminate_tsc{0};
+
+    /// Direct-handoff join slot (see tag constants above and
+    /// docs/join_path.md). Written by at most one joiner (CAS from
+    /// kJoinerNone) and exchanged exactly once by the terminating stream.
+    std::atomic<std::uintptr_t> joiner{kJoinerNone};
 
     [[nodiscard]] bool terminated() const noexcept {
         return state.load(std::memory_order_acquire) == State::kTerminated;
+    }
+
+    /// True once the terminator published the joiner slot. Reclaiming a
+    /// non-detached unit must gate on THIS, not terminated(): the state
+    /// store happens before the terminator's final slot exchange, so a
+    /// state-only check can free the unit under the terminator's feet.
+    [[nodiscard]] bool join_done() const noexcept {
+        return joiner.load(std::memory_order_acquire) == kJoinerTerminated;
+    }
+
+    /// Spin out the (nanosecond) window between the terminator's state
+    /// store and its joiner-slot publish. Poll-style joins and external
+    /// terminated()-then-free call sites use this before reclaiming.
+    void await_reclaim() const noexcept {
+        while (joiner.load(std::memory_order_acquire) != kJoinerTerminated) {
+            arch::cpu_relax();
+        }
     }
 };
 

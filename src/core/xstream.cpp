@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "arch/cpu.hpp"
+#include "core/join.hpp"
 #include "core/metrics.hpp"
 #include "core/trace.hpp"
 
@@ -143,10 +144,15 @@ void XStream::finish_unit(WorkUnit* unit) {
     Tracer::instance().record(TraceEvent::kFinish, unit);
     const bool detached = unit->detached;
     unit->state.store(State::kTerminated, std::memory_order_release);
-    // After the store a joiner may reclaim the unit; touch it no further.
     if (detached) {
+        // Nobody joins a detached unit; we reclaim it ourselves.
         delete unit;
+        return;
     }
+    // Direct handoff (core/join.hpp): publish the joiner slot and wake the
+    // registered waiter — the terminator's last access to the unit. Joiners
+    // gate reclaim on this publish (join_done), not on the state store.
+    publish_termination(unit);
 }
 
 void XStream::run_unit(WorkUnit* unit) {
@@ -168,7 +174,7 @@ void XStream::run_unit(WorkUnit* unit) {
     // Yields and wakes of this unit now funnel through this stream's main
     // pool: the unit has migrated here.
     if (Pool* main = scheduler().main_pool()) {
-        unit->home_pool = main;
+        unit->home_pool.store(main, std::memory_order_relaxed);
     }
     if (unit->kind == Kind::kTasklet) {
         unit->state.store(State::kRunning, std::memory_order_relaxed);
@@ -191,8 +197,8 @@ void XStream::run_unit(WorkUnit* unit) {
             break;
         case YieldStatus::kYielded:
             Tracer::instance().record(TraceEvent::kYield, ult);
-            assert(ult->home_pool != nullptr);
-            ult->home_pool->push(ult);
+            assert(ult->home_pool.load(std::memory_order_relaxed) != nullptr);
+            ult->home_pool.load(std::memory_order_relaxed)->push(ult);
             break;
         case YieldStatus::kBlocked: {
             Tracer::instance().record(TraceEvent::kBlock, ult);
@@ -206,8 +212,9 @@ void XStream::run_unit(WorkUnit* unit) {
             if (!ult->state.compare_exchange_strong(
                     expected, State::kBlocked, std::memory_order_acq_rel)) {
                 assert(expected == State::kWakePending);
-                assert(ult->home_pool != nullptr);
-                ult->home_pool->push(ult);
+                assert(ult->home_pool.load(std::memory_order_relaxed) !=
+                       nullptr);
+                ult->home_pool.load(std::memory_order_relaxed)->push(ult);
             }
             break;
         }
@@ -219,8 +226,11 @@ bool yield_to(Ult* target) {
     XStream* stream = XStream::current();
     assert(self != nullptr && stream != nullptr &&
            "yield_to requires a ULT running on a stream");
-    const bool direct = target != nullptr && target->home_pool != nullptr &&
-                        target->home_pool->remove(target);
+    Pool* target_pool =
+        target != nullptr
+            ? target->home_pool.load(std::memory_order_relaxed)
+            : nullptr;
+    const bool direct = target_pool != nullptr && target_pool->remove(target);
     if (direct) {
         stream->set_next_hint(target);
     }

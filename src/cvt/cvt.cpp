@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cstdlib>
 
+#include "core/join.hpp"
 #include "core/runtime.hpp"
 #include "core/work_unit.hpp"
 
@@ -24,20 +25,12 @@ void CthHandle::join() {
     if (ult_ == nullptr) {
         return;
     }
-    core::Ult* target = ult_;
-    if (core::Ult::current() != nullptr) {
-        while (!target->terminated()) {
-            core::Ult::current()->yield();
-        }
-    } else if (core::XStream* stream = core::XStream::current()) {
-        // The main thread is PE 0: joining drives its scheduler (Converse
-        // return mode), executing queued work including this Cth thread.
-        stream->run_until([target] { return target->terminated(); });
-    } else {
-        while (!target->terminated()) {
-            std::this_thread::yield();
-        }
-    }
+    // Direct-handoff join (core/join.hpp): from PE 0's main thread this
+    // still drains the scheduler while waiting (Converse return mode
+    // semantics), but the final wakeup is a direct unpark from the
+    // terminating PE instead of a polled flag. LWT_JOIN=poll restores the
+    // run_until shape.
+    core::join_unit(ult_);
     delete ult_;
     ult_ = nullptr;
 }

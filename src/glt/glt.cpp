@@ -431,8 +431,11 @@ class CvtGlt final : public Runtime {
 
     void wait(BulkHandle& handle) override {
         if (auto* b = handle.state_as<Bulk>()) {
-            auto done = b->done;
-            lib_.scheduler_run_until([&] { return done->value() <= 0; });
+            // Direct handoff: the last message's signal() wakes us; from
+            // PE 0's attached thread the wait keeps draining the scheduler
+            // (EventCounter::wait), preserving Converse return-mode
+            // semantics without the polled predicate.
+            b->done->wait();
             handle.reset();
         }
     }

@@ -67,7 +67,9 @@ class Library {
     void go_bulk(std::size_t n, const std::function<void(std::size_t)>& body);
 
     /// Number of goroutines currently queued (diagnostics).
-    [[nodiscard]] std::size_t runqueue_len() const { return global_.size(); }
+    [[nodiscard]] std::size_t runqueue_len() const {
+        return global_.size_hint();
+    }
 
     /// Aggregate steal/idle counters over all scheduler threads
     /// (sched_stats.hpp).

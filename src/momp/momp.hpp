@@ -186,13 +186,19 @@ class Runtime {
     }
 
     /// Idle ladder task-wait loops use, derived from OMP_WAIT_POLICY
-    /// semantics: active waiters stay hot (bounded spin + backoff),
-    /// passive waiters may park on the task pool's lot.
+    /// semantics. Both flavours end in a park on the task pool's lot (a
+    /// submit or the last completion wakes them directly — no unbounded
+    /// polling in wait_all); the policy only sizes the hot ladder before
+    /// the park: active waiters spin long (stay hot, the real runtimes'
+    /// OMP_WAIT_POLICY=active eventually sleeps too), passive waiters give
+    /// the core up almost immediately.
     [[nodiscard]] sync::IdleConfig task_idle_config() const noexcept {
         sync::IdleConfig idle;
-        idle.policy = config_.wait_policy == WaitPolicy::kPassive
-                          ? sync::IdlePolicy::kPark
-                          : sync::IdlePolicy::kBackoff;
+        idle.policy = sync::IdlePolicy::kPark;
+        if (config_.wait_policy == WaitPolicy::kActive) {
+            idle.spin_limit = 4096;
+            idle.yield_limit = 64;
+        }
         return idle;
     }
 

@@ -69,7 +69,11 @@ void TaskPool::submit(std::size_t tid, core::UniqueFunction fn) {
     } else {
         per_thread_[tid]->push_bottom(task);  // owner push
     }
-    lot_.notify_all();  // after the task is visible: wake parked waiters
+    // After the task is visible: wake ONE parked waiter. A single task can
+    // occupy a single thread, and any team thread can run it (gcc's shared
+    // queue is MPMC; icc threads steal when idle), so the rest of the herd
+    // can stay parked — the avoided wakeups show up in sched_stats().
+    lot_.notify_one();
 }
 
 void TaskPool::submit_bulk(std::size_t tid, std::size_t n,

@@ -88,7 +88,9 @@ class TaskPool {
     /// flavours' wait_all idling). Same snapshot type as the kernel's
     /// per-stream stats.
     [[nodiscard]] core::SchedStats sched_stats() const noexcept {
-        return counters_.snapshot();
+        core::SchedStats s = counters_.snapshot();
+        s.wakeups_avoided = lot_.wakeups_avoided();
+        return s;
     }
 
   private:

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <thread>
 
+#include "core/join.hpp"
 #include "core/runtime.hpp"
 
 namespace lwt::mth {
@@ -24,23 +25,12 @@ void ThreadHandle::join() {
     if (ult_ == nullptr) {
         return;
     }
-    core::Ult* target = ult_;
-    if (core::Ult::current() != nullptr) {
-        // From inside a ULT: run the joinee directly (myth_join switches to
-        // the target). A plain yield would starve under LIFO deques: the
-        // joiner would be re-popped ahead of the joinee forever.
-        while (!target->terminated()) {
-            core::yield_to(target);
-        }
-    } else if (core::XStream* stream = core::XStream::current()) {
-        // From the attached main thread outside run(): drive worker 0's
-        // scheduler so single-worker configurations cannot deadlock.
-        stream->run_until([target] { return target->terminated(); });
-    } else {
-        while (!target->terminated()) {
-            std::this_thread::yield();
-        }
-    }
+    // Direct-handoff join (core/join.hpp). The join-steal inside covers
+    // the myth_join work-first shape: a still-queued joinee is pulled from
+    // its pool and run by the joiner (yield_to from a ULT, inline from the
+    // attached main thread) — which also avoids the LIFO-deque starvation
+    // a plain yield loop would hit. LWT_JOIN=poll restores polling.
+    core::join_unit(ult_);
     delete ult_;
     ult_ = nullptr;
 }
@@ -155,17 +145,10 @@ void Library::create_bulk_detached(
 }
 
 void Library::wait_counter(core::EventCounter& done) {
-    if (core::Ult::current() != nullptr) {
-        while (done.value() > 0) {
-            core::Ult::current()->yield();
-        }
-    } else if (core::XStream* stream = core::XStream::current()) {
-        stream->run_until([&done] { return done.value() == 0; });
-    } else {
-        while (done.value() > 0) {
-            std::this_thread::yield();
-        }
-    }
+    // Suspend-based: the last signal() wakes us directly (ULT wake or
+    // thread unpark); EventCounter::wait falls back to polling under
+    // LWT_JOIN=poll and keeps draining pools from an attached thread.
+    done.wait();
 }
 
 ThreadHandle Library::create(core::UniqueFunction fn) {

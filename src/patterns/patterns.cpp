@@ -1,8 +1,10 @@
 #include "patterns/patterns.hpp"
 
 #include <atomic>
-#include <thread>
 #include <cassert>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
 
 #include "abt/abt.hpp"
 #include "benchsupport/stats.hpp"
@@ -39,15 +41,46 @@ std::string_view variant_name(Variant variant) {
 }
 
 const std::vector<Variant>& all_variants() {
-    static const std::vector<Variant> kAll{
-        Variant::kPthreads,
-        Variant::kOmpGcc,         Variant::kOmpIcc,
-        Variant::kAbtTaskletPrivate, Variant::kAbtUltPrivate,
-        Variant::kAbtTaskletShared,  Variant::kAbtUltShared,
-        Variant::kQthPerCpu,      Variant::kQthSingleShepherd,
-        Variant::kMthHelpFirst,   Variant::kMthWorkFirst,
-        Variant::kCvtMessages,    Variant::kGolShared,
-    };
+    // LWTBENCH_VARIANTS=<substr>[,<substr>...] keeps only variants whose
+    // name contains one of the (case-sensitive) substrings — e.g.
+    // "Argobots ULT" or "Qthreads,Go". Unset/empty: the full paper sweep.
+    // CI's join-smoke leg uses this to pin one library boot per process so
+    // a metrics flush reflects exactly one variant's run.
+    static const std::vector<Variant> kAll = [] {
+        std::vector<Variant> all{
+            Variant::kPthreads,
+            Variant::kOmpGcc,         Variant::kOmpIcc,
+            Variant::kAbtTaskletPrivate, Variant::kAbtUltPrivate,
+            Variant::kAbtTaskletShared,  Variant::kAbtUltShared,
+            Variant::kQthPerCpu,      Variant::kQthSingleShepherd,
+            Variant::kMthHelpFirst,   Variant::kMthWorkFirst,
+            Variant::kCvtMessages,    Variant::kGolShared,
+        };
+        const char* env = std::getenv("LWTBENCH_VARIANTS");
+        if (env == nullptr || *env == '\0') {
+            return all;
+        }
+        std::vector<std::string> needles;
+        for (const char* p = env;;) {
+            const char* comma = std::strchr(p, ',');
+            needles.emplace_back(p, comma ? comma - p : std::strlen(p));
+            if (comma == nullptr) {
+                break;
+            }
+            p = comma + 1;
+        }
+        std::vector<Variant> kept;
+        for (Variant v : all) {
+            const std::string_view name = variant_name(v);
+            for (const std::string& n : needles) {
+                if (!n.empty() && name.find(n) != std::string_view::npos) {
+                    kept.push_back(v);
+                    break;
+                }
+            }
+        }
+        return kept.empty() ? all : kept;
+    }();
     return kAll;
 }
 

@@ -11,9 +11,9 @@
 namespace lwt::qth {
 
 double Sinc::wait() {
-    while (remaining_.load(std::memory_order_acquire) > 0) {
-        core::yield_anywhere();
-    }
+    // Suspend-based: the zero-crossing submit() wakes us directly; poll
+    // mode and the attached-stream drain loop live inside the counter.
+    done_.wait();
     std::lock_guard g(lock_);
     return sum_;
 }

@@ -24,6 +24,7 @@
 #include "arch/topology.hpp"
 #include "core/observability.hpp"
 #include "core/pool.hpp"
+#include "core/sync_ult.hpp"
 #include "core/unique_function.hpp"
 #include "core/xstream.hpp"
 #include "sync/feb.hpp"
@@ -48,12 +49,15 @@ struct Config {
 /// qt_sinc-like completion counter: a scalable way to wait for N
 /// contributions, optionally aggregating a value per contribution
 /// (Qthreads uses sincs to implement its loops and reductions).
+///
+/// Built on core::EventCounter since the direct-handoff join PR: the last
+/// submit() wakes the waiter directly (ULT wake / thread unpark) instead
+/// of a polled countdown. LWT_JOIN=poll restores the yield loop inside
+/// EventCounter::wait.
 class Sinc {
   public:
     /// Expect `n` more submissions.
-    void expect(std::int64_t n) noexcept {
-        remaining_.fetch_add(n, std::memory_order_relaxed);
-    }
+    void expect(std::int64_t n) noexcept { done_.add(n); }
 
     /// One contribution with an optional summed value. Value-less
     /// submissions (the bulk-join common case) skip the sum lock entirely.
@@ -62,7 +66,7 @@ class Sinc {
             std::lock_guard g(lock_);
             sum_ += value;
         }
-        remaining_.fetch_sub(1, std::memory_order_release);
+        done_.signal();
     }
 
     /// Cooperatively wait until every expected submission arrived; returns
@@ -70,18 +74,18 @@ class Sinc {
     double wait();
 
     [[nodiscard]] std::int64_t remaining() const noexcept {
-        return remaining_.load(std::memory_order_acquire);
+        return done_.value();
     }
 
     /// Rearm for reuse (qt_sinc_reset).
     void reset() noexcept {
-        remaining_.store(0, std::memory_order_relaxed);
+        done_.reset();
         std::lock_guard g(lock_);
         sum_ = 0.0;
     }
 
   private:
-    std::atomic<std::int64_t> remaining_{0};
+    core::EventCounter done_;
     mutable sync::Spinlock lock_;
     double sum_ = 0.0;
 };

@@ -358,7 +358,7 @@ TEST(BulkStress, WsPoolPushBulkVsStealers) {
         t.join();
     }
     EXPECT_EQ(consumed.load(), kBatches * kBatch);
-    EXPECT_EQ(pool.size(), 0u);
+    EXPECT_EQ(pool.size_hint(), 0u);
 }
 
 // Shared-pool variant: many producers bulk-push into one MPMC pool while

@@ -166,7 +166,7 @@ void expect_pool_fifo_semantics(P&& pool) {
     auto b = make_noop_tasklet();
     pool.push(a.get());
     pool.push(b.get());
-    EXPECT_EQ(pool.size(), 2u);
+    EXPECT_EQ(pool.size_hint(), 2u);
     EXPECT_EQ(pool.pop(), a.get());
     EXPECT_EQ(pool.pop(), b.get());
     EXPECT_EQ(pool.pop(), nullptr);

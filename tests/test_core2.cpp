@@ -120,7 +120,7 @@ TEST(PriorityPool, PopsMostUrgentFirst) {
     pool.push_with(low.get(), 3);
     pool.push_with(mid.get(), 1);
     pool.push_with(high.get(), 0);
-    EXPECT_EQ(pool.size(), 3u);
+    EXPECT_EQ(pool.size_hint(), 3u);
     EXPECT_EQ(pool.pop(), high.get());
     EXPECT_EQ(pool.pop(), mid.get());
     EXPECT_EQ(pool.pop(), low.get());
