@@ -41,14 +41,25 @@ JoinMode join_mode_from_env() noexcept {
     return JoinMode::kHandoff;
 }
 
-/// The pre-handoff join shape, kept verbatim as the LWT_JOIN=poll escape
-/// hatch (and the degraded path when a second joiner finds the slot
-/// occupied). Ends by waiting out the terminator's slot publish so the
-/// caller may reclaim the unit.
+/// The pre-handoff join shape, kept as the LWT_JOIN=poll escape hatch
+/// (and the degraded path when a second joiner finds the slot occupied).
+/// Ends by waiting out the terminator's slot publish so the caller may
+/// reclaim the unit.
 void poll_join(WorkUnit* unit) {
     if (Ult* self = Ult::current()) {
-        while (!unit->terminated()) {
-            self->yield();
+        if (unit->kind == Kind::kUlt) {
+            // Joining a ULT: hand the stream to the joinee each pass (the
+            // seed's myth_join shape). A plain yield would starve under
+            // LIFO deques — the joiner gets re-popped ahead of the joinee
+            // forever.
+            Ult* target = static_cast<Ult*>(unit);
+            while (!unit->terminated()) {
+                (void)yield_to(target);
+            }
+        } else {
+            while (!unit->terminated()) {
+                self->yield();
+            }
         }
     } else if (XStream* stream = XStream::current()) {
         stream->run_until([unit] { return unit->terminated(); });
@@ -88,6 +99,28 @@ void stream_wait(XStream* stream, sync::ThreadParker& parker) {
     }
 }
 
+/// Stack record an OS-thread joiner registers in the slot
+/// (kJoinerThreadTag): the parker plus a joiner-owned mailbox for the
+/// terminator's handoff stamp. The stamp travels through waiter-owned
+/// memory (never the unit) for the same reason obs_handoff_tsc lives on
+/// the joining ULT — after resuming, the joiner must not touch the unit
+/// at all (see join_unit).
+struct alignas(8) ThreadJoinWaiter {
+    sync::ThreadParker parker{nullptr};
+    std::atomic<std::uint64_t> terminate_tsc{0};
+};
+
+/// Record one signal->resume sample; `stamp` comes from joiner-owned
+/// memory, 0 means metrics were off at termination time.
+void record_handoff_latency(std::uint64_t stamp) noexcept {
+    if (stamp == 0 || !Metrics::instance().enabled()) {
+        return;
+    }
+    static MetricsRegistry& reg = MetricsRegistry::instance();
+    static LatencyHistogram& hist = reg.histogram("join.signal_resume_ticks");
+    hist.record(arch::rdtsc() - stamp);
+}
+
 }  // namespace
 
 JoinMode join_mode() noexcept {
@@ -103,38 +136,36 @@ void set_join_mode(JoinMode mode) noexcept {
     g_join_mode_set.store(true, std::memory_order_release);
 }
 
-void record_join_latency(WorkUnit* unit) noexcept {
-    if (!Metrics::instance().enabled()) {
-        return;
-    }
-    const std::uint64_t stamp =
-        unit->obs_terminate_tsc.exchange(0, std::memory_order_relaxed);
-    if (stamp != 0) {
-        static MetricsRegistry& reg = MetricsRegistry::instance();
-        static LatencyHistogram& hist =
-            reg.histogram("join.signal_resume_ticks");
-        hist.record(arch::rdtsc() - stamp);
-    }
-}
-
 void publish_termination(WorkUnit* unit) noexcept {
-    if (Metrics::instance().enabled()) {
-        unit->obs_terminate_tsc.store(arch::rdtsc(),
-                                      std::memory_order_relaxed);
+    const std::uint64_t stamp =
+        Metrics::instance().enabled() ? arch::rdtsc() : 0;
+    if (stamp != 0) {
+        // Unit-side copy, for the joiner that notices join_done() without
+        // suspending (it still owns the unit then). Must land before the
+        // exchange below.
+        unit->obs_terminate_tsc.store(stamp, std::memory_order_relaxed);
     }
     // The exchange is our LAST access to the unit: the instant it lands, a
     // joiner gating on join_done()/await_reclaim() may free it. Everything
-    // we wake below is waiter-owned, never unit memory.
+    // touched below — including the stamp mailbox — is waiter-owned, never
+    // unit memory, and a registered waiter cannot return (or destroy its
+    // record) until the wake we issue here.
     const std::uintptr_t waiter =
         unit->joiner.exchange(kJoinerTerminated, std::memory_order_acq_rel);
     switch (waiter & kJoinerTagMask) {
-        case kJoinerUltTag:
-            Ult::wake(reinterpret_cast<Ult*>(waiter & ~kJoinerTagMask));
+        case kJoinerUltTag: {
+            auto* joiner = reinterpret_cast<Ult*>(waiter & ~kJoinerTagMask);
+            joiner->obs_handoff_tsc.store(stamp, std::memory_order_relaxed);
+            Ult::wake(joiner);
             break;
-        case kJoinerThreadTag:
-            reinterpret_cast<sync::ThreadParker*>(waiter & ~kJoinerTagMask)
-                ->notify();
+        }
+        case kJoinerThreadTag: {
+            auto* record =
+                reinterpret_cast<ThreadJoinWaiter*>(waiter & ~kJoinerTagMask);
+            record->terminate_tsc.store(stamp, std::memory_order_relaxed);
+            record->parker.notify();
             break;
+        }
         case kJoinerCounterTag:
             reinterpret_cast<EventCounter*>(waiter & ~kJoinerTagMask)
                 ->signal();
@@ -224,9 +255,13 @@ void join_unit(WorkUnit* unit) {
             if (prev == kJoinerNone) {
                 self->suspend(YieldStatus::kBlocked);
                 // Only the terminator's wake routes through the slot, so
-                // resuming means the join is done (and published).
-                record_join_latency(unit);
-                assert(unit->join_done());
+                // resuming means the join is done and published. Do NOT
+                // touch the unit from here on (not even to assert): a
+                // concurrent poll-mode joiner can observe the publish and
+                // let its caller free the unit before we are rescheduled.
+                // The handoff stamp therefore arrives in OUR descriptor.
+                record_handoff_latency(self->obs_handoff_tsc.exchange(
+                    0, std::memory_order_relaxed));
                 return;
             }
             self->state.store(State::kRunning, std::memory_order_relaxed);
@@ -254,7 +289,13 @@ void join_unit(WorkUnit* unit) {
         for (unsigned step = 0; step < kJoinBackoffSteps; ++step) {
             backoff.pause();
             if (unit->join_done()) {
-                record_join_latency(unit);
+                // We never suspended, so OUR caller still owns the unit
+                // until we return — reading the unit-side stamp here is
+                // as safe as the join_done load itself (plain load, not
+                // exchange: a degraded second joiner at worst records a
+                // duplicate sample, never writes freed memory).
+                record_handoff_latency(unit->obs_terminate_tsc.load(
+                    std::memory_order_relaxed));
                 return;
             }
         }
@@ -265,18 +306,20 @@ void join_unit(WorkUnit* unit) {
         // hosts. The attached-stream wait below still drains the
         // stream's pools between bounded naps, so a private-pool chain
         // that needs this thread is served within ~50µs.
-        sync::ThreadParker parker(nullptr);
+        ThreadJoinWaiter waiter;
         const std::uintptr_t prev = register_joiner(
             unit,
-            reinterpret_cast<std::uintptr_t>(&parker) | kJoinerThreadTag);
+            reinterpret_cast<std::uintptr_t>(&waiter) | kJoinerThreadTag);
         if (prev == kJoinerNone) {
             if (stream != nullptr) {
-                stream_wait(stream, parker);
+                stream_wait(stream, waiter.parker);
             } else {
-                parker.wait();
+                waiter.parker.wait();
             }
-            record_join_latency(unit);
-            assert(unit->join_done());
+            // As on the ULT path: no unit access after the wake — the
+            // stamp arrives in our stack record.
+            record_handoff_latency(
+                waiter.terminate_tsc.load(std::memory_order_relaxed));
             return;
         }
         if (prev == kJoinerTerminated) {

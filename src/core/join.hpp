@@ -36,7 +36,9 @@ void set_join_mode(JoinMode mode) noexcept;
 /// Block until `unit` terminated AND its joiner slot is published, using
 /// the handoff protocol (or the poll fallback under LWT_JOIN=poll). On
 /// return the caller may reclaim the unit. At most one joiner per unit;
-/// a second concurrent joiner degrades to polling.
+/// a second concurrent joiner degrades to polling, and with two joiners
+/// the unit may only be reclaimed once BOTH have returned (the waiting
+/// side must keep reading the unit's state).
 void join_unit(WorkUnit* unit);
 
 /// Work-first join stealing: if `unit` is still kReady and its pool can
@@ -52,14 +54,12 @@ bool try_join_steal(WorkUnit* unit);
 /// the slot is occupied) — the caller must balance the count itself.
 bool register_counter_joiner(WorkUnit* unit, EventCounter* counter) noexcept;
 
-/// Terminator side: stamp the signal->resume clock, publish the joiner
-/// slot, and wake whoever was registered. Called by XStream::finish_unit
-/// for every non-detached unit; the exchange is the terminator's LAST
-/// access to the unit.
+/// Terminator side: stamp the signal->resume clock (unit-side before the
+/// exchange, and into WAITER-owned memory — the joiner's obs_handoff_tsc
+/// or the thread waiter record — for a registered, suspended joiner),
+/// publish the joiner slot, and wake whoever was registered. Called by
+/// XStream::finish_unit for every non-detached unit; the exchange is the
+/// terminator's LAST access to the unit.
 void publish_termination(WorkUnit* unit) noexcept;
-
-/// Consume the unit's terminate stamp into the "join.signal_resume_ticks"
-/// histogram (no-op when metrics are disabled or the stamp is unset).
-void record_join_latency(WorkUnit* unit) noexcept;
 
 }  // namespace lwt::core

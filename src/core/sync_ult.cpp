@@ -12,31 +12,66 @@ namespace lwt::core {
 
 // --- EventCounter -------------------------------------------------------------
 
-void EventCounter::wake_all_waiters() noexcept {
-    // Drain onto our stack first: after the swap only we (and each woken
-    // waiter's own objects) are touched, so a waiter returning from wait()
-    // may destroy the counter while we finish the loop.
-    std::vector<Waiter> to_wake;
-    {
-        std::lock_guard g(guard_);
-        to_wake.swap(waiters_);
-    }
-    for (const Waiter& w : to_wake) {
-        if (w.kind == Waiter::Kind::kUlt) {
-            Ult::wake(static_cast<Ult*>(w.ptr));
-        } else {
-            static_cast<sync::ThreadParker*>(w.ptr)->notify();
+bool EventCounter::register_waiter(WaitNode& node) noexcept {
+    std::lock_guard g(guard_);
+    std::int64_t s = state_.load(std::memory_order_acquire);
+    for (;;) {
+        if (count_of(s) <= 0) {
+            return false;
+        }
+        // Check count > 0 and set the waiters bit in ONE atomic step: the
+        // zero-crossing fetch_sub and this CAS hit the same word, so
+        // either the decrement reads the bit (and drains the list we are
+        // about to push onto — it must take the guard we hold) or the CAS
+        // fails, we reload, see count <= 0, and never block. A separate
+        // flag would leave a lost-wakeup window between check and set.
+        if (state_.compare_exchange_weak(s, s | kWaitersBit,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+            node.next = waiters_head_;
+            waiters_head_ = &node;
+            return true;
         }
     }
 }
 
+void EventCounter::wake_all_waiters() noexcept {
+    WaitNode* head;
+    {
+        std::lock_guard g(guard_);
+        state_.fetch_and(~kWaitersBit, std::memory_order_acq_rel);
+        head = waiters_head_;
+        waiters_head_ = nullptr;
+    }
+    // Past the guard only waiter-owned memory is touched. Each node lives
+    // on its waiter's stack: read `next` BEFORE the wake — a woken waiter
+    // may return from wait() and destroy its node (and the counter)
+    // immediately.
+    while (head != nullptr) {
+        WaitNode* const next = head->next;
+        if (head->kind == WaitNode::Kind::kUlt) {
+            Ult::wake(static_cast<Ult*>(head->ptr));
+        } else {
+            static_cast<sync::ThreadParker*>(head->ptr)->notify();
+        }
+        head = next;
+    }
+}
+
 void EventCounter::signal() noexcept {
-    if (count_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        // We drove the count to zero: wake everyone registered. A waiter
-        // registering concurrently re-checks the count under the same
-        // guard, so it either lands in the list we drain or sees <= 0 and
-        // never blocks (the guard orders its count load after our
-        // decrement — no lost wakeup).
+    const std::int64_t old =
+        state_.fetch_sub(kCountOne, std::memory_order_acq_rel);
+    if (count_of(old) != 1) {
+        return;  // not the zero crossing
+    }
+    // We drove the count to zero. No waiters bit: this fetch_sub was our
+    // LAST access — a fast-path waiter observing value() <= 0 may already
+    // be returning and destroying the counter (stack-owned WaitGroup /
+    // Sinc / join_all_free shapes), so touching the guard or the list
+    // here would be a use-after-free. Waiters registered: none of them
+    // can return until we wake them below, so the counter stays alive
+    // across the drain.
+    if ((old & kWaitersBit) != 0) {
         wake_all_waiters();
     }
 }
@@ -55,60 +90,61 @@ void EventCounter::wait() noexcept {
         // A woken ULT loops: an add() may have re-raised the count between
         // our wake and this check (WaitGroup reuse), in which case we wait
         // for the next zero crossing like a fresh waiter.
-        while (value() > 0) {
-            {
-                std::lock_guard g(guard_);
-                if (value() <= 0) {
-                    break;
-                }
-                self->state.store(State::kBlocking,
-                                  std::memory_order_release);
-                waiters_.push_back({Waiter::Kind::kUlt, self});
+        for (;;) {
+            // Arm the kBlocking/kWakePending handshake BEFORE the node is
+            // published: the zero-crossing drain may call Ult::wake the
+            // instant the guard drops.
+            self->state.store(State::kBlocking, std::memory_order_release);
+            WaitNode node{WaitNode::Kind::kUlt, self};
+            if (!register_waiter(node)) {
+                self->state.store(State::kRunning, std::memory_order_relaxed);
+                return;
             }
             self->suspend(YieldStatus::kBlocked);
+            if (value() <= 0) {
+                return;
+            }
         }
-        return;
     }
     XStream* stream = XStream::current();
-    sync::ThreadParker parker(stream != nullptr ? stream->parking_lot()
-                                                : nullptr);
-    {
-        std::lock_guard g(guard_);
-        if (value() <= 0) {
+    while (value() > 0) {
+        sync::ThreadParker parker(stream != nullptr ? stream->parking_lot()
+                                                    : nullptr);
+        WaitNode node{WaitNode::Kind::kParker, &parker};
+        if (!register_waiter(node)) {
             return;
         }
-        waiters_.push_back({Waiter::Kind::kParker, &parker});
-    }
-    // Registered: from here we must not return until notified() — the
-    // zero-crossing signaller holds a pointer to our stack parker.
-    if (stream == nullptr) {
-        parker.wait();
-        return;
-    }
-    // Attached stream (typically the primary): keep draining our pools
-    // while waiting. With a runtime lot we park on it — pool pushes and
-    // the final signal() both notify it; without one, short condvar naps
-    // between empty sweeps bound the wake latency.
-    if (sync::ParkingLot* lot = parker.lot()) {
+        // Registered: we must not let `parker`/`node` die until
+        // notified() — the zero-crossing signaller holds pointers to both.
+        if (stream == nullptr) {
+            parker.wait();
+            continue;  // re-check: the counter may have been re-armed
+        }
+        // Attached stream (typically the primary): keep draining our pools
+        // while waiting. With a runtime lot we park on it — pool pushes and
+        // the final signal() both notify it; without one, short condvar
+        // naps between empty sweeps bound the wake latency.
+        if (sync::ParkingLot* lot = parker.lot()) {
+            while (!parker.notified()) {
+                if (stream->progress()) {
+                    continue;
+                }
+                const std::uint64_t ticket = lot->prepare_park();
+                if (parker.notified() || stream->scheduler().has_work() ||
+                    stream->stop_requested()) {
+                    lot->cancel_park();
+                    continue;
+                }
+                (void)lot->park(ticket, std::chrono::microseconds(1000));
+            }
+            continue;
+        }
         while (!parker.notified()) {
             if (stream->progress()) {
                 continue;
             }
-            const std::uint64_t ticket = lot->prepare_park();
-            if (parker.notified() || stream->scheduler().has_work() ||
-                stream->stop_requested()) {
-                lot->cancel_park();
-                continue;
-            }
-            (void)lot->park(ticket, std::chrono::microseconds(1000));
+            (void)parker.wait_for(std::chrono::microseconds(50));
         }
-        return;
-    }
-    while (!parker.notified()) {
-        if (stream->progress()) {
-            continue;
-        }
-        (void)parker.wait_for(std::chrono::microseconds(50));
     }
 }
 

@@ -11,7 +11,6 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
-#include <vector>
 
 #include "core/ult.hpp"
 #include "sync/parking_lot.hpp"
@@ -27,23 +26,33 @@ namespace lwt::core {
 /// directly — a suspended ULT through Ult::wake, a blocked OS thread
 /// through its ThreadParker. No poll anywhere on the default path
 /// (LWT_JOIN=poll restores the old yield loop; docs/join_path.md).
+///
+/// Lifetime contract (why the count word carries a waiters bit): the
+/// counter is typically stack-owned by the waiter and destroyed the moment
+/// wait() returns, possibly while the zero-crossing signal() is still in
+/// flight on another thread. signal() therefore never touches counter
+/// memory after the decrement unless a waiter is registered — and a
+/// registered waiter cannot return until that signaller's wake, which
+/// happens after its last counter access. Like Go's WaitGroup, re-raising
+/// the count from zero (add() for a new round) must happen-after the
+/// previous round's wait() returned.
 class EventCounter {
   public:
     explicit EventCounter(std::int64_t initial = 0) noexcept
-        : count_(initial) {}
+        : state_(initial << kCountShift) {}
     EventCounter(const EventCounter&) = delete;
     EventCounter& operator=(const EventCounter&) = delete;
 
     /// Register `n` more outstanding events.
     void add(std::int64_t n = 1) noexcept {
-        count_.fetch_add(n, std::memory_order_relaxed);
+        state_.fetch_add(n << kCountShift, std::memory_order_relaxed);
     }
 
     /// Mark one event complete; the completion that reaches zero wakes
     /// every registered waiter. Safe to call from any context, including
-    /// the terminator path that must not touch the counter after the
-    /// waiter returns (the wake list is drained onto the signaller's
-    /// stack first).
+    /// the terminator path: with no waiter registered the decrement is the
+    /// signaller's LAST access to the counter, and the registered-waiter
+    /// drain touches only waiter-owned stack nodes once the guard drops.
     void signal() noexcept;
 
     /// Cooperatively wait until all events completed: a ULT suspends, an
@@ -52,28 +61,53 @@ class EventCounter {
     void wait() noexcept;
 
     [[nodiscard]] std::int64_t value() const noexcept {
-        return count_.load(std::memory_order_acquire);
+        return state_.load(std::memory_order_acquire) >> kCountShift;
     }
 
     /// Rearm for reuse (qt_sinc_reset shape). Caller must guarantee no
     /// concurrent waiters.
     void reset(std::int64_t v = 0) noexcept {
-        count_.store(v, std::memory_order_relaxed);
+        state_.store(v << kCountShift, std::memory_order_relaxed);
     }
 
   private:
-    struct Waiter {
+    /// One entry in the intrusive waiter list. Lives on the waiting
+    /// context's stack — registration and the zero-crossing drain never
+    /// allocate (both run on noexcept paths, including the terminator's
+    /// publish).
+    struct WaitNode {
         enum class Kind : std::uint8_t { kUlt, kParker };
         Kind kind;
         void* ptr;
+        WaitNode* next = nullptr;
     };
 
-    /// Move the waiter list onto the caller's stack and wake each entry.
+    // state_ layout: (count << 1) | waiters-present bit. Count and flag
+    // share one word so the decrement atomically learns whether anyone is
+    // registered: a zero-crossing signal() that reads the bit clear is
+    // DONE — it must not touch the counter again, because the fast-path
+    // waiter that now observes value() <= 0 may return and destroy it.
+    static constexpr int kCountShift = 1;
+    static constexpr std::int64_t kWaitersBit = 1;
+    static constexpr std::int64_t kCountOne = std::int64_t{1} << kCountShift;
+    static constexpr std::int64_t count_of(std::int64_t s) noexcept {
+        return s >> kCountShift;
+    }
+
+    /// Push `node` and set the waiters bit iff the count is still
+    /// positive (one CAS: either the zero-crossing decrement sees the bit
+    /// and drains us, or we see count <= 0 and never block). Returns
+    /// false when the caller must not wait.
+    bool register_waiter(WaitNode& node) noexcept;
+
+    /// Zero-crossing drain: detach the whole list under the guard, then
+    /// wake each node outside it. Only waiter-owned memory is touched
+    /// after the guard drops.
     void wake_all_waiters() noexcept;
 
-    std::atomic<std::int64_t> count_;
+    std::atomic<std::int64_t> state_;
     sync::Spinlock guard_;
-    std::vector<Waiter> waiters_;
+    WaitNode* waiters_head_ = nullptr;  ///< guarded by guard_
 };
 
 /// Mutual exclusion that suspends the calling ULT instead of spinning the

@@ -45,7 +45,8 @@ inline constexpr std::uintptr_t kJoinerNone = 0;        ///< nobody waiting
 inline constexpr std::uintptr_t kJoinerTerminated = 1;  ///< unit finished
 inline constexpr std::uintptr_t kJoinerTagMask = 7;
 inline constexpr std::uintptr_t kJoinerUltTag = 2;      ///< Ult* waiter
-inline constexpr std::uintptr_t kJoinerThreadTag = 3;   ///< ThreadParker*
+inline constexpr std::uintptr_t kJoinerThreadTag = 3;   ///< OS-thread waiter
+                                                        ///< record (join.cpp)
 inline constexpr std::uintptr_t kJoinerCounterTag = 4;  ///< EventCounter*
 
 /// Common header of every schedulable unit. Personalities allocate these
@@ -82,10 +83,21 @@ struct WorkUnit {
     // handshake).
     std::uint64_t obs_create_tsc = 0;
     std::atomic<std::uint64_t> obs_block_tsc{0};
-    /// Stamped by the terminating stream just before it publishes the
-    /// joiner slot; consumed once by the resuming joiner (signal->resume
-    /// join latency, "join.signal_resume_ticks").
+    /// Stamped by the terminating stream BEFORE its joiner-slot exchange
+    /// (the exchange stays the terminator's last unit access); read by a
+    /// joiner that notices join_done() without ever suspending — that
+    /// joiner still holds the unit (its own caller reclaims only after it
+    /// returns), so the read shares the join_done() load's lifetime.
     std::atomic<std::uint64_t> obs_terminate_tsc{0};
+    /// Handoff stamp written into the JOINER's descriptor (never the
+    /// terminating unit's) by publish_termination just before the direct
+    /// wake; consumed once by the joiner after it resumes (signal->resume
+    /// join latency, "join.signal_resume_ticks"). A SUSPENDED joiner must
+    /// not touch the joined unit after resuming — a concurrent poll-mode
+    /// joiner may observe the slot publish and let the caller reclaim the
+    /// unit before the slot joiner is rescheduled — so the stamp rides in
+    /// memory the joiner owns.
+    std::atomic<std::uint64_t> obs_handoff_tsc{0};
 
     /// Direct-handoff join slot (see tag constants above and
     /// docs/join_path.md). Written by at most one joiner (CAS from

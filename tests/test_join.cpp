@@ -18,6 +18,7 @@
 
 #include "abt/abt.hpp"
 #include "core/join.hpp"
+#include "core/metrics.hpp"
 #include "core/pool.hpp"
 #include "core/runtime.hpp"
 #include "core/sync_ult.hpp"
@@ -172,6 +173,50 @@ TEST(JoinCore, JoinStealRespectsPlacement) {
     other->stop_and_join();
 }
 
+TEST(JoinCore, HandoffRecordsSignalResumeLatency) {
+    // Deterministic discriminator for CI's join-smoke leg: a joiner that
+    // MUST suspend (the unit runs-and-sleeps on another stream, so steal/
+    // help-first/backoff all fail) records its signal→resume sample in
+    // the "join.signal_resume_ticks" histogram; poll mode records none.
+    // fig3's empty-bodied units can legally complete every join on the
+    // help-first fast path on a small host, so the bench histogram alone
+    // cannot assert the direct path was exercised.
+    auto& hist = lwt::core::MetricsRegistry::instance().histogram(
+        "join.signal_resume_ticks");
+    const auto blocked_join = [] {
+        lwt::core::DequePool pool;
+        auto stream = std::make_unique<lwt::core::XStream>(
+            0, std::make_unique<lwt::core::Scheduler>(
+                   std::vector<lwt::core::Pool*>{&pool}));
+        stream->start();
+        auto* unit = new lwt::core::Tasklet([] {
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        });
+        pool.push(unit);
+        lwt::core::join_unit(unit);
+        EXPECT_TRUE(unit->join_done());
+        delete unit;
+        stream->stop_and_join();
+    };
+    lwt::core::Metrics::instance().enable();
+    hist.reset();
+    {
+        ModeGuard guard(JoinMode::kHandoff);
+        blocked_join();
+    }
+    const std::uint64_t handoff_samples = hist.snapshot().count;
+    hist.reset();
+    {
+        ModeGuard guard(JoinMode::kPoll);
+        blocked_join();
+    }
+    const std::uint64_t poll_samples = hist.snapshot().count;
+    lwt::core::Metrics::instance().disable();
+    hist.reset();
+    EXPECT_GT(handoff_samples, 0u);
+    EXPECT_EQ(poll_samples, 0u);
+}
+
 TEST(JoinCore, EventCounterLastSignalRaceStress) {
     // OS threads only (TSan-safe): hammer the zero-crossing window where
     // the waiter registers while the final signal() drains the list. Any
@@ -182,6 +227,23 @@ TEST(JoinCore, EventCounterLastSignalRaceStress) {
         std::thread sig([&] { done.signal(); });
         done.wait();
         EXPECT_LE(done.value(), 0);
+        sig.join();
+    }
+}
+
+TEST(JoinCore, EventCounterDestroyRaceWithFinalSignal) {
+    // Regression (REVIEW: EventCounter::signal UAF): the waiter owns the
+    // counter and destroys it the instant wait() returns, while the
+    // zero-crossing signal() may still be in flight on another thread.
+    // signal() must not touch counter memory after the decrement that
+    // lets a fast-path waiter pass, nor after the wake that releases a
+    // registered waiter — ASan/TSan flag the old drain-under-guard here.
+    for (int round = 0; round < 300; ++round) {
+        auto owned = std::make_unique<lwt::core::EventCounter>(1);
+        lwt::core::EventCounter* done = owned.get();
+        std::thread sig([done] { done->signal(); });
+        done->wait();
+        owned.reset();  // free immediately; signal() may still be running
         sig.join();
     }
 }
@@ -328,6 +390,18 @@ int mth_workload() {
     return sum.load();
 }
 
+long mth_fib(lwt::mth::Library& lib, int n) {
+    if (n < 2) {
+        return n;
+    }
+    long left = 0;
+    lwt::mth::ThreadHandle child =
+        lib.create([&lib, &left, n] { left = mth_fib(lib, n - 1); });
+    const long right = mth_fib(lib, n - 2);
+    child.join();
+    return left + right;
+}
+
 int cvt_workload() {
     lwt::cvt::Config c;
     c.num_pes = 2;
@@ -380,6 +454,21 @@ TEST(JoinModes, QthHandoffMatchesPoll) { expect_mode_equivalence(qth_workload); 
 TEST(JoinModes, MthHandoffMatchesPoll) { expect_mode_equivalence(mth_workload); }
 TEST(JoinModes, CvtHandoffMatchesPoll) { expect_mode_equivalence(cvt_workload); }
 TEST(JoinModes, GolHandoffMatchesPoll) { expect_mode_equivalence(gol_workload); }
+
+TEST(JoinModes, PollModeRecursiveWorkFirstJoinCompletes) {
+    // Regression: under LWT_JOIN=poll a ULT joining a child ULT must hand
+    // the stream to the joinee each pass (yield_to), not plain-yield —
+    // under mth's LIFO deques a plain yield re-pops the joiner ahead of
+    // the child forever (the fib divide-and-conquer livelock).
+    ModeGuard guard(JoinMode::kPoll);
+    lwt::mth::Config c;
+    c.num_workers = 2;
+    c.policy = lwt::mth::Policy::kWorkFirst;
+    lwt::mth::Library lib(c);
+    long result = 0;
+    lib.run([&] { result = mth_fib(lib, 10); });
+    EXPECT_EQ(result, 55);
+}
 
 TEST(JoinModes, HandoffJoinAvoidsIdleYields) {
     // The join phase of fig3 in miniature: the primary creates units onto
