@@ -60,9 +60,11 @@ class Library;
 /// Argobots synchronisation objects, re-exported under their ABT names.
 /// All of them suspend the calling ULT through the scheduler rather than
 /// blocking the execution stream.
-using Mutex = core::UltMutex;      ///< ABT_mutex
-using CondVar = core::UltCondVar;  ///< ABT_cond
+using Mutex = core::Mutex;         ///< ABT_mutex
+using CondVar = core::Condvar;     ///< ABT_cond
 using Barrier = core::UltBarrier;  ///< ABT_barrier
+using RwLock = core::RwLock;       ///< ABT_rwlock
+using Semaphore = core::Semaphore; ///< no direct ABT name; sem-shaped
 template <typename T>
 using Eventual = core::Future<T>;  ///< ABT_eventual (typed)
 using Event = core::Event;         ///< ABT_eventual with no payload

@@ -6,15 +6,26 @@
 // channel but no ordering guarantee across concurrent senders, optional
 // buffering, close() with drain semantics.
 //
-// Blocking is cooperative: inside a ULT the channel yields through the
-// scheduler; on a plain thread it spins with an OS yield.
+// Blocking is suspend-based (core/waiter.hpp): a blocked sender or receiver
+// parks on an intrusive stack-node queue and is woken directly by its peer —
+// a ULT suspends through the scheduler, a plain thread sleeps on a parker.
+// The unbuffered path is a true rendezvous: the sender's value moves
+// straight into the receiver's result slot (or the sender blocks until a
+// receiver takes it), never through the buffer. The previous implementation
+// counted "waiting receivers" and pushed into the buffer when one was
+// present — but the counted receiver could already be departing with an
+// earlier item, stranding the value in a capacity-0 channel while send()
+// reported success. close() wakes every blocked sender (send returns false
+// with the value NOT consumed) and receiver (recv returns nullopt).
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
 
-#include "core/ult.hpp"
+#include "core/waiter.hpp"
 #include "sync/spinlock.hpp"
 
 namespace lwt::core {
@@ -28,85 +39,167 @@ class Channel {
     Channel(const Channel&) = delete;
     Channel& operator=(const Channel&) = delete;
 
-    /// Blocking send. Returns false if the channel is (or becomes) closed.
+    /// Blocking send. Returns false if the channel is (or becomes) closed —
+    /// in that case the value was NOT delivered (it dies with the argument).
     bool send(T value) {
-        for (;;) {
-            {
-                std::lock_guard g(lock_);
-                if (closed_) {
-                    return false;
-                }
-                if (capacity_ == 0) {
-                    // Unbuffered: hand off only when a receiver is waiting.
-                    if (waiting_receivers_ > 0 && items_.empty()) {
-                        items_.push_back(std::move(value));
-                        return true;
-                    }
-                } else if (items_.size() < capacity_) {
-                    items_.push_back(std::move(value));
-                    return true;
-                }
+        SyncBlocker blocker;
+        SendWaiter node;
+        node.value = &value;
+        RecvWaiter* rcv = nullptr;
+        blocker.prepare(node.w);
+        {
+            std::lock_guard g(lock_);
+            if (closed_) {
+                blocker.cancel(node.w);
+                return false;
             }
-            yield_anywhere();
+            if ((rcv = pop_recv_locked()) != nullptr) {
+                // Rendezvous: move straight into the receiver's slot.
+                rcv->out->emplace(std::move(value));
+                rcv->outcome.store(kDone, std::memory_order_release);
+            } else if (capacity_ > 0 && items_.size() < capacity_) {
+                items_.push_back(std::move(value));
+                blocker.cancel(node.w);
+                return true;
+            } else {
+                send_waiters_.push(&node);
+            }
         }
+        if (rcv != nullptr) {
+            blocker.cancel(node.w);
+            wake_sync_waiter(&rcv->w);
+            return true;
+        }
+        blocker.wait();
+        // Woken with a verdict: a receiver took the value (kDone) or the
+        // channel closed under us (value still ours; report failure).
+        return node.outcome.load(std::memory_order_acquire) == kDone;
     }
 
-    /// Non-blocking send attempt. Unbuffered channels require a waiting
-    /// receiver. Returns false when full/closed/no receiver.
+    /// Non-blocking send attempt. Unbuffered channels require a blocked
+    /// receiver to hand off to. Returns false when full/closed/no receiver.
     bool try_send(T value) {
-        std::lock_guard g(lock_);
-        if (closed_) {
-            return false;
-        }
-        if (capacity_ == 0) {
-            if (waiting_receivers_ > 0 && items_.empty()) {
+        RecvWaiter* rcv = nullptr;
+        {
+            std::lock_guard g(lock_);
+            if (closed_) {
+                return false;
+            }
+            if ((rcv = pop_recv_locked()) != nullptr) {
+                rcv->out->emplace(std::move(value));
+                rcv->outcome.store(kDone, std::memory_order_release);
+            } else if (capacity_ > 0 && items_.size() < capacity_) {
                 items_.push_back(std::move(value));
                 return true;
+            } else {
+                return false;
             }
-            return false;
         }
-        if (items_.size() >= capacity_) {
-            return false;
-        }
-        items_.push_back(std::move(value));
+        wake_sync_waiter(&rcv->w);
         return true;
     }
 
     /// Blocking receive. Empty optional means closed-and-drained (Go's
     /// `v, ok := <-ch` with ok == false).
     std::optional<T> recv() {
-        ReceiverScope scope(*this);
-        for (;;) {
-            {
-                std::lock_guard g(lock_);
-                if (!items_.empty()) {
-                    std::optional<T> out(std::move(items_.front()));
-                    items_.pop_front();
-                    return out;
+        std::optional<T> out;
+        SyncBlocker blocker;
+        RecvWaiter node;
+        node.out = &out;
+        SendWaiter* snd = nullptr;
+        bool registered = false;
+        blocker.prepare(node.w);
+        {
+            std::lock_guard g(lock_);
+            if (!items_.empty()) {
+                out.emplace(std::move(items_.front()));
+                items_.pop_front();
+                // Buffer slot freed: promote the head blocked sender.
+                if ((snd = pop_send_locked()) != nullptr) {
+                    items_.push_back(std::move(*snd->value));
+                    snd->outcome.store(kDone, std::memory_order_release);
                 }
-                if (closed_) {
-                    return std::nullopt;
-                }
+            } else if ((snd = pop_send_locked()) != nullptr) {
+                // Unbuffered rendezvous: take the blocked sender's value.
+                out.emplace(std::move(*snd->value));
+                snd->outcome.store(kDone, std::memory_order_release);
+            } else if (closed_) {
+                blocker.cancel(node.w);
+                return std::nullopt;
+            } else {
+                recv_waiters_.push(&node);
+                registered = true;
             }
-            yield_anywhere();
         }
+        if (!registered) {
+            blocker.cancel(node.w);
+            if (snd != nullptr) {
+                wake_sync_waiter(&snd->w);
+            }
+            return out;
+        }
+        blocker.wait();
+        if (node.outcome.load(std::memory_order_acquire) == kDone) {
+            return out;  // a sender filled our slot before waking us
+        }
+        return std::nullopt;  // closed while blocked
     }
 
-    /// Non-blocking receive attempt.
+    /// Non-blocking receive attempt. On an unbuffered (or drained) channel
+    /// this can complete a blocked sender's rendezvous directly.
     std::optional<T> try_recv() {
-        std::lock_guard g(lock_);
-        if (items_.empty()) {
-            return std::nullopt;
+        std::optional<T> out;
+        SendWaiter* snd = nullptr;
+        {
+            std::lock_guard g(lock_);
+            if (!items_.empty()) {
+                out.emplace(std::move(items_.front()));
+                items_.pop_front();
+                if ((snd = pop_send_locked()) != nullptr) {
+                    items_.push_back(std::move(*snd->value));
+                    snd->outcome.store(kDone, std::memory_order_release);
+                }
+            } else if ((snd = pop_send_locked()) != nullptr) {
+                out.emplace(std::move(*snd->value));
+                snd->outcome.store(kDone, std::memory_order_release);
+            } else {
+                return std::nullopt;
+            }
         }
-        std::optional<T> out(std::move(items_.front()));
-        items_.pop_front();
+        if (snd != nullptr) {
+            wake_sync_waiter(&snd->w);
+        }
         return out;
     }
 
-    /// Close the channel: senders fail, receivers drain then see nullopt.
+    /// Close the channel: every blocked sender wakes and reports failure
+    /// (its value untouched), every blocked receiver wakes with nullopt,
+    /// future sends fail, receivers drain the buffer then see nullopt.
     void close() {
-        std::lock_guard g(lock_);
-        closed_ = true;
+        SendWaiter* senders;
+        RecvWaiter* receivers;
+        {
+            std::lock_guard g(lock_);
+            if (closed_) {
+                return;
+            }
+            closed_ = true;
+            senders = send_waiters_.detach();
+            receivers = recv_waiters_.detach();
+        }
+        // Read `next` before each wake: a woken peer unwinds immediately.
+        while (senders != nullptr) {
+            SendWaiter* const next = senders->next;
+            senders->outcome.store(kClosed, std::memory_order_release);
+            wake_sync_waiter(&senders->w);
+            senders = next;
+        }
+        while (receivers != nullptr) {
+            RecvWaiter* const next = receivers->next;
+            receivers->outcome.store(kClosed, std::memory_order_release);
+            wake_sync_waiter(&receivers->w);
+            receivers = next;
+        }
     }
 
     [[nodiscard]] bool closed() const {
@@ -122,26 +215,68 @@ class Channel {
     [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
   private:
-    /// RAII registration of a blocked receiver (enables unbuffered handoff).
-    class ReceiverScope {
-      public:
-        explicit ReceiverScope(Channel& ch) : ch_(ch) {
-            std::lock_guard g(ch_.lock_);
-            ++ch_.waiting_receivers_;
-        }
-        ~ReceiverScope() {
-            std::lock_guard g(ch_.lock_);
-            --ch_.waiting_receivers_;
-        }
+    // Outcome values published by the peer BEFORE the wake; the blocked
+    // side reads them after. kPending only exists while queued.
+    static constexpr std::uint8_t kPending = 0;
+    static constexpr std::uint8_t kDone = 1;    // value handed over
+    static constexpr std::uint8_t kClosed = 2;  // channel closed under us
 
-      private:
-        Channel& ch_;
+    /// Stack-owned by a blocked sender; `value` points at its send() arg.
+    struct SendWaiter {
+        SyncWaiter w;
+        T* value = nullptr;
+        std::atomic<std::uint8_t> outcome{kPending};
+        SendWaiter* next = nullptr;
     };
+
+    /// Stack-owned by a blocked receiver; `out` points at its result slot.
+    struct RecvWaiter {
+        SyncWaiter w;
+        std::optional<T>* out = nullptr;
+        std::atomic<std::uint8_t> outcome{kPending};
+        RecvWaiter* next = nullptr;
+    };
+
+    template <typename Node>
+    struct WaiterQueue {
+        Node* head = nullptr;
+        Node* tail = nullptr;
+        void push(Node* n) noexcept {
+            n->next = nullptr;
+            if (tail != nullptr) {
+                tail->next = n;
+            } else {
+                head = n;
+            }
+            tail = n;
+        }
+        Node* pop() noexcept {
+            Node* n = head;
+            if (n != nullptr) {
+                head = n->next;
+                if (head == nullptr) {
+                    tail = nullptr;
+                }
+                n->next = nullptr;
+            }
+            return n;
+        }
+        Node* detach() noexcept {
+            Node* h = head;
+            head = nullptr;
+            tail = nullptr;
+            return h;
+        }
+    };
+
+    SendWaiter* pop_send_locked() { return send_waiters_.pop(); }
+    RecvWaiter* pop_recv_locked() { return recv_waiters_.pop(); }
 
     const std::size_t capacity_;
     mutable sync::Spinlock lock_;
     std::deque<T> items_;
-    std::size_t waiting_receivers_ = 0;
+    WaiterQueue<SendWaiter> send_waiters_;  ///< guarded by lock_
+    WaiterQueue<RecvWaiter> recv_waiters_;  ///< guarded by lock_
     bool closed_ = false;
 };
 

@@ -1,18 +1,18 @@
 // future.hpp — one-shot value futures with ULT-aware blocking.
 //
 // This is the Argobots "eventual" (ABT_eventual) abstraction: a write-once
-// cell that any number of ULTs (or plain threads) can wait on. Waiting ULTs
-// suspend through the scheduler (kBlocked protocol); the setter wakes them.
+// cell that any number of ULTs (or plain threads) can wait on. Waiters block
+// through the shared suspend machinery (core/waiter.hpp): a ULT suspends
+// through the scheduler and set() wakes it directly; a plain thread parks on
+// a stack ThreadParker and set() notifies it — the old implementation spun
+// OS-thread waiters on yield_anywhere() and only ever woke ULTs.
 #pragma once
 
 #include <atomic>
 #include <cassert>
 #include <optional>
-#include <thread>
-#include <vector>
 
-#include "core/ult.hpp"
-#include "core/xstream.hpp"
+#include "core/waiter.hpp"
 #include "sync/spinlock.hpp"
 
 namespace lwt::core {
@@ -26,19 +26,20 @@ class Future {
     Future(const Future&) = delete;
     Future& operator=(const Future&) = delete;
 
-    /// Publish the value and wake every waiter. Must be called once.
+    /// Publish the value and wake every waiter — suspended ULTs and parked
+    /// OS threads alike. Must be called once.
     void set(T value) {
-        std::vector<Ult*> to_wake;
+        SyncWaiter* chain;
         {
             std::lock_guard g(guard_);
             assert(!value_.has_value() && "Future::set called twice");
             value_.emplace(std::move(value));
-            to_wake.swap(waiters_);
+            chain = waiters_.detach_all();
         }
         ready_.store(true, std::memory_order_release);
-        for (Ult* u : to_wake) {
-            Ult::wake(u);
-        }
+        // Registered waiters cannot return from wait() before their wake,
+        // so their stack nodes outlive this walk (core/waiter.hpp).
+        wake_sync_chain(chain);
     }
 
     /// True once set() happened.
@@ -56,32 +57,27 @@ class Future {
     }
 
     /// Block until ready, then return a copy of the value. Inside a ULT
-    /// this suspends the ULT; on an attached stream it schedules other
-    /// work; on a plain thread it spins with OS yields.
+    /// this suspends the ULT; an attached stream drains its pools while
+    /// waiting; a plain thread parks until set() notifies it.
     T wait() {
-        if (Ult* self = Ult::current()) {
-            for (;;) {
-                if (ready()) {
-                    break;
+        if (!ready()) {
+            SyncBlocker blocker;
+            SyncWaiter node;
+            blocker.prepare(node);
+            bool registered = false;
+            {
+                std::lock_guard g(guard_);
+                if (!value_.has_value()) {
+                    waiters_.push_back(&node);
+                    registered = true;
                 }
-                bool registered = false;
-                {
-                    std::lock_guard g(guard_);
-                    if (!value_.has_value()) {
-                        self->state.store(State::kBlocking,
-                                          std::memory_order_release);
-                        waiters_.push_back(self);
-                        registered = true;
-                    }
-                }
-                if (!registered) {
-                    break;  // value arrived while we were registering
-                }
-                self->suspend(YieldStatus::kBlocked);
             }
-        } else {
-            while (!ready()) {
-                yield_anywhere();
+            if (registered) {
+                // One wake suffices: set() is one-shot, so a woken waiter
+                // always finds the value.
+                blocker.wait();
+            } else {
+                blocker.cancel(node);
             }
         }
         std::lock_guard g(guard_);
@@ -92,7 +88,7 @@ class Future {
     std::atomic<bool> ready_{false};
     mutable sync::Spinlock guard_;
     std::optional<T> value_;
-    std::vector<Ult*> waiters_;
+    SyncWaiterList waiters_;  ///< guarded by guard_
 };
 
 /// Value-less variant (pure completion event), e.g. ABT_eventual with

@@ -3,12 +3,20 @@
 #include <cassert>
 #include <chrono>
 #include <mutex>
-#include <thread>
 
+#include "arch/cpu.hpp"
 #include "core/join.hpp"
 #include "core/xstream.hpp"
 
 namespace lwt::core {
+
+namespace {
+/// Bounded pre-park spin for lock acquisition: short critical sections
+/// usually release within this budget, and a suspend costs two context
+/// switches. Deliberately small — the point of the suite is that waiters
+/// beyond it park instead of burning their stream.
+constexpr int kLockSpin = 32;
+}  // namespace
 
 // --- EventCounter -------------------------------------------------------------
 
@@ -148,81 +156,305 @@ void EventCounter::wait() noexcept {
     }
 }
 
-void UltMutex::lock() {
-    for (;;) {
+// --- Mutex --------------------------------------------------------------------
+
+void Mutex::lock() noexcept {
+    if (try_lock()) {
+        return;
+    }
+    for (int i = 0; i < kLockSpin; ++i) {
+        arch::cpu_relax();
         if (try_lock()) {
             return;
         }
-        Ult* self = Ult::current();
-        if (self == nullptr) {
-            // Plain OS thread: cooperative spin.
-            std::this_thread::yield();
-            continue;
-        }
+    }
+    // Mesa retry loop: every round re-arms a fresh blocker + stack node.
+    for (;;) {
+        SyncBlocker blocker;
+        SyncWaiter node;
+        blocker.prepare(node);
         {
             std::lock_guard g(guard_);
+            // Re-try under the guard: unlock() clears locked_ BEFORE its
+            // guarded pop, so if this try_lock fails the current holder's
+            // pop section is ordered after our push — no lost wakeup.
             if (try_lock()) {
+                blocker.cancel(node);
                 return;
             }
-            self->state.store(State::kBlocking, std::memory_order_release);
-            waiters_.push_back(self);
+            waiters_.push_back(&node);
         }
-        self->suspend(YieldStatus::kBlocked);
-        // Woken: re-contend (Mesa semantics).
+        blocker.wait();
     }
 }
 
-void UltMutex::unlock() {
+void Mutex::unlock() noexcept {
     locked_.store(false, std::memory_order_release);
-    Ult* next = nullptr;
+    SyncWaiter* next;
     {
         std::lock_guard g(guard_);
-        if (!waiters_.empty()) {
-            next = waiters_.front();
-            waiters_.pop_front();
-        }
+        next = waiters_.pop_front();
     }
     if (next != nullptr) {
-        Ult::wake(next);
+        wake_sync_waiter(next);
     }
 }
 
-void UltCondVar::wait(UltMutex& mutex) {
-    Ult* self = Ult::current();
-    assert(self != nullptr && "UltCondVar::wait requires ULT context");
+// --- Condvar ------------------------------------------------------------------
+
+void Condvar::wait(Mutex& mutex) noexcept {
+    SyncBlocker blocker;
+    SyncWaiter node;
+    blocker.prepare(node);
     {
         std::lock_guard g(guard_);
-        self->state.store(State::kBlocking, std::memory_order_release);
-        waiters_.push_back(self);
+        waiters_.push_back(&node);
     }
+    // Registered before the release: a notify issued by the next mutex
+    // holder cannot miss us.
     mutex.unlock();
-    self->suspend(YieldStatus::kBlocked);
+    blocker.wait();
     mutex.lock();
 }
 
-void UltCondVar::notify_one() {
-    Ult* next = nullptr;
+void Condvar::notify_one() noexcept {
+    SyncWaiter* next;
     {
         std::lock_guard g(guard_);
-        if (!waiters_.empty()) {
-            next = waiters_.front();
-            waiters_.pop_front();
-        }
+        next = waiters_.pop_front();
     }
     if (next != nullptr) {
-        Ult::wake(next);
+        wake_sync_waiter(next);
     }
 }
 
-void UltCondVar::notify_all() {
-    std::deque<Ult*> to_wake;
+void Condvar::notify_all() noexcept {
+    SyncWaiter* chain;
     {
         std::lock_guard g(guard_);
-        to_wake.swap(waiters_);
+        chain = waiters_.detach_all();
     }
-    for (Ult* u : to_wake) {
-        Ult::wake(u);
+    wake_sync_chain(chain);
+}
+
+// --- RwLock -------------------------------------------------------------------
+
+void RwLock::wake_next_locked(SyncWaiter*& chain) noexcept {
+    chain = nullptr;
+    SyncWaiter* head = waiters_.front();
+    if (head == nullptr) {
+        return;
     }
+    if ((head->flags & kWriterWaiter) != 0) {
+        chain = waiters_.pop_front();
+        chain->next = nullptr;
+        return;
+    }
+    // Wake the run of readers at the head, up to the first queued writer.
+    SyncWaiter* first = nullptr;
+    SyncWaiter** tail = &first;
+    while (!waiters_.empty() &&
+           (waiters_.front()->flags & kWriterWaiter) == 0) {
+        SyncWaiter* r = waiters_.pop_front();
+        r->next = nullptr;
+        *tail = r;
+        tail = &r->next;
+    }
+    chain = first;
+}
+
+void RwLock::lock() noexcept {
+    if (try_lock()) {
+        return;
+    }
+    for (int i = 0; i < kLockSpin; ++i) {
+        arch::cpu_relax();
+        if (try_lock()) {
+            return;
+        }
+    }
+    // Registered in waiting_writers_ exactly while queued or re-contending:
+    // the count gates fresh readers (writer preference / starvation bound)
+    // and is dropped only once we own the lock.
+    bool counted = false;
+    for (;;) {
+        SyncBlocker blocker;
+        SyncWaiter node;
+        node.flags = kWriterWaiter;
+        blocker.prepare(node);
+        {
+            std::lock_guard g(guard_);
+            if (try_lock()) {
+                if (counted) {
+                    waiting_writers_.fetch_sub(1, std::memory_order_release);
+                }
+                blocker.cancel(node);
+                return;
+            }
+            if (!counted) {
+                waiting_writers_.fetch_add(1, std::memory_order_release);
+                counted = true;
+            }
+            waiters_.push_back(&node);
+        }
+        blocker.wait();
+    }
+}
+
+void RwLock::unlock() noexcept {
+    state_.fetch_and(~kWriterBit, std::memory_order_release);
+    SyncWaiter* chain;
+    {
+        std::lock_guard g(guard_);
+        wake_next_locked(chain);
+    }
+    wake_sync_chain(chain);
+}
+
+void RwLock::lock_shared() noexcept {
+    if (try_lock_shared()) {
+        return;
+    }
+    for (int i = 0; i < kLockSpin; ++i) {
+        arch::cpu_relax();
+        if (try_lock_shared()) {
+            return;
+        }
+    }
+    bool woken = false;  // woken readers bypass the writer-preference gate
+    for (;;) {
+        SyncBlocker blocker;
+        SyncWaiter node;
+        blocker.prepare(node);
+        {
+            std::lock_guard g(guard_);
+            const bool gate_open =
+                woken ||
+                waiting_writers_.load(std::memory_order_acquire) == 0;
+            if (gate_open) {
+                std::uint32_t s = state_.load(std::memory_order_relaxed);
+                bool acquired = false;
+                while ((s & kWriterBit) == 0) {
+                    if (state_.compare_exchange_weak(
+                            s, s + kReaderOne, std::memory_order_acquire,
+                            std::memory_order_relaxed)) {
+                        acquired = true;
+                        break;
+                    }
+                }
+                if (acquired) {
+                    blocker.cancel(node);
+                    return;
+                }
+            }
+            waiters_.push_back(&node);
+        }
+        blocker.wait();
+        woken = true;
+    }
+}
+
+void RwLock::unlock_shared() noexcept {
+    const std::uint32_t old =
+        state_.fetch_sub(kReaderOne, std::memory_order_release);
+    if (old != kReaderOne) {
+        return;  // not the last reader
+    }
+    // Reader count hit zero: hand the lock to the head of the queue
+    // (typically the writer whose registration stopped reader inflow).
+    SyncWaiter* chain;
+    {
+        std::lock_guard g(guard_);
+        wake_next_locked(chain);
+    }
+    wake_sync_chain(chain);
+}
+
+// --- Semaphore ----------------------------------------------------------------
+
+void Semaphore::acquire() noexcept {
+    if (try_acquire()) {
+        return;
+    }
+    for (int i = 0; i < kLockSpin; ++i) {
+        arch::cpu_relax();
+        if (try_acquire()) {
+            return;
+        }
+    }
+    for (;;) {
+        SyncBlocker blocker;
+        SyncWaiter node;
+        blocker.prepare(node);
+        {
+            std::lock_guard g(guard_);
+            // Same no-lost-wakeup shape as Mutex: release() adds the count
+            // before its guarded pop, so a failed try here orders our push
+            // before that pop.
+            if (try_acquire()) {
+                blocker.cancel(node);
+                return;
+            }
+            waiters_.push_back(&node);
+        }
+        blocker.wait();
+    }
+}
+
+void Semaphore::release(std::int64_t n) noexcept {
+    count_.fetch_add(n, std::memory_order_release);
+    SyncWaiter* chain = nullptr;
+    SyncWaiter** tail = &chain;
+    {
+        std::lock_guard g(guard_);
+        for (std::int64_t i = 0; i < n; ++i) {
+            SyncWaiter* w = waiters_.pop_front();
+            if (w == nullptr) {
+                break;
+            }
+            w->next = nullptr;
+            *tail = w;
+            tail = &w->next;
+        }
+    }
+    wake_sync_chain(chain);
+}
+
+// --- UltBarrier ---------------------------------------------------------------
+
+void UltBarrier::arrive_and_wait() noexcept {
+    if (participants_ <= 1) {
+        generation_.fetch_add(1, std::memory_order_release);
+        return;
+    }
+    SyncBlocker blocker;
+    SyncWaiter node;
+    blocker.prepare(node);
+    bool last = false;
+    SyncWaiter* chain = nullptr;
+    {
+        std::lock_guard g(guard_);
+        if (++arrived_ == participants_) {
+            // Round complete. Reset under the guard so the barrier is
+            // reusable before any waiter has even woken (generation
+            // discipline): a woken participant re-arriving sees a clean
+            // arrival count and queues for the NEXT round.
+            arrived_ = 0;
+            generation_.fetch_add(1, std::memory_order_release);
+            chain = waiters_.detach_all();
+            blocker.cancel(node);
+            last = true;
+        } else {
+            waiters_.push_back(&node);
+        }
+    }
+    if (last) {
+        // Each node is woken exactly once, for exactly its own round — no
+        // generation re-check loop needed at the waiter.
+        wake_sync_chain(chain);
+        return;
+    }
+    blocker.wait();
 }
 
 }  // namespace lwt::core

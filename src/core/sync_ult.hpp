@@ -4,15 +4,22 @@
 // the scheduler (kBlocked protocol) so the stream keeps executing other
 // units — the core reason LWT joins beat Pthreads joins in the paper.
 // Each primitive also degrades gracefully when called from plain thread
-// code (spin-with-OS-yield), because the paper's main thread joins from
-// outside any ULT.
+// code (ThreadParker sleep; an attached stream drains its pools while
+// waiting), because the paper's main thread joins from outside any ULT.
+//
+// The whole family shares the waiter machinery in core/waiter.hpp:
+// allocation-free intrusive stack-node queues with the PR-5 EventCounter
+// lifetime discipline, Mesa-style wakeups (a woken waiter re-contends, so
+// condition waits need predicate loops), and wake-latency telemetry in the
+// "sync.wake_latency_ticks" registry histogram. docs/sync.md is the
+// catalogue; docs/join_path.md describes the underlying handshake.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
-#include <deque>
 
 #include "core/ult.hpp"
+#include "core/waiter.hpp"
 #include "sync/parking_lot.hpp"
 #include "sync/spinlock.hpp"
 
@@ -110,50 +117,166 @@ class EventCounter {
     WaitNode* waiters_head_ = nullptr;  ///< guarded by guard_
 };
 
-/// Mutual exclusion that suspends the calling ULT instead of spinning the
-/// stream. Plain threads fall back to a yielding spin. Mesa-style wakeups:
-/// a woken waiter re-contends.
-class UltMutex {
+/// Mutual exclusion that suspends the waiter instead of spinning its
+/// stream: a brief bounded spin (uncontended handoffs resolve in-cache),
+/// then the caller parks on an intrusive FIFO. Works from ULTs AND plain
+/// threads — the old UltMutex spun OS-thread callers forever. Mesa-style
+/// wakeups: unlock pops one waiter, which re-contends (barging allowed; no
+/// convoy on the handoff).
+class Mutex {
   public:
-    UltMutex() = default;
-    UltMutex(const UltMutex&) = delete;
-    UltMutex& operator=(const UltMutex&) = delete;
+    Mutex() = default;
+    Mutex(const Mutex&) = delete;
+    Mutex& operator=(const Mutex&) = delete;
 
-    void lock();
+    void lock() noexcept;
     bool try_lock() noexcept {
         bool expected = false;
         return locked_.compare_exchange_strong(expected, true,
                                                std::memory_order_acquire,
                                                std::memory_order_relaxed);
     }
-    void unlock();
+    void unlock() noexcept;
 
   private:
     std::atomic<bool> locked_{false};
     sync::Spinlock guard_;
-    std::deque<Ult*> waiters_;
+    SyncWaiterList waiters_;  ///< guarded by guard_
 };
 
-/// Condition variable for ULTs holding a UltMutex.
-class UltCondVar {
+/// Historical name; the suspend-based Mutex replaced the spin-degrade one.
+using UltMutex = Mutex;
+
+/// Condition variable over core::Mutex. Usable from ULTs and plain
+/// threads alike (the old UltCondVar asserted ULT context). Mesa
+/// semantics: always wait in a predicate loop —
+///     cv.wait(m, [&] { return ready; });
+class Condvar {
   public:
-    UltCondVar() = default;
-    UltCondVar(const UltCondVar&) = delete;
-    UltCondVar& operator=(const UltCondVar&) = delete;
+    Condvar() = default;
+    Condvar(const Condvar&) = delete;
+    Condvar& operator=(const Condvar&) = delete;
 
-    /// Atomically release `mutex` and suspend; reacquires before returning.
-    /// Callable from ULT context only.
-    void wait(UltMutex& mutex);
+    /// Atomically release `mutex` and block; reacquires before returning.
+    /// "Atomically" in the condvar sense: a notify issued after this
+    /// caller released the mutex is never lost (registration happens
+    /// before the release).
+    void wait(Mutex& mutex) noexcept;
 
-    void notify_one();
-    void notify_all();
+    /// Predicate loop (spurious/Mesa-wakeup safe).
+    template <typename Predicate>
+    void wait(Mutex& mutex, Predicate pred) {
+        while (!pred()) {
+            wait(mutex);
+        }
+    }
+
+    void notify_one() noexcept;
+    void notify_all() noexcept;
 
   private:
     sync::Spinlock guard_;
-    std::deque<Ult*> waiters_;
+    SyncWaiterList waiters_;  ///< guarded by guard_
+};
+
+/// Historical name for the ULT-aware condition variable.
+using UltCondVar = Condvar;
+
+/// Writer-preferring shared/exclusive lock (std::shared_mutex shape,
+/// ABT_rwlock semantics). Writer preference bounds writer starvation: once
+/// a writer is registered, fresh readers stop acquiring until it has had
+/// its turn; readers woken by an unlock bypass the gate (it is their
+/// turn). Mesa wakeups: unlock wakes either the head writer or the run of
+/// readers at the head of the queue.
+class RwLock {
+  public:
+    RwLock() = default;
+    RwLock(const RwLock&) = delete;
+    RwLock& operator=(const RwLock&) = delete;
+
+    void lock() noexcept;  ///< exclusive
+    bool try_lock() noexcept {
+        std::uint32_t expected = 0;
+        return state_.compare_exchange_strong(expected, kWriterBit,
+                                              std::memory_order_acquire,
+                                              std::memory_order_relaxed);
+    }
+    void unlock() noexcept;
+
+    void lock_shared() noexcept;
+    /// Fails when a writer holds the lock OR is waiting (the preference
+    /// gate — fresh readers queue behind registered writers).
+    bool try_lock_shared() noexcept {
+        if (waiting_writers_.load(std::memory_order_acquire) > 0) {
+            return false;
+        }
+        std::uint32_t s = state_.load(std::memory_order_relaxed);
+        while ((s & kWriterBit) == 0) {
+            if (state_.compare_exchange_weak(s, s + kReaderOne,
+                                             std::memory_order_acquire,
+                                             std::memory_order_relaxed)) {
+                return true;
+            }
+        }
+        return false;
+    }
+    void unlock_shared() noexcept;
+
+  private:
+    static constexpr std::uint32_t kWriterBit = 1;
+    static constexpr std::uint32_t kReaderOne = 2;
+    static constexpr std::uint32_t kWriterWaiter = 1;  // SyncWaiter::flags
+
+    /// Under guard_: pop and wake the head writer, or the run of readers
+    /// at the head (up to the first queued writer).
+    void wake_next_locked(SyncWaiter*& chain) noexcept;
+
+    // state_: bit 0 = writer held, bits 1.. = reader count.
+    std::atomic<std::uint32_t> state_{0};
+    std::atomic<std::uint32_t> waiting_writers_{0};
+    sync::Spinlock guard_;
+    SyncWaiterList waiters_;  ///< guarded by guard_
+};
+
+/// Counting semaphore (Converse CthSemaphore / POSIX sem shape). release()
+/// may run from any context, including completion callbacks; acquire()
+/// suspends like every other primitive here.
+class Semaphore {
+  public:
+    explicit Semaphore(std::int64_t initial = 0) noexcept : count_(initial) {}
+    Semaphore(const Semaphore&) = delete;
+    Semaphore& operator=(const Semaphore&) = delete;
+
+    void acquire() noexcept;
+    bool try_acquire() noexcept {
+        std::int64_t c = count_.load(std::memory_order_relaxed);
+        while (c > 0) {
+            if (count_.compare_exchange_weak(c, c - 1,
+                                             std::memory_order_acquire,
+                                             std::memory_order_relaxed)) {
+                return true;
+            }
+        }
+        return false;
+    }
+    void release(std::int64_t n = 1) noexcept;
+
+    [[nodiscard]] std::int64_t value() const noexcept {
+        return count_.load(std::memory_order_acquire);
+    }
+
+  private:
+    std::atomic<std::int64_t> count_;
+    sync::Spinlock guard_;
+    SyncWaiterList waiters_;  ///< guarded by guard_
 };
 
 /// Cooperative barrier usable by any mix of ULTs and plain threads.
+/// Suspend-based since the sync-suite PR: a non-last arriver parks on the
+/// intrusive list and the last arriver wakes the whole round — the old
+/// version spun every waiter on yield_anywhere(), monopolising streams.
+/// Generation counting makes the barrier immediately reusable: the last
+/// arriver resets the arrival count under the guard before anyone wakes.
 class UltBarrier {
   public:
     explicit UltBarrier(std::size_t participants) noexcept
@@ -161,27 +284,23 @@ class UltBarrier {
     UltBarrier(const UltBarrier&) = delete;
     UltBarrier& operator=(const UltBarrier&) = delete;
 
-    void arrive_and_wait() noexcept {
-        const std::uint64_t gen = generation_.load(std::memory_order_acquire);
-        if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
-            participants_) {
-            arrived_.store(0, std::memory_order_relaxed);
-            generation_.fetch_add(1, std::memory_order_release);
-            return;
-        }
-        while (generation_.load(std::memory_order_acquire) == gen) {
-            yield_anywhere();
-        }
-    }
+    void arrive_and_wait() noexcept;
 
     [[nodiscard]] std::size_t participants() const noexcept {
         return participants_;
     }
 
+    /// Completed rounds (tests/diagnostics).
+    [[nodiscard]] std::uint64_t generation() const noexcept {
+        return generation_.load(std::memory_order_acquire);
+    }
+
   private:
     const std::size_t participants_;
-    std::atomic<std::size_t> arrived_{0};
+    sync::Spinlock guard_;
+    std::size_t arrived_ = 0;  ///< guarded by guard_
     std::atomic<std::uint64_t> generation_{0};
+    SyncWaiterList waiters_;  ///< guarded by guard_
 };
 
 }  // namespace lwt::core

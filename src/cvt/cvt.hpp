@@ -36,6 +36,12 @@ struct Config {
     arch::BindPolicy bind = arch::BindPolicy::kNone;
 };
 
+/// Converse-flavoured synchronisation: CmiNodeLock-shaped mutual exclusion
+/// and the CthSemaphore counting semaphore, both suspend-based (a blocked
+/// Cth thread yields its PE instead of spinning it).
+using Mutex = core::Mutex;          ///< CmiNodeLock (PE-blocking variant)
+using Semaphore = core::Semaphore;  ///< CthSemaphore
+
 /// Handle to a Cth ULT (CthThread).
 class CthHandle {
   public:

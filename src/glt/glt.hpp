@@ -32,8 +32,11 @@
 #include <vector>
 
 #include "abt/abt.hpp"
+#include "core/channel.hpp"
+#include "core/future.hpp"
 #include "core/metrics.hpp"
 #include "core/sched_stats.hpp"
+#include "core/sync_ult.hpp"
 #include "core/trace.hpp"
 #include "core/unique_function.hpp"
 #include "cvt/cvt.hpp"
@@ -59,6 +62,25 @@ enum class Backend {
 [[nodiscard]] std::optional<Backend> backend_from_name(
     std::string_view name) noexcept;
 std::string_view backend_name(Backend backend);
+
+// --- Blocking synchronisation family (docs/sync.md) -------------------------
+//
+// Backend-independent by construction: every backend's units are core ULTs,
+// so the core:: suspend-based primitives work identically under all five —
+// a blocked unit suspends through its scheduler (the stream keeps running
+// other units) and a plain-thread caller parks. These are the GLT-level
+// names; each personality also re-exports its native subset (abt::Mutex,
+// gol::Chan, mth::Cond, cvt::Semaphore, qthreads-style FEB words on
+// qth::Library).
+using Mutex = core::Mutex;
+using Condvar = core::Condvar;
+using RwLock = core::RwLock;
+using Semaphore = core::Semaphore;
+using Barrier = core::UltBarrier;
+template <typename T>
+using Channel = core::Channel<T>;
+template <typename T>
+using Future = core::Future<T>;
 
 /// Typed placement hint for creation calls — replaces the v1 raw
 /// `int where` (whose -1/index encoding could not say "this package").

@@ -29,6 +29,12 @@ namespace lwt::gol {
 template <typename T>
 using Chan = core::Channel<T>;
 
+/// sync.Mutex / sync.RWMutex equivalents — goroutine-suspending, not
+/// stream-blocking, exactly like Go's runtime-integrated locks.
+using Mutex = core::Mutex;
+using RWMutex = core::RwLock;
+using Cond = core::Condvar;  ///< sync.Cond
+
 struct Config {
     /// Scheduler thread count (GOMAXPROCS); 0 resolves via LWT_NUM_THREADS
     /// then hardware.

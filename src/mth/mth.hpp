@@ -44,6 +44,12 @@ struct Config {
     arch::BindPolicy bind = arch::BindPolicy::kNone;
 };
 
+/// MassiveThreads synchronisation objects under their myth names. All of
+/// them suspend the calling ULT instead of blocking its worker.
+using Mutex = core::Mutex;         ///< myth_mutex
+using Cond = core::Condvar;        ///< myth_cond
+using Barrier = core::UltBarrier;  ///< myth_barrier
+
 /// Joinable handle to a spawned ULT (myth_thread_t).
 class ThreadHandle {
   public:

@@ -175,18 +175,17 @@ void Library::fork_bulk_domain(std::size_t n,
 
 void Library::yield() { core::yield_anywhere(); }
 
-void Library::feb_waiter(void* /*ctx*/) { core::yield_anywhere(); }
-
+// The FEB table blocks through sync::WaitTable since the sync-suite PR: a
+// waiting ULT suspends its worker (which keeps running other units), a
+// plain thread parks. No per-personality waiter callback any more.
 aligned_t Library::read_ff(const aligned_t* addr) {
-    return feb_.read_ff(addr, &Library::feb_waiter, nullptr);
+    return feb_.read_ff(addr);
 }
 
-aligned_t Library::read_fe(aligned_t* addr) {
-    return feb_.read_fe(addr, &Library::feb_waiter, nullptr);
-}
+aligned_t Library::read_fe(aligned_t* addr) { return feb_.read_fe(addr); }
 
 void Library::write_ef(aligned_t* addr, aligned_t value) {
-    feb_.write_ef(addr, value, &Library::feb_waiter, nullptr);
+    feb_.write_ef(addr, value);
 }
 
 void Library::write_f(aligned_t* addr, aligned_t value) {

@@ -180,7 +180,6 @@ class Library {
     }
 
   private:
-    static void feb_waiter(void* ctx);
     std::size_t current_shepherd() const;
     core::Pool* domain_queue(std::size_t domain);
 

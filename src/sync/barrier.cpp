@@ -20,6 +20,9 @@ DisseminationBarrier::DisseminationBarrier(std::size_t participants)
       generation_(n_, 0) {}
 
 void DisseminationBarrier::arrive_and_wait(std::size_t rank) noexcept {
+    assert(!in_ult_context() &&
+           "DisseminationBarrier is an OS-thread spin barrier; ULT callers "
+           "must use core::UltBarrier (co-scheduled ULTs would livelock)");
     const std::size_t episode = ++generation_[rank];
     std::size_t span = 1;
     for (std::size_t round = 0; round < rounds_; ++round, span <<= 1) {

@@ -4,10 +4,12 @@
 #pragma once
 
 #include <atomic>
+#include <cassert>
 #include <cstddef>
 #include <vector>
 
 #include "arch/cpu.hpp"
+#include "sync/wait_table.hpp"
 
 namespace lwt::sync {
 
@@ -15,6 +17,13 @@ namespace lwt::sync {
 /// the last flips the shared sense. Simple and compact, but every waiter
 /// spins on the same line — cost grows with participant count, which is the
 /// linear join growth the paper reports for gcc OpenMP and Converse Threads.
+///
+/// CONTRACT: OS threads only. arrive_and_wait() spins with nothing but a
+/// CPU hint — it never yields to a scheduler — so two participating ULTs
+/// mapped to the same execution stream livelock forever (the second can
+/// never run while the first spins). ULT code must use core::UltBarrier,
+/// which suspends waiters through the scheduler instead. Debug builds
+/// assert the caller is not a ULT.
 class CentralBarrier {
   public:
     explicit CentralBarrier(std::size_t participants) noexcept
@@ -22,8 +31,12 @@ class CentralBarrier {
     CentralBarrier(const CentralBarrier&) = delete;
     CentralBarrier& operator=(const CentralBarrier&) = delete;
 
-    /// Block (spin) until all participants have arrived.
+    /// Block (spin) until all participants have arrived. OS threads only —
+    /// see the class contract; ULT callers belong on core::UltBarrier.
     void arrive_and_wait() noexcept {
+        assert(!in_ult_context() &&
+               "CentralBarrier is an OS-thread spin barrier; ULT callers "
+               "must use core::UltBarrier (co-scheduled ULTs would livelock)");
         const bool my_sense = !sense_.load(std::memory_order_relaxed);
         if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
             remaining_.store(participants_, std::memory_order_relaxed);
@@ -46,6 +59,8 @@ class CentralBarrier {
 
 /// Dissemination barrier: log2(N) rounds of pairwise flag exchanges, no
 /// single hot line. Participants must pass stable, distinct ranks.
+/// Same OS-threads-only contract as CentralBarrier: waiters spin without
+/// yielding, so ULTs must use core::UltBarrier.
 class DisseminationBarrier {
   public:
     explicit DisseminationBarrier(std::size_t participants);

@@ -7,9 +7,13 @@
 // built on readFF. We reproduce it as a sharded hash table keyed by address:
 // words are implicitly FULL until touched, exactly as in Qthreads.
 //
-// Blocking is delegated to a caller-supplied waiter so the same table serves
-// bare OS threads (spin/yield) and ULTs (scheduler yield) without coupling
-// this module to the runtime.
+// Blocking is delegated to sync::WaitTable, the futex-style address-keyed
+// parking table: a blocked readFF suspends its ULT (or parks its OS thread)
+// on the word's address, and every state transition unparks that address.
+// The table used to take a caller-supplied spin callback instead; that made
+// every blocked FEB op burn its worker. The validate-under-shard-lock
+// protocol (wait_table.hpp) closes the wake-before-sleep window the spin
+// loop papered over.
 #pragma once
 
 #include <atomic>
@@ -17,17 +21,13 @@
 #include <mutex>
 #include <unordered_map>
 
-#include "arch/cpu.hpp"
 #include "sync/spinlock.hpp"
+#include "sync/wait_table.hpp"
 
 namespace lwt::sync {
 
 /// Synchronised word type. Qthreads uses `aligned_t`; we mirror that.
 using aligned_t = std::uint64_t;
-
-/// Callback invoked repeatedly while an operation needs to wait. A ULT
-/// runtime passes its yield; the default spins with a CPU hint.
-using FebWaiter = void (*)(void* ctx);
 
 /// Sharded full/empty-bit table. All operations are linearisable per word.
 class FebTable {
@@ -53,17 +53,15 @@ class FebTable {
     /// Write the value and mark FULL regardless of prior state (writeF).
     void write_f(aligned_t* addr, aligned_t value);
 
-    /// Wait until EMPTY, then write and mark FULL (writeEF).
-    void write_ef(aligned_t* addr, aligned_t value,
-                  FebWaiter waiter = nullptr, void* ctx = nullptr);
+    /// Wait until EMPTY, then write and mark FULL (writeEF). Blocking is
+    /// suspend-based: a ULT yields its worker, an OS thread parks.
+    void write_ef(aligned_t* addr, aligned_t value);
 
     /// Wait until FULL, read, leave FULL (readFF) — Qthreads' join primitive.
-    aligned_t read_ff(const aligned_t* addr,
-                      FebWaiter waiter = nullptr, void* ctx = nullptr);
+    aligned_t read_ff(const aligned_t* addr);
 
     /// Wait until FULL, read, mark EMPTY (readFE).
-    aligned_t read_fe(aligned_t* addr,
-                      FebWaiter waiter = nullptr, void* ctx = nullptr);
+    aligned_t read_fe(aligned_t* addr);
 
     /// Drop tracking for a word, restoring the implicit-FULL default.
     void forget(const aligned_t* addr);
@@ -87,7 +85,11 @@ class FebTable {
         return shards_[(key >> 3) % kShards];
     }
 
-    static void default_wait(void*) noexcept { arch::cpu_relax(); }
+    /// True (under the FEB shard lock) iff the word is FULL. Used both
+    /// directly and inside WaitTable validation callbacks; the nesting is
+    /// always wait-shard lock -> FEB shard lock, never the reverse (wakers
+    /// release the FEB lock before unparking), so there is no inversion.
+    bool is_full_locked(Shard& sh, std::uintptr_t key);
 
     Shard shards_[kShards];
 };

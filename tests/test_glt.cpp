@@ -4,10 +4,12 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/xstream.hpp"
@@ -213,7 +215,17 @@ TEST_P(GltBackendTest, TraceWindowCollectsStatsAndExports) {
         tokens.push_back(rt->ult_create([] {}));
     }
     rt->join_all(std::span<UnitToken>(tokens.data(), tokens.size()));
+    // gol (channel receive) and cvt (done flag) signal their join token
+    // from inside the unit body, so join_all can return while the worker
+    // is still switching back to its scheduler — which is what stamps
+    // kFinish. Wait out that trailing bookkeeping boundedly.
     lwt::glt::Stats mid = lwt::glt::stats();
+    for (int spin = 0;
+         spin < 2000 && mid.trace.of(lwt::core::TraceEvent::kFinish) < 8u;
+         ++spin) {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        mid = lwt::glt::stats();
+    }
     EXPECT_GE(mid.trace.of(lwt::core::TraceEvent::kCreate), 8u);
     EXPECT_GE(mid.trace.of(lwt::core::TraceEvent::kFinish), 8u);
     const std::string path = "glt_trace_" +

@@ -9,6 +9,7 @@
 #include "sync/feb.hpp"
 #include "sync/mcs_lock.hpp"
 #include "sync/spinlock.hpp"
+#include "sync/wait_table.hpp"
 
 namespace {
 
@@ -19,6 +20,7 @@ using lwt::sync::FebTable;
 using lwt::sync::McsLock;
 using lwt::sync::Spinlock;
 using lwt::sync::TicketLock;
+using lwt::sync::WaitTable;
 
 constexpr int kThreads = 4;
 constexpr int kIncrementsPerThread = 20000;
@@ -243,25 +245,83 @@ TEST(Feb, InstanceIsSingleton) {
     EXPECT_EQ(&FebTable::instance(), &FebTable::instance());
 }
 
-TEST(Feb, CustomWaiterIsInvokedWhileBlocked) {
+TEST(Feb, BlockedReaderParksInWaitTable) {
+    // The FEB table blocks through sync::WaitTable (not a spin callback):
+    // a blocked read_ff must show up as a parked waiter on the word's
+    // address, and the state transition must wake it.
     FebTable table;
     aligned_t word = 0;
     table.purge(&word);
-    std::thread filler([&] {
-        std::this_thread::sleep_for(std::chrono::milliseconds(10));
-        table.write_f(&word, 7);
+    std::atomic<bool> read{false};
+    aligned_t got = 0;
+    std::thread reader([&] {
+        got = table.read_ff(&word);
+        read.store(true);
     });
-    std::size_t waits = 0;
-    const aligned_t v = table.read_ff(
-        &word,
-        [](void* ctx) {
-            ++*static_cast<std::size_t*>(ctx);
-            std::this_thread::yield();
-        },
-        &waits);
-    filler.join();
-    EXPECT_EQ(v, 7u);
-    EXPECT_GT(waits, 0u);
+    // Wait until the reader is actually parked (it spins briefly first).
+    auto& wt = WaitTable::instance();
+    for (int i = 0; i < 2000 && wt.waiters(&word) == 0; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_EQ(wt.waiters(&word), 1u);
+    EXPECT_FALSE(read.load());
+    table.write_f(&word, 42);
+    reader.join();
+    EXPECT_TRUE(read.load());
+    EXPECT_EQ(got, 42u);
+    EXPECT_EQ(wt.waiters(&word), 0u);
+}
+
+// --- WaitTable (futex-style address-keyed parking) ----------------------------
+
+TEST(WaitTable, ValidationFailureRefusesToPark) {
+    auto& wt = WaitTable::instance();
+    int dummy = 0;
+    // still_blocked returns false: park_if must return false immediately.
+    const bool parked = wt.park_if(
+        &dummy, [](void*) { return false; }, nullptr);
+    EXPECT_FALSE(parked);
+    EXPECT_EQ(wt.waiters(&dummy), 0u);
+}
+
+TEST(WaitTable, UnparkWakesOnlyMatchingKey) {
+    auto& wt = WaitTable::instance();
+    // Two keys in (very likely) the same shard: waking one must not wake
+    // the other.
+    alignas(64) std::atomic<int> a{0};
+    alignas(64) std::atomic<int> b{0};
+    auto block_while_zero = [](void* ctx) {
+        return static_cast<std::atomic<int>*>(ctx)->load() == 0;
+    };
+    std::thread ta([&] {
+        while (a.load() == 0) {
+            wt.park_if(&a, block_while_zero, &a);
+        }
+    });
+    std::thread tb([&] {
+        while (b.load() == 0) {
+            wt.park_if(&b, block_while_zero, &b);
+        }
+    });
+    for (int i = 0; i < 2000 && (wt.waiters(&a) + wt.waiters(&b)) < 2; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_EQ(wt.waiters(&a), 1u);
+    ASSERT_EQ(wt.waiters(&b), 1u);
+    a.store(1);
+    EXPECT_EQ(wt.unpark(&a), 1u);
+    ta.join();
+    EXPECT_EQ(wt.waiters(&b), 1u);  // b's waiter untouched
+    b.store(1);
+    EXPECT_EQ(wt.unpark(&b), 1u);
+    tb.join();
+}
+
+TEST(WaitTable, NoUltOpsMeansNotUltContext) {
+    // This suite links only lwt::sync — core never installed its hooks, so
+    // plain threads are never misdiagnosed as ULTs (this is what lets
+    // CentralBarrier's assert pass for its legitimate OS-thread users).
+    EXPECT_FALSE(lwt::sync::in_ult_context());
 }
 
 }  // namespace

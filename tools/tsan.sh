@@ -8,13 +8,15 @@
 # exactly the code this PR's overhaul touches and are tasklet-only).
 #
 # Usage: tools/tsan.sh [ctest-regex]
-#   default regex: 'test_steal|test_trace|test_metrics|test_topology|test_join'
-#   (test_join self-gates its ULT-switching cases behind LWT_TSAN, leaving
-#   the parker/EventCounter/notify_one races for TSan to chew on.)
+#   default regex:
+#   'test_steal|test_trace|test_metrics|test_topology|test_join|test_sync_ult'
+#   (test_join and test_sync_ult self-gate their ULT-switching cases behind
+#   LWT_TSAN, leaving the parker/wait-table/channel-rendezvous races for
+#   TSan to chew on.)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-REGEX="${1:-test_steal|test_trace|test_metrics|test_topology|test_join}"
+REGEX="${1:-test_steal|test_trace|test_metrics|test_topology|test_join|test_sync_ult}"
 BUILD=build-tsan
 
 cmake -B "$BUILD" -S . \
