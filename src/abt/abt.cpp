@@ -112,8 +112,7 @@ Library::Library(Config config)
     for (std::size_t i = 0; i < n; ++i) {
         stack_caches_.push_back(std::make_unique<arch::StackCache>(&stack_pool_));
     }
-    const arch::BindPolicy bind = arch::bind_policy_from_string(
-        std::getenv("LWT_BIND"), config_.bind);
+    const arch::BindPolicy bind = arch::resolve_bind_policy(config_.bind);
     arch::LocalityMap locality(arch::Topology::from_env_or_discover(), bind,
                                n);
     for (std::size_t d = 0; d < locality.num_domains(); ++d) {

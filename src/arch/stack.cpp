@@ -3,6 +3,7 @@
 #include <sys/mman.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdlib>
 #include <new>
 
@@ -68,6 +69,18 @@ void Stack::decommit() noexcept {
     }
 }
 
+namespace {
+
+std::atomic<long> g_default_stack_cache{-1};  // -1 = no programmatic default
+
+}  // namespace
+
+void set_default_stack_cache(std::optional<std::size_t> max_cached) {
+    g_default_stack_cache.store(
+        max_cached ? static_cast<long>(*max_cached) : -1,
+        std::memory_order_relaxed);
+}
+
 StackPool::StackPool(std::size_t stack_bytes, std::size_t max_cached)
     : stack_bytes_(stack_bytes), max_cached_(max_cached) {
     if (const char* env = std::getenv("LWT_STACK_CACHE")) {
@@ -75,6 +88,10 @@ StackPool::StackPool(std::size_t stack_bytes, std::size_t max_cached)
         if (v >= 0) {
             max_cached_ = static_cast<std::size_t>(v);
         }
+    } else if (const long def =
+                   g_default_stack_cache.load(std::memory_order_relaxed);
+               def >= 0) {
+        max_cached_ = static_cast<std::size_t>(def);
     }
     soft_watermark_ = max_cached_ / 2;
 }

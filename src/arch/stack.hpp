@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <mutex>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -167,5 +168,11 @@ class StackCache {
 
 /// Default ULT stack size: LWT_STACKSIZE env var (bytes) or 64 KiB.
 std::size_t default_stack_size() noexcept;
+
+/// Programmatic default for the per-pool free-stack cap, consulted by
+/// StackPool construction when LWT_STACK_CACHE is unset (the env var
+/// always wins — glt::RuntimeOptions plumbing, see topology.hpp).
+/// Applies to pools created after the call; nullopt clears.
+void set_default_stack_cache(std::optional<std::size_t> max_cached);
 
 }  // namespace lwt::arch

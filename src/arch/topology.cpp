@@ -5,6 +5,7 @@
 #include <charconv>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <set>
 #include <sstream>
 
@@ -42,6 +43,44 @@ bool ieq(std::string_view a, std::string_view b) {
 }
 
 }  // namespace
+
+namespace {
+
+/// Programmatic defaults behind the env vars; see topology.hpp. Guarded by
+/// a mutex: setters run from init paths, getters from library boots.
+struct ArchDefaults {
+    std::mutex mutex;
+    std::string topology_spec;
+    std::optional<BindPolicy> bind;
+};
+
+ArchDefaults& arch_defaults() {
+    static ArchDefaults d;
+    return d;
+}
+
+}  // namespace
+
+void set_default_topology_spec(std::string spec) {
+    ArchDefaults& d = arch_defaults();
+    std::lock_guard g(d.mutex);
+    d.topology_spec = std::move(spec);
+}
+
+void set_default_bind_policy(std::optional<BindPolicy> policy) {
+    ArchDefaults& d = arch_defaults();
+    std::lock_guard g(d.mutex);
+    d.bind = policy;
+}
+
+BindPolicy resolve_bind_policy(BindPolicy config_fallback) {
+    if (const char* env = std::getenv("LWT_BIND")) {
+        return bind_policy_from_string(env, config_fallback);
+    }
+    ArchDefaults& d = arch_defaults();
+    std::lock_guard g(d.mutex);
+    return d.bind.value_or(config_fallback);
+}
 
 BindPolicy bind_policy_from_string(const char* name,
                                    BindPolicy fallback) noexcept {
@@ -147,6 +186,21 @@ Topology Topology::from_env_or_discover() {
                      "[lwt] ignoring malformed LWT_TOPOLOGY=\"%s\" "
                      "(expected PxCxT, e.g. 2x18x2)\n",
                      spec);
+    }
+    std::string def;
+    {
+        ArchDefaults& d = arch_defaults();
+        std::lock_guard g(d.mutex);
+        def = d.topology_spec;
+    }
+    if (!def.empty()) {
+        if (auto topo = from_spec(def)) {
+            return *std::move(topo);
+        }
+        std::fprintf(stderr,
+                     "[lwt] ignoring malformed RuntimeOptions topology "
+                     "\"%s\" (expected PxCxT, e.g. 2x18x2)\n",
+                     def.c_str());
     }
     return discover();
 }

@@ -36,6 +36,26 @@ enum class BindPolicy {
 [[nodiscard]] BindPolicy bind_policy_from_string(const char* name,
                                                  BindPolicy fallback) noexcept;
 
+// --- Programmatic defaults (glt::RuntimeOptions plumbing) -------------------
+//
+// Each knob resolves in the same order everywhere: environment variable if
+// set (a run can always be re-tuned without a rebuild), else the
+// programmatic default installed here (glt::init(RuntimeOptions)), else
+// the built-in/config fallback. Setters take effect for runtimes booted
+// *after* the call; empty / nullopt clears the default.
+
+/// Default topology fixture spec consulted by Topology::from_env_or_discover
+/// when LWT_TOPOLOGY is unset (same "PxCxT" grammar as from_spec).
+void set_default_topology_spec(std::string spec);
+
+/// Default stream-binding policy consulted by resolve_bind_policy when
+/// LWT_BIND is unset.
+void set_default_bind_policy(std::optional<BindPolicy> policy);
+
+/// LWT_BIND if set, else the programmatic default, else `config_fallback`.
+/// What every personality boot calls in place of reading LWT_BIND itself.
+[[nodiscard]] BindPolicy resolve_bind_policy(BindPolicy config_fallback);
+
 /// One locality domain: a package (socket) and the CPUs it owns. The
 /// granularity Qthreads' shepherd binding and our per-package overflow
 /// pools work at; SMT-sibling and core grouping live in LocalityMap

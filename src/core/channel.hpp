@@ -25,6 +25,7 @@
 #include <mutex>
 #include <optional>
 
+#include "core/reactor.hpp"
 #include "core/waiter.hpp"
 #include "sync/spinlock.hpp"
 
@@ -145,6 +146,62 @@ class Channel {
         return std::nullopt;  // closed while blocked
     }
 
+    /// recv() with a deadline: block at most `timeout`, then give up with
+    /// nullopt. Runs on the reactor timer wheel, so the wait suspends like
+    /// every other blocking path — no spin loop, the stream keeps running
+    /// other units. The pthread_cond_timedwait shape: the timer callback
+    /// dequeues our waiter under the channel lock, and whoever dequeues
+    /// (sender handing off, close, or the timer) owns the single wake.
+    /// NOTE: nullopt means "timed out OR closed"; use closed() to tell, as
+    /// with Go's select+time.After idiom.
+    std::optional<T> try_recv_for(std::chrono::nanoseconds timeout) {
+        std::optional<T> out;
+        SyncBlocker blocker;
+        RecvWaiter node;
+        node.out = &out;
+        node.chan = this;
+        SendWaiter* snd = nullptr;
+        bool registered = false;
+        blocker.prepare(node.w);
+        {
+            std::lock_guard g(lock_);
+            if (!items_.empty()) {
+                out.emplace(std::move(items_.front()));
+                items_.pop_front();
+                if ((snd = pop_send_locked()) != nullptr) {
+                    items_.push_back(std::move(*snd->value));
+                    snd->outcome.store(kDone, std::memory_order_release);
+                }
+            } else if ((snd = pop_send_locked()) != nullptr) {
+                out.emplace(std::move(*snd->value));
+                snd->outcome.store(kDone, std::memory_order_release);
+            } else if (closed_ || timeout.count() <= 0) {
+                blocker.cancel(node.w);
+                return std::nullopt;
+            } else {
+                recv_waiters_.push(&node);
+                registered = true;
+            }
+        }
+        if (!registered) {
+            blocker.cancel(node.w);
+            if (snd != nullptr) {
+                wake_sync_waiter(&snd->w);
+            }
+            return out;
+        }
+        Reactor::Timer timer;
+        Reactor::global().add_timer(timer, Deadline::in(timeout),
+                                    &Channel::recv_deadline_cb, &node);
+        blocker.wait();
+        // Quiesce the timer before `node` leaves scope, whichever side won.
+        Reactor::global().cancel_timer(timer);
+        if (node.outcome.load(std::memory_order_acquire) == kDone) {
+            return out;
+        }
+        return std::nullopt;  // closed or timed out while blocked
+    }
+
     /// Non-blocking receive attempt. On an unbuffered (or drained) channel
     /// this can complete a blocked sender's rendezvous directly.
     std::optional<T> try_recv() {
@@ -218,8 +275,9 @@ class Channel {
     // Outcome values published by the peer BEFORE the wake; the blocked
     // side reads them after. kPending only exists while queued.
     static constexpr std::uint8_t kPending = 0;
-    static constexpr std::uint8_t kDone = 1;    // value handed over
-    static constexpr std::uint8_t kClosed = 2;  // channel closed under us
+    static constexpr std::uint8_t kDone = 1;      // value handed over
+    static constexpr std::uint8_t kClosed = 2;    // channel closed under us
+    static constexpr std::uint8_t kTimedOut = 3;  // deadline dequeued us
 
     /// Stack-owned by a blocked sender; `value` points at its send() arg.
     struct SendWaiter {
@@ -230,12 +288,32 @@ class Channel {
     };
 
     /// Stack-owned by a blocked receiver; `out` points at its result slot.
+    /// `chan` is set only by timed receives (the deadline callback needs a
+    /// way back to the channel lock).
     struct RecvWaiter {
         SyncWaiter w;
         std::optional<T>* out = nullptr;
+        Channel* chan = nullptr;
         std::atomic<std::uint8_t> outcome{kPending};
         RecvWaiter* next = nullptr;
     };
+
+    /// Reactor timer callback for try_recv_for. Dequeueing under the lock
+    /// is the linearization point: if the node is already gone, a sender
+    /// or close() owns it (and its wake) — do nothing.
+    static void recv_deadline_cb(void* arg) {
+        auto* node = static_cast<RecvWaiter*>(arg);
+        Channel* ch = node->chan;
+        bool removed;
+        {
+            std::lock_guard g(ch->lock_);
+            removed = ch->recv_waiters_.remove(node);
+        }
+        if (removed) {
+            node->outcome.store(kTimedOut, std::memory_order_release);
+            wake_sync_waiter(&node->w);
+        }
+    }
 
     template <typename Node>
     struct WaiterQueue {
@@ -266,6 +344,27 @@ class Channel {
             head = nullptr;
             tail = nullptr;
             return h;
+        }
+        /// Unlink `target` if still queued (timed waits dequeue on
+        /// deadline). True = caller now owns the node's wake.
+        bool remove(Node* target) noexcept {
+            Node* prev = nullptr;
+            for (Node* n = head; n != nullptr; prev = n, n = n->next) {
+                if (n != target) {
+                    continue;
+                }
+                if (prev != nullptr) {
+                    prev->next = n->next;
+                } else {
+                    head = n->next;
+                }
+                if (tail == n) {
+                    tail = prev;
+                }
+                n->next = nullptr;
+                return true;
+            }
+            return false;
         }
     };
 

@@ -10,8 +10,10 @@
 
 #include <atomic>
 #include <cassert>
+#include <chrono>
 #include <optional>
 
+#include "core/reactor.hpp"
 #include "core/waiter.hpp"
 #include "sync/spinlock.hpp"
 
@@ -84,7 +86,62 @@ class Future {
         return *value_;
     }
 
+    /// wait() with a deadline: empty optional if set() has not happened
+    /// within `timeout`. The wait parks on the reactor timer wheel — the
+    /// deadline callback dequeues our waiter under the future's guard, so
+    /// exactly one of {set(), timer} issues the wake (the dequeue is the
+    /// linearization point, as in Channel::try_recv_for).
+    std::optional<T> wait_for(std::chrono::nanoseconds timeout) {
+        if (ready()) {
+            std::lock_guard g(guard_);
+            return value_;
+        }
+        if (timeout.count() <= 0) {
+            return std::nullopt;
+        }
+        SyncBlocker blocker;
+        TimedNode node;
+        node.self = this;
+        blocker.prepare(node.w);
+        {
+            std::lock_guard g(guard_);
+            if (value_.has_value()) {
+                blocker.cancel(node.w);
+                return value_;
+            }
+            waiters_.push_back(&node.w);
+        }
+        Reactor::Timer timer;
+        Reactor::global().add_timer(timer, Deadline::in(timeout),
+                                    &Future::wait_deadline_cb, &node);
+        blocker.wait();
+        // Quiesce the timer before `node` leaves scope, whichever side won.
+        Reactor::global().cancel_timer(timer);
+        std::lock_guard g(guard_);
+        return value_;  // still empty when the deadline won
+    }
+
   private:
+    /// Stack node for timed waits; the deadline callback needs the way
+    /// back to the future's guard and waiter list.
+    struct TimedNode {
+        SyncWaiter w;
+        Future* self = nullptr;
+    };
+
+    static void wait_deadline_cb(void* arg) {
+        auto* node = static_cast<TimedNode*>(arg);
+        Future* f = node->self;
+        bool removed;
+        {
+            std::lock_guard g(f->guard_);
+            removed = f->waiters_.remove(&node->w);
+        }
+        if (removed) {
+            wake_sync_waiter(&node->w);
+        }
+    }
+
     std::atomic<bool> ready_{false};
     mutable sync::Spinlock guard_;
     std::optional<T> value_;
@@ -98,6 +155,10 @@ class Event {
     void set() { inner_.set(true); }
     [[nodiscard]] bool ready() const noexcept { return inner_.ready(); }
     void wait() { inner_.wait(); }
+    /// True if the event fired within `timeout`.
+    bool wait_for(std::chrono::nanoseconds timeout) {
+        return inner_.wait_for(timeout).has_value();
+    }
 
   private:
     Future<bool> inner_;

@@ -149,6 +149,19 @@ class LatencyHistogram {
         return s;
     }
 
+    /// Fold a snapshot taken elsewhere (another registry, another process
+    /// — bench/net_echo ships its client-side histogram over a pipe) into
+    /// this histogram. Concurrent record() calls stay safe.
+    void merge(const HistogramSnapshot& s) noexcept {
+        for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+            if (s.buckets[i] != 0) {
+                buckets_[i].fetch_add(s.buckets[i], std::memory_order_relaxed);
+            }
+        }
+        count_.fetch_add(s.count, std::memory_order_relaxed);
+        sum_.fetch_add(s.sum, std::memory_order_relaxed);
+    }
+
     void reset() noexcept {
         for (auto& b : buckets_) {
             b.store(0, std::memory_order_relaxed);

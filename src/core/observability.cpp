@@ -20,11 +20,15 @@ namespace {
 struct ObsState {
     std::mutex mutex;
     int refcount = 0;
-    bool armed = false;        // env read once, at the first-ever attach
+    bool armed = false;        // sinks resolved once, at the first attach
     bool trace_on = false;
     bool metrics_on = false;
     std::string trace_path;
     std::string metrics_json_path;
+    // Programmatic fallbacks (observability_set_defaults): used where the
+    // corresponding env var is unset.
+    std::string default_trace;
+    std::string default_metrics;
 };
 
 ObsState& state() {
@@ -32,23 +36,44 @@ ObsState& state() {
     return s;
 }
 
+/// Resolve each sink: env var if set, else the programmatic default.
 /// LWT_METRICS accepts "1"/"true" (table only) or a *.json path (table +
-/// JSON dump). Anything empty/"0" leaves metrics off.
-void arm_from_env(ObsState& s) {
+/// JSON dump). Anything empty/"0" leaves metrics off. Re-arming (a later
+/// attach after observability_set_defaults changed the routes) disables
+/// recorders a previous arm enabled but the new resolution does not.
+void arm(ObsState& s) {
+    const bool was_trace = s.trace_on;
+    const bool was_metrics = s.metrics_on;
     s.armed = true;
-    if (const char* path = std::getenv("LWT_TRACE");
-        path != nullptr && *path != '\0') {
-        s.trace_on = true;
-        s.trace_path = path;
-        Tracer::instance().enable();
+    s.trace_on = false;
+    s.metrics_on = false;
+    s.trace_path.clear();
+    s.metrics_json_path.clear();
+
+    const char* trace = std::getenv("LWT_TRACE");
+    if (trace == nullptr) {
+        trace = s.default_trace.c_str();
     }
-    if (const char* v = std::getenv("LWT_METRICS");
-        v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0) {
+    if (*trace != '\0') {
+        s.trace_on = true;
+        s.trace_path = trace;
+        Tracer::instance().enable();
+    } else if (was_trace) {
+        Tracer::instance().disable();
+    }
+
+    const char* metrics = std::getenv("LWT_METRICS");
+    if (metrics == nullptr) {
+        metrics = s.default_metrics.c_str();
+    }
+    if (*metrics != '\0' && std::strcmp(metrics, "0") != 0) {
         s.metrics_on = true;
-        if (std::strstr(v, ".json") != nullptr) {
-            s.metrics_json_path = v;
+        if (std::strstr(metrics, ".json") != nullptr) {
+            s.metrics_json_path = metrics;
         }
         Metrics::instance().enable();
+    } else if (was_metrics) {
+        Metrics::instance().disable();
     }
 }
 
@@ -115,7 +140,7 @@ ObservabilitySession::ObservabilitySession() {
     ObsState& s = state();
     std::lock_guard g(s.mutex);
     if (!s.armed) {
-        arm_from_env(s);
+        arm(s);
     }
     ++s.refcount;
 }
@@ -132,6 +157,18 @@ bool observability_armed() noexcept {
     ObsState& s = state();
     std::lock_guard g(s.mutex);
     return s.trace_on || s.metrics_on;
+}
+
+void observability_set_defaults(std::string trace_path, std::string metrics) {
+    ObsState& s = state();
+    std::lock_guard g(s.mutex);
+    s.default_trace = std::move(trace_path);
+    s.default_metrics = std::move(metrics);
+    if (s.refcount == 0) {
+        // No session attached: let the next attach re-resolve the sinks so
+        // glt::init's routes take effect for the runtime it boots.
+        s.armed = false;
+    }
 }
 
 void print_metrics_report(std::ostream& os) {

@@ -38,6 +38,15 @@ class ObservabilitySession {
 /// attach; tests use it to verify env parsing).
 bool observability_armed() noexcept;
 
+/// Programmatic sink defaults (glt::RuntimeOptions plumbing): `trace_path`
+/// stands in for LWT_TRACE and `metrics` for LWT_METRICS ("1"/"true" =
+/// stderr table, "*.json" = table + JSON dump), but only where the
+/// corresponding env var is unset — env always wins. When no session is
+/// currently attached, the recorders re-arm at the next attach, so calling
+/// this between runtime boots (bench sweeps) re-routes the sinks; empty
+/// strings clear.
+void observability_set_defaults(std::string trace_path, std::string metrics);
+
 /// Render the human-readable metrics report (per-stream latency
 /// histograms, registry counters/gauges, trace event counts) to `os`.
 /// What LWT_METRICS=1 prints to stderr at shutdown.

@@ -1,6 +1,7 @@
 #include "core/runtime.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <string>
@@ -8,6 +9,15 @@
 #include "arch/cpu.hpp"
 
 namespace lwt::core {
+
+namespace {
+std::atomic<int> g_default_idle_policy{-1};  // -1 = no programmatic default
+}  // namespace
+
+void set_default_idle_policy(std::optional<sync::IdlePolicy> policy) {
+    g_default_idle_policy.store(
+        policy ? static_cast<int>(*policy) : -1, std::memory_order_relaxed);
+}
 
 Runtime::Runtime(std::size_t num_streams, const SchedulerFactory& factory,
                  sync::IdleConfig idle)
@@ -21,8 +31,13 @@ Runtime::Runtime(std::size_t num_streams, const SchedulerFactory& factory,
     if (num_streams == 0) {
         num_streams = 1;
     }
-    idle.policy = sync::idle_policy_from_string(std::getenv("LWT_IDLE_POLICY"),
-                                                idle.policy);
+    if (const char* env = std::getenv("LWT_IDLE_POLICY")) {
+        idle.policy = sync::idle_policy_from_string(env, idle.policy);
+    } else if (const int def =
+                   g_default_idle_policy.load(std::memory_order_relaxed);
+               def >= 0) {
+        idle.policy = static_cast<sync::IdlePolicy>(def);
+    }
     streams_.reserve(num_streams);
     for (std::size_t i = 0; i < num_streams; ++i) {
         streams_.push_back(std::make_unique<XStream>(

@@ -12,6 +12,7 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/metrics.hpp"
@@ -22,6 +23,12 @@
 #include "sync/parking_lot.hpp"
 
 namespace lwt::core {
+
+/// Programmatic default for the streams' idle policy, consulted by Runtime
+/// construction when LWT_IDLE_POLICY is unset (the env var always wins —
+/// glt::RuntimeOptions plumbing, see arch/topology.hpp). Applies to
+/// runtimes booted after the call; nullopt clears.
+void set_default_idle_policy(std::optional<sync::IdlePolicy> policy);
 
 class Runtime {
   public:

@@ -76,6 +76,29 @@ class SyncWaiterList {
     [[nodiscard]] SyncWaiter* front() const noexcept { return head_; }
     [[nodiscard]] bool empty() const noexcept { return head_ == nullptr; }
 
+    /// Unlink `target` if present (timed waits dequeue on deadline under
+    /// the primitive's guard). True when it was found and removed — the
+    /// caller then owns its wake; false means someone else dequeued it.
+    bool remove(SyncWaiter* target) noexcept {
+        SyncWaiter* prev = nullptr;
+        for (SyncWaiter* w = head_; w != nullptr; prev = w, w = w->next) {
+            if (w != target) {
+                continue;
+            }
+            if (prev != nullptr) {
+                prev->next = w->next;
+            } else {
+                head_ = w->next;
+            }
+            if (tail_ == w) {
+                tail_ = prev;
+            }
+            w->next = nullptr;
+            return true;
+        }
+        return false;
+    }
+
     /// Detach the whole chain (linked through `next`); the list is empty
     /// afterwards. Walk the chain reading `next` before each wake.
     SyncWaiter* detach_all() noexcept {

@@ -5,6 +5,7 @@
 #include "arch/cpu.hpp"
 #include "core/join.hpp"
 #include "core/metrics.hpp"
+#include "core/reactor.hpp"
 #include "core/trace.hpp"
 #include "core/waiter.hpp"
 
@@ -138,7 +139,16 @@ bool XStream::progress() {
         unit = scheduler().next();
     }
     if (unit == nullptr) {
-        return false;
+        // Out of work: lend this idle stream to the I/O reactor. A
+        // dispatched readiness event or due timer may wake a ULT straight
+        // into our pools, so retry the scheduler once after a hit.
+        if (Reactor::idle_poll_armed() &&
+            Reactor::global().try_poll() > 0) {
+            unit = scheduler().next();
+        }
+        if (unit == nullptr) {
+            return false;
+        }
     }
     run_unit(unit);
     return true;

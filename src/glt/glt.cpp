@@ -7,7 +7,11 @@
 #include <thread>
 #include <utility>
 
+#include "arch/stack.hpp"
 #include "core/channel.hpp"
+#include "core/observability.hpp"
+#include "core/reactor.hpp"
+#include "core/runtime.hpp"
 #include "core/sync_ult.hpp"
 #include "core/trace_export.hpp"
 
@@ -595,24 +599,48 @@ std::unique_ptr<Runtime> Runtime::create(Backend backend,
 }
 
 std::unique_ptr<Runtime> Runtime::create_from_env() {
-    Backend backend = Backend::kAbt;
+    return init(RuntimeOptions::from_env());
+}
+
+RuntimeOptions RuntimeOptions::from_env() {
+    RuntimeOptions opts;
     if (const char* name = std::getenv("GLT_BACKEND")) {
         if (auto parsed = backend_from_name(name)) {
-            backend = *parsed;
+            opts.backend = *parsed;
         }
     }
-    std::size_t workers = 0;
     // Only GLT_NUM_WORKERS is honoured; the legacy GLT_WORKERS alias was
     // dropped in v2.
-    const char* count = std::getenv("GLT_NUM_WORKERS");
-    if (count != nullptr) {
+    if (const char* count = std::getenv("GLT_NUM_WORKERS")) {
         char* end = nullptr;
         const unsigned long parsed = std::strtoul(count, &end, 10);
         if (end != count && *end == '\0') {
-            workers = static_cast<std::size_t>(parsed);
+            opts.workers = static_cast<std::size_t>(parsed);
         }
     }
-    return create(backend, workers);
+    return opts;
+}
+
+std::unique_ptr<Runtime> init(const RuntimeOptions& opts) {
+    // Install the programmatic defaults BEFORE creating the backend: the
+    // personalities read them during boot (topology discovery, stack pool
+    // sizing, idle-ladder selection). Each subsystem defers to its env var
+    // when set; empty/nullopt fields clear a default a previous init()
+    // installed, so successive boots see exactly these options.
+    arch::set_default_topology_spec(opts.topology);
+    arch::set_default_bind_policy(opts.bind);
+    arch::set_default_stack_cache(opts.stack_cache);
+    core::set_default_idle_policy(opts.idle);
+    if (opts.join && std::getenv("LWT_JOIN") == nullptr) {
+        // Join mode has no default-vs-cache split: poke the cached mode
+        // directly, but never override an explicit LWT_JOIN.
+        core::set_join_mode(*opts.join);
+    }
+    core::observability_set_defaults(opts.trace_sink, opts.metrics_sink);
+    if (opts.io_poller && std::getenv("LWT_IO_POLLER") == nullptr) {
+        core::Reactor::global().set_poller_enabled(*opts.io_poller);
+    }
+    return Runtime::create(opts.backend, opts.workers);
 }
 
 Stats stats() {

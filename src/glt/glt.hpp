@@ -32,8 +32,10 @@
 #include <vector>
 
 #include "abt/abt.hpp"
+#include "arch/topology.hpp"
 #include "core/channel.hpp"
 #include "core/future.hpp"
+#include "core/join.hpp"
 #include "core/metrics.hpp"
 #include "core/sched_stats.hpp"
 #include "core/sync_ult.hpp"
@@ -41,10 +43,18 @@
 #include "core/unique_function.hpp"
 #include "cvt/cvt.hpp"
 #include "gol/gol.hpp"
+#include "io/io.hpp"
 #include "mth/mth.hpp"
 #include "qth/qth.hpp"
+#include "sync/idle_backoff.hpp"
 
 namespace lwt::glt {
+
+/// The async-I/O surface (reactor-backed sockets, timers, deadlines) under
+/// its GLT-level name: glt::io::Socket, glt::io::sleep_for, ... — see
+/// docs/io_reactor.md. Identical under every backend (the reactor wakes
+/// core ULTs, which is what all five personalities run).
+namespace io = ::lwt::io;
 
 /// Backends a GLT instance can sit on.
 enum class Backend {
@@ -180,6 +190,60 @@ using BulkBody = std::function<void(std::size_t)>;
 class UnitToken;
 /// Opaque aggregate join handle returned by spawn_bulk.
 class BulkHandle;
+class Runtime;
+
+/// Programmatic runtime configuration — the one place the LWT_* / GLT_*
+/// environment knobs appear as typed fields (docs/api.md has the full
+/// table). Every field follows the same contract: the matching environment
+/// variable, when set, ALWAYS wins over the programmatic value, so an
+/// operator can re-route a deployed binary without a rebuild; the
+/// programmatic value replaces only the built-in default.
+///
+///   RuntimeOptions opts;
+///   opts.backend = Backend::kGol;
+///   opts.workers = 4;
+///   opts.metrics_sink = "run.json";
+///   auto rt = glt::init(opts);
+struct RuntimeOptions {
+    /// Backend to instantiate (GLT_BACKEND).
+    Backend backend = Backend::kAbt;
+    /// Execution streams / shepherds / workers / PEs (GLT_NUM_WORKERS;
+    /// 0 = per-backend resolution, usually the hardware thread count).
+    std::size_t workers = 0;
+    /// Synthetic topology spec, e.g. "2x4" = 2 packages x 4 PUs
+    /// (LWT_TOPOLOGY); empty = discover the real machine.
+    std::string topology;
+    /// Thread-pinning policy (LWT_BIND); nullopt = backend default.
+    std::optional<arch::BindPolicy> bind;
+    /// Join protocol, handoff vs poll (LWT_JOIN); nullopt = handoff.
+    std::optional<core::JoinMode> join;
+    /// Idle-stream ladder policy (LWT_IDLE_POLICY); nullopt = backoff.
+    std::optional<sync::IdlePolicy> idle;
+    /// Free-stack cache cap per pool (LWT_STACK_CACHE); nullopt = 64.
+    std::optional<std::size_t> stack_cache;
+    /// Trace sink: path for the Chrome-trace JSON (LWT_TRACE); empty = off.
+    std::string trace_sink;
+    /// Metrics sink: "1" = stderr table, "*.json" = table + JSON dump
+    /// (LWT_METRICS); empty = off.
+    std::string metrics_sink;
+    /// Run the dedicated reactor poller thread (LWT_IO_POLLER); nullopt =
+    /// on. With it off, I/O readiness is only discovered by idle streams.
+    std::optional<bool> io_poller;
+
+    /// Backend + worker count from GLT_BACKEND / GLT_NUM_WORKERS (the two
+    /// knobs without a programmatic-default channel of their own); all
+    /// other fields stay at their defaults — the LWT_* variables reach the
+    /// subsystems directly whether or not they pass through here.
+    [[nodiscard]] static RuntimeOptions from_env();
+};
+
+/// Boot a runtime from RuntimeOptions: installs the programmatic defaults
+/// into the subsystems (topology, binding, stacks, idle ladder, join mode,
+/// observability sinks, reactor poller) — each deferring to its
+/// environment variable when set — then creates the backend. The defaults
+/// are process-wide and persist for later runtimes too (they are defaults,
+/// not per-instance state); call again to change them.
+std::unique_ptr<Runtime> init(const RuntimeOptions& opts = {});
 
 /// Runtime-dispatch GLT instance: Table II's six rows as virtual calls,
 /// plus the v2 bulk extension.
@@ -196,7 +260,8 @@ class Runtime {
     static std::unique_ptr<Runtime> create(Backend backend,
                                            std::size_t num_workers = 0);
 
-    /// Build from the environment: GLT_BACKEND selects the backend
+    /// Build from the environment — a thin wrapper over
+    /// init(RuntimeOptions::from_env()): GLT_BACKEND selects the backend
     /// ("abt" when unset or unrecognised; name matching is case- and
     /// whitespace-insensitive), GLT_NUM_WORKERS the worker count (0 =
     /// per-backend default). The legacy GLT_WORKERS alias is no longer
@@ -210,12 +275,6 @@ class Runtime {
 
     /// The backend's native feature set (Table I, queryable).
     [[nodiscard]] virtual Capabilities capabilities() const = 0;
-
-    /// True if tasklet_create maps to a genuine stackless unit.
-    [[deprecated("query capabilities().native_tasklets instead")]]
-    [[nodiscard]] bool has_native_tasklets() const {
-        return capabilities().native_tasklets;
-    }
 
     /// Worker indices belonging to locality domain `d` — the streams a
     /// Placement::domain(d) spawn may land on. Empty when the backend has
@@ -247,17 +306,6 @@ class Runtime {
     virtual BulkHandle spawn_bulk(std::size_t n, BulkBody fn,
                                   UnitKind kind = UnitKind::kUlt,
                                   Placement where = {}) = 0;
-
-    // v1 `int where` shims (-1 = any, >= 0 = worker index). Thin wrappers
-    // over the typed calls; behaviour is identical by construction.
-    // Defined after UnitToken/BulkHandle below.
-    [[deprecated("pass a glt::Placement instead of an int where")]]
-    UnitToken ult_create(core::UniqueFunction fn, int where);
-    [[deprecated("pass a glt::Placement instead of an int where")]]
-    UnitToken tasklet_create(core::UniqueFunction fn, int where);
-    [[deprecated("pass a glt::Placement instead of an int where")]]
-    BulkHandle spawn_bulk(std::size_t n, BulkBody fn, UnitKind kind,
-                          int where);
 
     /// Join a batch created by spawn_bulk, reclaiming it. Cooperative from
     /// unit context where the backend allows; callable from the main
@@ -377,17 +425,5 @@ class BulkHandle {
     std::unique_ptr<State> state_;
     std::size_t count_ = 0;
 };
-
-// Deprecated v1 shim bodies (UnitToken/BulkHandle are complete here).
-inline UnitToken Runtime::ult_create(core::UniqueFunction fn, int where) {
-    return ult_create(std::move(fn), Placement::from_where(where));
-}
-inline UnitToken Runtime::tasklet_create(core::UniqueFunction fn, int where) {
-    return tasklet_create(std::move(fn), Placement::from_where(where));
-}
-inline BulkHandle Runtime::spawn_bulk(std::size_t n, BulkBody fn,
-                                      UnitKind kind, int where) {
-    return spawn_bulk(n, std::move(fn), kind, Placement::from_where(where));
-}
 
 }  // namespace lwt::glt

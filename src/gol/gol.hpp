@@ -22,6 +22,7 @@
 #include "core/sync_ult.hpp"
 #include "core/unique_function.hpp"
 #include "core/xstream.hpp"
+#include "io/io.hpp"
 
 namespace lwt::gol {
 
@@ -34,6 +35,25 @@ using Chan = core::Channel<T>;
 using Mutex = core::Mutex;
 using RWMutex = core::RwLock;
 using Cond = core::Condvar;  ///< sync.Cond
+
+// --- netpoller surface (net.Conn / net.Listener / time.Sleep shapes) --------
+//
+// The reactor (core/reactor.hpp) is this runtime's netpoller: a goroutine
+// blocking in Conn::read suspends and its scheduler thread runs other
+// goroutines, exactly Go's behaviour. These are thin names over glt::io —
+// identical objects, so gol code and glt code interoperate freely.
+using Conn = ::lwt::io::Socket;
+using Listener = ::lwt::io::Listener;
+
+/// time.Sleep: suspend the calling goroutine (or park a plain thread) on
+/// the reactor's timer wheel.
+inline void sleep(std::chrono::nanoseconds d) { ::lwt::io::sleep_for(d); }
+
+/// net.Dial("tcp", "127.0.0.1:port").
+inline ::lwt::io::Result<Conn> dial(std::uint16_t port,
+                                    ::lwt::io::Deadline deadline = {}) {
+    return ::lwt::io::connect_tcp(port, deadline);
+}
 
 struct Config {
     /// Scheduler thread count (GOMAXPROCS); 0 resolves via LWT_NUM_THREADS

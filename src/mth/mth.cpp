@@ -41,8 +41,7 @@ Library::Library(Config config) : config_(config) {
     const std::size_t n = core::Runtime::resolve_stream_count(
         config_.num_workers, "LWT_NUM_WORKERS");
     config_.num_workers = n;
-    const arch::BindPolicy bind = arch::bind_policy_from_string(
-        std::getenv("LWT_BIND"), config_.bind);
+    const arch::BindPolicy bind = arch::resolve_bind_policy(config_.bind);
     locality_ = arch::LocalityMap(arch::Topology::from_env_or_discover(),
                                   bind, n);
     pools_.reserve(n);

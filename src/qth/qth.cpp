@@ -36,8 +36,7 @@ Library::Library(Config config) : config_(config) {
     // domain either way.
     const std::size_t nworkers =
         config_.num_shepherds * config_.workers_per_shepherd;
-    const arch::BindPolicy bind = arch::bind_policy_from_string(
-        std::getenv("LWT_BIND"), config_.bind);
+    const arch::BindPolicy bind = arch::resolve_bind_policy(config_.bind);
     locality_ = arch::LocalityMap(arch::Topology::from_env_or_discover(),
                                   bind, nworkers);
     for (std::size_t d = 0; d < locality_.num_domains(); ++d) {

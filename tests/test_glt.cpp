@@ -285,27 +285,53 @@ TEST(GltDomainPlacement, DomainSpawnsLandOnlyOnThatPackage) {
     ::unsetenv("LWT_TOPOLOGY");
 }
 
-// --- deprecated v1 shims ---------------------------------------------------------
+// --- RuntimeOptions / init ------------------------------------------------------
 
-TEST(GltDeprecatedShims, IntWhereBehavesLikeTypedPlacement) {
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-    auto rt = Runtime::create(Backend::kAbt, 2);
-    std::atomic<int> ran{0};
-    UnitToken a = rt->ult_create([&] { ran.fetch_add(1); }, -1);
-    UnitToken b = rt->ult_create([&] { ran.fetch_add(1); }, 1);
-    UnitToken c = rt->tasklet_create([&] { ran.fetch_add(1); }, 0);
-    rt->join(a);
-    rt->join(b);
-    rt->join(c);
-    auto h = rt->spawn_bulk(8, [&](std::size_t) { ran.fetch_add(1); },
-                            lwt::glt::UnitKind::kUlt, 0);
-    rt->wait(h);
-    EXPECT_EQ(ran.load(), 11);
-    // has_native_tasklets survives as a deprecated alias for the
-    // capability bit.
-    EXPECT_EQ(rt->has_native_tasklets(), rt->capabilities().native_tasklets);
-#pragma GCC diagnostic pop
+TEST(GltRuntimeOptions, InitAppliesProgrammaticDefaults) {
+    // No LWT_TOPOLOGY in the env: the programmatic spec must shape the
+    // locality map exactly as the env var would.
+    ::unsetenv("LWT_TOPOLOGY");
+    lwt::glt::RuntimeOptions opts;
+    opts.backend = Backend::kAbt;
+    opts.workers = 4;
+    opts.topology = "2x2x1";
+    opts.idle = lwt::sync::IdlePolicy::kSpin;
+    opts.stack_cache = 8;
+    auto rt = lwt::glt::init(opts);
+    ASSERT_NE(rt, nullptr);
+    EXPECT_EQ(rt->backend(), Backend::kAbt);
+    EXPECT_EQ(rt->num_workers(), 4u);
+    EXPECT_EQ(rt->capabilities().locality_domains, 2u);
+    EXPECT_EQ(rt->domain_workers(1), (std::vector<std::size_t>{2, 3}));
+    rt.reset();
+    // Defaults persist process-wide until replaced: a plain init() resets
+    // them, and the next runtime sees the machine topology again.
+    auto plain = lwt::glt::init();
+    EXPECT_NE(plain->capabilities().locality_domains, 2u)
+        << "cleared topology default still in effect";
+}
+
+TEST(GltRuntimeOptions, EnvWinsOverProgrammaticValue) {
+    ::setenv("LWT_TOPOLOGY", "1x2x1", 1);
+    lwt::glt::RuntimeOptions opts;
+    opts.backend = Backend::kAbt;
+    opts.workers = 2;
+    opts.topology = "2x1x1";  // must lose to the env var
+    auto rt = lwt::glt::init(opts);
+    EXPECT_EQ(rt->capabilities().locality_domains, 1u);
+    ::unsetenv("LWT_TOPOLOGY");
+    rt.reset();
+    lwt::glt::init();  // clear the defaults for later tests
+}
+
+TEST(GltRuntimeOptions, FromEnvReadsBackendAndWorkers) {
+    ::setenv("GLT_BACKEND", "cvt", 1);
+    ::setenv("GLT_NUM_WORKERS", "3", 1);
+    const lwt::glt::RuntimeOptions opts = lwt::glt::RuntimeOptions::from_env();
+    EXPECT_EQ(opts.backend, Backend::kCvt);
+    EXPECT_EQ(opts.workers, 3u);
+    ::unsetenv("GLT_BACKEND");
+    ::unsetenv("GLT_NUM_WORKERS");
 }
 
 TEST(GltEnv, CreateFromEnvHonoursVariables) {

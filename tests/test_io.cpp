@@ -1,0 +1,470 @@
+// Tests for the async I/O reactor (core/reactor.hpp, src/io/io.hpp;
+// docs/io_reactor.md): fd-readiness waits with deadline/cancel arbitration,
+// the timer wheel, the suspending sleep, the reactor-backed timed waits on
+// Channel/Future, and loopback echo smoke across personalities.
+//
+// TSan builds (tools/tsan.sh) run this file too: TSan cannot follow
+// fcontext switches, so tests that suspend ULTs are gated out. The
+// OS-thread protocol tests — parker wakes through the reactor, the timer
+// fire/cancel race, deadline claims racing readiness — all stay enabled;
+// they are the racy core the reactor has to get right.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "abt/abt.hpp"
+#include "core/channel.hpp"
+#include "core/future.hpp"
+#include "core/metrics.hpp"
+#include "core/reactor.hpp"
+#include "gol/gol.hpp"
+#include "io/io.hpp"
+
+#if defined(__SANITIZE_THREAD__)
+#define LWT_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define LWT_TSAN 1
+#endif
+#endif
+
+namespace {
+
+namespace io = lwt::io;
+using lwt::core::Deadline;
+using lwt::core::IoStatus;
+using lwt::core::Reactor;
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+// --- timer wheel: OS-thread protocol -----------------------------------------
+
+TEST(IoTimer, FiresOnceNearDeadline) {
+    Reactor& r = Reactor::global();
+    std::atomic<int> fired{0};
+    Reactor::Timer t;
+    const auto start = steady_clock::now();
+    r.add_timer(t, Deadline::in(milliseconds(20)),
+                [](void* arg) {
+                    static_cast<std::atomic<int>*>(arg)->fetch_add(1);
+                },
+                &fired);
+    while (fired.load() == 0) {
+        std::this_thread::sleep_for(milliseconds(1));
+    }
+    EXPECT_GE(steady_clock::now() - start, milliseconds(19));
+    EXPECT_FALSE(r.cancel_timer(t));  // already fired
+    std::this_thread::sleep_for(milliseconds(30));
+    EXPECT_EQ(fired.load(), 1);  // one-shot: never refires
+}
+
+TEST(IoTimer, CancelPendingSuppressesCallback) {
+    Reactor& r = Reactor::global();
+    std::atomic<int> fired{0};
+    Reactor::Timer t;
+    r.add_timer(t, Deadline::in(milliseconds(50)),
+                [](void* arg) {
+                    static_cast<std::atomic<int>*>(arg)->fetch_add(1);
+                },
+                &fired);
+    EXPECT_TRUE(r.cancel_timer(t));
+    std::this_thread::sleep_for(milliseconds(80));
+    EXPECT_EQ(fired.load(), 0);
+}
+
+TEST(IoTimer, FireCancelRaceNeverLosesOrDoublesACallback) {
+    // Hammer the kPending/kFiring transition: near-due timers cancelled at
+    // a random moment. The contract under test: cancel_timer returns true
+    // IFF the callback will never run, and after it returns (either way)
+    // the callback is not in flight — so fired + cancelled == rounds, with
+    // the stack-owned Timer safely recycled every round.
+    Reactor& r = Reactor::global();
+    constexpr int kThreads = 3;
+    constexpr int kRounds = 400;
+    std::atomic<long> fired{0};
+    long cancelled = 0;
+    std::atomic<long> cancelled_total{0};
+    std::vector<std::thread> threads;
+    for (int tid = 0; tid < kThreads; ++tid) {
+        threads.emplace_back([&, tid] {
+            long my_cancelled = 0;
+            Reactor::Timer t;
+            for (int i = 0; i < kRounds; ++i) {
+                std::atomic<bool> ran{false};
+                r.add_timer(t, Deadline::in(milliseconds(i % 3)),
+                            [](void* arg) {
+                                static_cast<std::atomic<bool>*>(arg)->store(
+                                    true);
+                            },
+                            &ran);
+                if ((i + tid) % 2 == 0) {
+                    std::this_thread::sleep_for(
+                        std::chrono::microseconds(i % 1500));
+                }
+                if (r.cancel_timer(t)) {
+                    ++my_cancelled;
+                    EXPECT_FALSE(ran.load());
+                } else {
+                    // Callback has fully completed: `ran` must be visible
+                    // before this round's locals die.
+                    EXPECT_TRUE(ran.load());
+                    fired.fetch_add(1);
+                }
+            }
+            cancelled_total.fetch_add(my_cancelled);
+        });
+    }
+    for (auto& th : threads) {
+        th.join();
+    }
+    cancelled = cancelled_total.load();
+    EXPECT_EQ(fired.load() + cancelled, long{kThreads} * kRounds);
+}
+
+TEST(IoSleep, PlainThreadSleepsOnTheWheel) {
+    const auto start = steady_clock::now();
+    io::sleep_for(milliseconds(25));
+    EXPECT_GE(steady_clock::now() - start, milliseconds(24));
+}
+
+// --- fd readiness: OS-thread protocol ----------------------------------------
+
+TEST(IoSocket, ReadWakesOnDataFromAnotherThread) {
+    auto pair = io::Socket::pair();
+    ASSERT_TRUE(pair.ok()) << pair.error().message();
+    io::Socket a = std::move(pair.value().first);
+    io::Socket b = std::move(pair.value().second);
+
+    std::string got(5, '\0');
+    std::atomic<bool> read_done{false};
+    std::thread reader([&] {
+        auto res = a.read_exact(got.data(), got.size());
+        EXPECT_TRUE(res.ok()) << res.error().message();
+        read_done.store(true);
+    });
+    // Let the reader park on the reactor before any data exists.
+    std::this_thread::sleep_for(milliseconds(20));
+    EXPECT_FALSE(read_done.load());
+    auto w = b.write_all("hello", 5);
+    ASSERT_TRUE(w.ok()) << w.error().message();
+    reader.join();
+    EXPECT_EQ(got, "hello");
+}
+
+TEST(IoSocket, DeadlineExpiresOnSilentPeer) {
+    auto pair = io::Socket::pair();
+    ASSERT_TRUE(pair.ok());
+    io::Socket a = std::move(pair.value().first);
+    char buf[8];
+    const auto start = steady_clock::now();
+    auto res = a.read(buf, sizeof buf, Deadline::in(milliseconds(30)));
+    EXPECT_FALSE(res.ok());
+    EXPECT_TRUE(res.timed_out());
+    EXPECT_GE(steady_clock::now() - start, milliseconds(29));
+    // The fd stays usable after a timed-out wait: data now arrives fine.
+    io::Socket& b = pair.value().second;
+    ASSERT_TRUE(b.write_all("x", 1).ok());
+    auto again = a.read(buf, sizeof buf, Deadline::in(milliseconds(500)));
+    ASSERT_TRUE(again.ok()) << again.error().message();
+    EXPECT_EQ(again.value(), 1u);
+}
+
+TEST(IoSocket, CloseCancelsParkedReader) {
+    auto pair = io::Socket::pair();
+    ASSERT_TRUE(pair.ok());
+    io::Socket a = std::move(pair.value().first);
+    std::atomic<bool> woke{false};
+    std::thread reader([&] {
+        char buf[4];
+        auto res = a.read(buf, sizeof buf, Deadline::in(milliseconds(2000)));
+        // forget(fd) claims the waiter with kCanceled before ::close.
+        EXPECT_FALSE(res.ok());
+        EXPECT_EQ(res.error().kind, io::ErrorKind::kCanceled);
+        woke.store(true);
+    });
+    std::this_thread::sleep_for(milliseconds(20));
+    EXPECT_FALSE(woke.load());
+    a.close();
+    reader.join();
+    EXPECT_TRUE(woke.load());
+}
+
+TEST(IoSocket, AcceptConnectRoundTripOnLoopback) {
+    auto lr = io::Listener::listen();
+    ASSERT_TRUE(lr.ok()) << lr.error().message();
+    io::Listener& listener = lr.value();
+    ASSERT_NE(listener.port(), 0);
+
+    std::thread server([&] {
+        auto conn = listener.accept(Deadline::in(milliseconds(2000)));
+        ASSERT_TRUE(conn.ok()) << conn.error().message();
+        char buf[16];
+        auto n = conn.value().read(buf, sizeof buf,
+                                   Deadline::in(milliseconds(2000)));
+        ASSERT_TRUE(n.ok());
+        ASSERT_TRUE(conn.value().write_all(buf, n.value()).ok());
+    });
+    auto c = io::connect_tcp(listener.port(), Deadline::in(milliseconds(2000)));
+    ASSERT_TRUE(c.ok()) << c.error().message();
+    char reply[4] = {};
+    auto rr = io::request_reply(c.value(), "ping", reply, 4,
+                                Deadline::in(milliseconds(2000)));
+    ASSERT_TRUE(rr.ok()) << rr.error().message();
+    EXPECT_EQ(std::memcmp(reply, "ping", 4), 0);
+    server.join();
+}
+
+TEST(IoSocket, AcceptDeadlineTimesOutWithoutClient) {
+    auto lr = io::Listener::listen();
+    ASSERT_TRUE(lr.ok());
+    auto conn = lr.value().accept(Deadline::in(milliseconds(30)));
+    EXPECT_FALSE(conn.ok());
+    EXPECT_TRUE(conn.timed_out());
+}
+
+// --- reactor-backed timed waits on Channel / Future --------------------------
+
+TEST(IoTimedSync, ChannelTryRecvForTimesOutThenDelivers) {
+    lwt::core::Channel<int> ch(1);
+    const auto start = steady_clock::now();
+    EXPECT_FALSE(ch.try_recv_for(milliseconds(30)).has_value());
+    EXPECT_GE(steady_clock::now() - start, milliseconds(29));
+    ASSERT_TRUE(ch.try_send(42));
+    auto got = ch.try_recv_for(milliseconds(1000));
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, 42);
+}
+
+TEST(IoTimedSync, ChannelTryRecvForWakesOnConcurrentSend) {
+    lwt::core::Channel<int> ch;  // rendezvous
+    std::thread sender([&] {
+        std::this_thread::sleep_for(milliseconds(20));
+        EXPECT_TRUE(ch.send(7));
+    });
+    auto got = ch.try_recv_for(std::chrono::seconds(5));
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, 7);
+    sender.join();
+}
+
+TEST(IoTimedSync, ChannelTryRecvForSeesClose) {
+    lwt::core::Channel<int> ch(1);
+    std::thread closer([&] {
+        std::this_thread::sleep_for(milliseconds(20));
+        ch.close();
+    });
+    const auto start = steady_clock::now();
+    EXPECT_FALSE(ch.try_recv_for(std::chrono::seconds(5)).has_value());
+    // Woken by the close, not the 5 s deadline.
+    EXPECT_LT(steady_clock::now() - start, std::chrono::seconds(2));
+    closer.join();
+}
+
+TEST(IoTimedSync, FutureWaitForTimesOutThenSeesValue) {
+    lwt::core::Future<int> f;
+    EXPECT_FALSE(f.wait_for(milliseconds(20)).has_value());
+    std::thread setter([&] {
+        std::this_thread::sleep_for(milliseconds(20));
+        f.set(9);
+    });
+    auto got = f.wait_for(std::chrono::seconds(5));
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, 9);
+    setter.join();
+    // Ready future: immediate hit, no reactor round trip.
+    EXPECT_EQ(f.wait_for(milliseconds(0)).value_or(-1), 9);
+}
+
+#if !defined(LWT_TSAN)
+
+// --- ULT-context tests (suspend/resume through the scheduler) ----------------
+
+TEST(IoUlt, SleepSuspendsGoroutineNotThread) {
+    lwt::gol::Config c;
+    c.num_threads = 1;
+    lwt::gol::Library lib(c);
+    lwt::gol::WaitGroup wg;
+    std::atomic<int> progressed{0};
+    wg.add(2);
+    lib.go([&] {
+        io::sleep_for(milliseconds(60));
+        // The OTHER goroutine must have run on this same single thread
+        // while we slept — i.e. the sleep suspended, not blocked.
+        EXPECT_EQ(progressed.load(), 1);
+        wg.done();
+    });
+    lib.go([&] {
+        progressed.fetch_add(1);
+        wg.done();
+    });
+    wg.wait();
+}
+
+TEST(IoUlt, BlockedReaderDoesNotStallItsStream) {
+    // THE acceptance property: a ULT parked in read() releases its
+    // execution stream. One worker stream (abt pool 1), a reader ULT with
+    // no data, and background ULTs behind it in the same pool: every
+    // background unit completes while the reader is still parked, then
+    // data arrives and the reader finishes. Also pins the wake account:
+    // io.reactor.wakes moves when the reader is woken.
+    auto& wakes =
+        lwt::core::MetricsRegistry::instance().counter("io.reactor.wakes");
+    const std::uint64_t wakes_before = wakes.value();
+
+    auto pair = io::Socket::pair();
+    ASSERT_TRUE(pair.ok());
+    io::Socket rd = std::move(pair.value().first);
+    io::Socket wr = std::move(pair.value().second);
+
+    lwt::abt::Config c;
+    c.num_xstreams = 2;
+    lwt::abt::Library lib(c);
+    std::atomic<int> background{0};
+    std::atomic<bool> reader_done{false};
+    constexpr int kBackground = 16;
+
+    std::vector<lwt::abt::UnitHandle> handles;
+    handles.push_back(lib.thread_create(
+        [&] {
+            char buf[4];
+            auto res = rd.read_exact(buf, 4);
+            EXPECT_TRUE(res.ok()) << res.error().message();
+            // Everything queued behind us ran while we were parked.
+            EXPECT_EQ(background.load(), kBackground);
+            reader_done.store(true);
+        },
+        /*pool_idx=*/1));
+    for (int i = 0; i < kBackground; ++i) {
+        handles.push_back(lib.thread_create(
+            [&] { background.fetch_add(1); }, /*pool_idx=*/1));
+    }
+    // From the main thread: wait until the stream drained the background
+    // units (proof it kept scheduling around the parked reader), THEN
+    // supply the bytes.
+    while (background.load() < kBackground) {
+        std::this_thread::sleep_for(milliseconds(1));
+    }
+    EXPECT_FALSE(reader_done.load());
+    ASSERT_TRUE(wr.write_all("data", 4).ok());
+    lib.join_all_free(handles);
+    EXPECT_TRUE(reader_done.load());
+    EXPECT_GT(wakes.value(), wakes_before);
+}
+
+/// 1k-connection loopback echo smoke, shared by the personality variants.
+/// `spawn_server` launches a detached task (called from the acceptor
+/// thread; completion is tracked by the `served` counter), `spawn_client`
+/// launches a joinable client task from the main thread, and `drain_batch`
+/// joins the outstanding clients. Batched so at most ~kBatch connections
+/// are live at once (fd budget), totalling kConns.
+template <typename ServerSpawn, typename ClientSpawn, typename DrainFn>
+void run_echo_smoke(ServerSpawn&& spawn_server, ClientSpawn&& spawn_client,
+                    DrainFn&& drain_batch) {
+    constexpr int kConns = 1000;
+    constexpr int kBatch = 100;
+    constexpr std::size_t kPayload = 64;
+
+    auto lr = io::Listener::listen();
+    ASSERT_TRUE(lr.ok()) << lr.error().message();
+    io::Listener& listener = lr.value();
+    std::atomic<int> served{0};
+    std::atomic<bool> stop{false};
+
+    // Acceptor: accept until told to stop; one echo task per connection.
+    std::thread acceptor([&] {
+        while (!stop.load()) {
+            auto conn = listener.accept(Deadline::in(milliseconds(200)));
+            if (!conn.ok()) {
+                continue;  // deadline tick; re-check stop
+            }
+            auto* sp = new io::Socket(std::move(conn.value()));
+            spawn_server([sp, &served] {
+                io::Socket s = std::move(*sp);
+                delete sp;
+                char buf[kPayload];
+                if (s.read_exact(buf, kPayload,
+                                 Deadline::in(std::chrono::seconds(30)))
+                        .ok() &&
+                    s.write_all(buf, kPayload,
+                                Deadline::in(std::chrono::seconds(30)))
+                        .ok()) {
+                    served.fetch_add(1);
+                }
+            });
+        }
+    });
+
+    std::atomic<int> ok_echoes{0};
+    for (int batch = 0; batch < kConns / kBatch; ++batch) {
+        for (int i = 0; i < kBatch; ++i) {
+            spawn_client([&ok_echoes, port = listener.port()] {
+                auto c = io::connect_tcp(
+                    port, Deadline::in(std::chrono::seconds(30)));
+                if (!c.ok()) {
+                    return;
+                }
+                char out[kPayload];
+                char in[kPayload];
+                std::memset(out, 'e', kPayload);
+                if (io::request_reply(c.value(), out, in, kPayload,
+                                      Deadline::in(std::chrono::seconds(30)))
+                        .ok() &&
+                    std::memcmp(out, in, kPayload) == 0) {
+                    ok_echoes.fetch_add(1);
+                }
+            });
+        }
+        drain_batch();  // bound live fds before the next wave
+    }
+    while (served.load() < kConns) {
+        std::this_thread::sleep_for(milliseconds(1));
+    }
+    stop.store(true);
+    acceptor.join();
+    EXPECT_EQ(ok_echoes.load(), kConns);
+    EXPECT_EQ(served.load(), kConns);
+}
+
+TEST(IoUlt, EchoSmoke1kConnectionsGol) {
+    lwt::gol::Config c;
+    c.num_threads = 2;
+    lwt::gol::Library lib(c);
+    auto wg = std::make_shared<lwt::gol::WaitGroup>();
+    run_echo_smoke(
+        [&](auto fn) { lib.go(std::move(fn)); },
+        [&](auto fn) {
+            wg->add(1);
+            lib.go([fn = std::move(fn), wg] {
+                fn();
+                wg->done();
+            });
+        },
+        [&] { wg->wait(); });
+}
+
+TEST(IoUlt, EchoSmoke1kConnectionsAbt) {
+    lwt::abt::Config c;
+    c.num_xstreams = 2;
+    lwt::abt::Library lib(c);
+    std::vector<lwt::abt::UnitHandle> handles;
+    run_echo_smoke(
+        [&](auto fn) {
+            lib.thread_create_detached(std::move(fn), /*pool_idx=*/1);
+        },
+        [&](auto fn) {
+            handles.push_back(lib.thread_create(std::move(fn), /*pool_idx=*/1));
+        },
+        [&] {
+            lib.join_all_free(handles);
+            handles.clear();
+        });
+}
+
+#endif  // !LWT_TSAN
+
+}  // namespace
