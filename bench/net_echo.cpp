@@ -45,6 +45,7 @@
 #include "core/trace_export.hpp"
 #include "gol/gol.hpp"
 #include "io/io.hpp"
+#include "obs/introspect.hpp"
 
 namespace {
 
@@ -210,6 +211,11 @@ bool run_point(const char* self, const Point& pt, PointResult& out) {
     lwt::gol::Config c;
     c.num_threads = pt.streams;
     lwt::gol::Library lib(c);
+    if (const std::string addr = lwt::obs::introspect_bound_addr();
+        !addr.empty()) {
+        std::fprintf(stderr, "net_echo: introspection at http://%s/\n",
+                     addr.c_str());
+    }
     std::atomic<bool> stop{false};
     std::atomic<std::uint64_t> served{0};
     lwt::gol::WaitGroup acceptor_done;

@@ -170,9 +170,11 @@ Library::Library(Config config)
             return std::make_unique<core::Scheduler>(std::move(view));
         },
         std::move(locality));
+    introspect_.emplace();
 }
 
 Library::~Library() {
+    introspect_.reset();
     for (auto& s : dynamic_streams_) {
         s->stop_and_join();
     }

@@ -12,10 +12,12 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "arch/stack.hpp"
+#include "obs/introspect.hpp"
 #include "core/pool.hpp"
 #include "core/runtime.hpp"
 #include "core/future.hpp"
@@ -237,6 +239,10 @@ class Library {
     arch::SharedStackPool stack_pool_;
     std::vector<std::unique_ptr<arch::StackCache>> stack_caches_;
     mutable sync::Spinlock streams_lock_;
+    // Declared LAST (destroyed first): the introspection server's ULTs
+    // must drain while the streams above still run. Engaged at the end of
+    // the ctor — the acceptor needs live streams to land on.
+    std::optional<obs::IntrospectSession> introspect_;
 };
 
 }  // namespace lwt::abt

@@ -1,0 +1,181 @@
+#include "core/metrics_text.hpp"
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "core/metrics.hpp"
+#include "core/scheduler.hpp"
+#include "core/stream_dir.hpp"
+#include "core/trace.hpp"
+#include "core/xstream.hpp"
+
+namespace lwt::core {
+namespace {
+
+/// "io.reactor.wakes" -> "lwt_io_reactor_wakes" (Prometheus name charset
+/// is [a-zA-Z0-9_:]; we map everything else to '_').
+std::string sanitize(std::string_view name) {
+    std::string out = "lwt_";
+    out.reserve(name.size() + 4);
+    for (char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_';
+        out.push_back(ok ? c : '_');
+    }
+    return out;
+}
+
+void write_histogram(std::ostream& os, const std::string& name,
+                     const std::string& labels,
+                     const HistogramSnapshot& h) {
+    // Cumulative le-buckets over the occupied prefix of the log2 ladder;
+    // le is each bucket's inclusive upper bound (LatencyHistogram::
+    // bucket_limit), so the series is valid however many buckets we emit.
+    std::size_t hi = 0;
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+        if (h.buckets[b] != 0) {
+            hi = b;
+        }
+    }
+    const std::string sep = labels.empty() ? "" : ",";
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b <= hi; ++b) {
+        cum += h.buckets[b];
+        os << name << "_bucket{" << labels << sep << "le=\""
+           << LatencyHistogram::bucket_limit(b) << "\"} " << cum << "\n";
+    }
+    os << name << "_bucket{" << labels << sep << "le=\"+Inf\"} " << h.count
+       << "\n";
+    if (labels.empty()) {
+        os << name << "_sum " << h.sum << "\n";
+        os << name << "_count " << h.count << "\n";
+    } else {
+        os << name << "_sum{" << labels << "} " << h.sum << "\n";
+        os << name << "_count{" << labels << "} " << h.count << "\n";
+    }
+}
+
+}  // namespace
+
+std::vector<StreamSample> sample_streams() {
+    std::vector<StreamSample> out;
+    StreamDirectory::instance().for_each([&out](XStream& s) {
+        StreamSample sample;
+        sample.id = &s;
+        sample.rank = s.rank();
+        sample.dedicated = s.has_dedicated_thread();
+        sample.executed = s.executed();
+        sample.progress_epoch = s.progress_epoch();
+        sample.exec_start_tsc = s.exec_start_tsc();
+        sample.pool_depth = 0;
+        Scheduler& sched = s.scheduler();
+        for (const Pool* pool : sched.pools()) {
+            sample.pool_depth += pool->size_hint();
+        }
+        sample.has_work = sched.has_work();
+        sample.sched = s.sched_stats();
+        out.push_back(sample);
+    });
+    return out;
+}
+
+void write_prometheus_text(std::ostream& os) {
+    MetricsRegistry& reg = MetricsRegistry::instance();
+    for (const auto& c : reg.counters()) {
+        const std::string name = sanitize(c.name);
+        os << "# TYPE " << name << " counter\n";
+        os << name << " " << c.value << "\n";
+    }
+    for (const auto& g : reg.gauges()) {
+        const std::string name = sanitize(g.name);
+        os << "# TYPE " << name << " gauge\n";
+        os << name << " " << g.value << "\n";
+        os << "# TYPE " << name << "_max gauge\n";
+        os << name << "_max " << g.max << "\n";
+    }
+    for (const auto& h : reg.histograms()) {
+        const std::string name = sanitize(h.name);
+        os << "# TYPE " << name << " histogram\n";
+        write_histogram(os, name, "", h.hist);
+    }
+
+    // Per-stream unit-latency histograms (only populated when LWT_METRICS
+    // is on; empty histograms still render a valid +Inf/sum/count triple).
+    const auto units = Metrics::instance().unit_metrics();
+    if (!units.empty()) {
+        const auto stream_label = [](std::uint32_t stream) {
+            return stream == kNoStream
+                       ? std::string("stream=\"external\"")
+                       : "stream=\"" + std::to_string(stream) + "\"";
+        };
+        const struct {
+            const char* name;
+            HistogramSnapshot StreamUnitMetrics::* field;
+        } kSeries[] = {
+            {"lwt_unit_queue_dwell_ticks", &StreamUnitMetrics::queue_dwell},
+            {"lwt_unit_exec_ticks", &StreamUnitMetrics::exec_time},
+            {"lwt_unit_wake_latency_ticks", &StreamUnitMetrics::wake_latency},
+        };
+        for (const auto& series : kSeries) {
+            os << "# TYPE " << series.name << " histogram\n";
+            for (const auto& u : units) {
+                write_histogram(os, series.name, stream_label(u.stream),
+                                u.*(series.field));
+            }
+        }
+    }
+
+    // Live streams: counters the registry only learns about at stream
+    // teardown. The `stream` label is the directory position (unique while
+    // the process runs several runtimes whose ranks overlap); `rank` is
+    // the stream's rank within its own runtime.
+    const auto streams = sample_streams();
+    if (streams.empty()) {
+        return;
+    }
+    const auto series = [&os, &streams](
+                            const char* name, const char* type,
+                            const std::function<std::uint64_t(
+                                const StreamSample&)>& value) {
+        os << "# TYPE " << name << " " << type << "\n";
+        for (std::size_t i = 0; i < streams.size(); ++i) {
+            os << name << "{stream=\"" << i << "\",rank=\""
+               << streams[i].rank << "\"} " << value(streams[i]) << "\n";
+        }
+    };
+    series("lwt_stream_executed", "counter",
+           [](const StreamSample& s) { return s.executed; });
+    series("lwt_stream_progress_epoch", "counter",
+           [](const StreamSample& s) { return s.progress_epoch; });
+    series("lwt_stream_pool_depth", "gauge",
+           [](const StreamSample& s) { return s.pool_depth; });
+    series("lwt_stream_steal_attempts", "counter",
+           [](const StreamSample& s) { return s.sched.steal_attempts; });
+    series("lwt_stream_steal_hits", "counter",
+           [](const StreamSample& s) { return s.sched.steal_hits; });
+    series("lwt_stream_idle_spins", "counter",
+           [](const StreamSample& s) { return s.sched.idle_spins; });
+    series("lwt_stream_idle_yields", "counter",
+           [](const StreamSample& s) { return s.sched.idle_yields; });
+    series("lwt_stream_parks", "counter",
+           [](const StreamSample& s) { return s.sched.parks; });
+    for (const char* dir : {"attempts", "hits"}) {
+        const bool hits = std::string_view(dir) == "hits";
+        const std::string name =
+            std::string("lwt_stream_steal_tier_") + dir;
+        os << "# TYPE " << name << " counter\n";
+        for (std::size_t i = 0; i < streams.size(); ++i) {
+            for (std::size_t t = 0; t < kStealTiers; ++t) {
+                os << name << "{stream=\"" << i << "\",rank=\""
+                   << streams[i].rank << "\",tier=\"" << steal_tier_name(t)
+                   << "\"} "
+                   << (hits ? streams[i].sched.tier_hits[t]
+                            : streams[i].sched.tier_attempts[t])
+                   << "\n";
+            }
+        }
+    }
+}
+
+}  // namespace lwt::core

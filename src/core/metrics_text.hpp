@@ -1,0 +1,51 @@
+// metrics_text.hpp — Prometheus text exposition of the process metrics.
+//
+// Renders everything the process knows about itself in the (plain-text,
+// version 0.0.4) Prometheus exposition format: the MetricsRegistry's named
+// counters/gauges/log2-histograms, the per-stream unit-latency histograms
+// (Metrics), and a live per-stream section sampled from the
+// StreamDirectory — the registry only sees a stream's scheduler counters
+// when the stream dies (XStream dtor fold), so a scrape of a *running*
+// server needs the live sample to show nonzero steal/executed counters.
+//
+// Serving this over HTTP is src/obs/introspect.cpp's job; the renderer
+// lives in core so it stays usable without the io layer (dump-to-file,
+// tests).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "core/sched_stats.hpp"
+
+namespace lwt::core {
+
+/// One live stream's observable state, sampled under the StreamDirectory
+/// lock (see sample_streams). `id` is the stream's address — stable for
+/// the stream's lifetime, the key watchdogs use to track epochs across
+/// samples — valid to dereference only inside a directory for_each.
+struct StreamSample {
+    const void* id;
+    unsigned rank;
+    bool dedicated;           ///< has its own OS thread (XStream::start)
+    std::uint64_t executed;
+    std::uint64_t progress_epoch;
+    std::uint64_t exec_start_tsc;  ///< 0 unless the watchdog is armed
+    std::size_t pool_depth;        ///< size_hint() summed over the pools
+    bool has_work;                 ///< any scheduler pool non-empty
+    SchedStats sched;
+};
+
+/// Sample every live execution stream, in directory (creation) order.
+[[nodiscard]] std::vector<StreamSample> sample_streams();
+
+/// Write the full exposition: registry metrics (prefixed `lwt_`, dots
+/// mapped to underscores), per-stream unit-latency histograms
+/// (`lwt_unit_*_ticks{stream=...}`), and the live per-stream scheduler
+/// series (`lwt_stream_*{stream=...}`). Histograms render as cumulative
+/// `_bucket{le="..."}` series with `_sum`/`_count`, one bucket per
+/// occupied log2 bucket plus `+Inf`.
+void write_prometheus_text(std::ostream& os);
+
+}  // namespace lwt::core

@@ -89,6 +89,14 @@ class Pool {
     /// an exact empty()).
     [[nodiscard]] virtual bool empty() const { return size_hint() == 0; }
 
+    /// Whether push() is safe from an arbitrary thread. False only for
+    /// owner-only producers (WsPool's Chase-Lev bottom). Cross-thread
+    /// injectors — the obs introspection server picking a pool to seed its
+    /// acceptor ULT into — must skip pools that return false.
+    [[nodiscard]] virtual bool cross_push_safe() const noexcept {
+        return true;
+    }
+
     /// How push() wakes parked consumers. kAll broadcasts (safe default);
     /// kOne wakes a single stream — correct only when EVERY stream that
     /// parks on the lot can consume from this pool (a truly shared pool),
@@ -286,6 +294,9 @@ class WsPool final : public Pool {
     }
     [[nodiscard]] std::size_t size_hint() const override {
         return deque_.size_approx();
+    }
+    [[nodiscard]] bool cross_push_safe() const noexcept override {
+        return false;  // Chase-Lev push_bottom is owner-only
     }
 
   protected:

@@ -26,6 +26,7 @@ std::string_view trace_event_name(TraceEvent e) {
         case TraceEvent::kBlock: return "block";
         case TraceEvent::kWake: return "wake";
         case TraceEvent::kFinish: return "finish";
+        case TraceEvent::kStall: return "stall";
     }
     return "?";
 }

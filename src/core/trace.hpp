@@ -31,8 +31,9 @@ enum class TraceEvent : std::uint8_t {
     kBlock,       ///< suspended waiting (not rescheduled)
     kWake,        ///< made runnable by a waker
     kFinish,      ///< entry function completed
+    kStall,       ///< watchdog flagged a stream as stalled (unit == stream)
 };
-inline constexpr std::size_t kTraceEventKinds = 6;
+inline constexpr std::size_t kTraceEventKinds = 7;
 
 std::string_view trace_event_name(TraceEvent e);
 

@@ -154,6 +154,11 @@ void write_chrome_trace(std::ostream& os,
                     emit_instant(r, ts);
                 }
                 break;
+            case TraceEvent::kStall:
+                // Watchdog verdicts are rare and load-bearing: always
+                // emit, instants option or not.
+                emit_instant(r, ts);
+                break;
         }
     }
     // Units still running when the snapshot was taken: close their spans

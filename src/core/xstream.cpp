@@ -6,6 +6,7 @@
 #include "core/join.hpp"
 #include "core/metrics.hpp"
 #include "core/reactor.hpp"
+#include "core/stream_dir.hpp"
 #include "core/trace.hpp"
 #include "core/waiter.hpp"
 
@@ -24,9 +25,13 @@ XStream::XStream(unsigned rank, std::unique_ptr<Scheduler> scheduler)
     ensure_sync_wait_ops();
     scheduler->bind_stats(&counters_);
     sched_stack_.push_back(std::move(scheduler));
+    // Last: the stream is fully formed, make it visible to observers.
+    StreamDirectory::instance().add(this);
 }
 
 XStream::~XStream() {
+    // First: no observer may see a stream that has begun dying.
+    StreamDirectory::instance().remove(this);
     stop_and_join();
     // Fold this stream's steal telemetry into the process-wide registry so
     // post-run reporting (metrics dump, bench --json steal_tiers) survives
@@ -49,6 +54,7 @@ void XStream::push_scheduler(std::unique_ptr<Scheduler> scheduler) {
 
 void XStream::start() {
     assert(!thread_.joinable());
+    started_.store(true, std::memory_order_relaxed);
     thread_ = std::thread([this] { loop(); });
 }
 
@@ -125,6 +131,11 @@ void XStream::loop() {
 }
 
 bool XStream::progress() {
+    // Liveness heartbeat for the stall watchdog. Single-writer (only the
+    // driving thread comes through here), so load+store beats a lock-ed
+    // RMW: one relaxed store is the whole fig2 cost of the feature.
+    progress_epoch_.store(progress_epoch_.load(std::memory_order_relaxed) + 1,
+                          std::memory_order_relaxed);
     // Pop the scheduler stack while the top scheduler is done (never pops
     // the base scheduler).
     {
@@ -171,6 +182,12 @@ void XStream::finish_unit(WorkUnit* unit) {
 
 void XStream::run_unit(WorkUnit* unit) {
     executed_.fetch_add(1, std::memory_order_relaxed);
+    // Runaway-unit stamp for the watchdog: dispatch TSC while a unit is
+    // on-CPU, 0 otherwise. Unarmed (the default) this is one relaxed load.
+    const bool watchdog = watchdog_armed();
+    if (watchdog) {
+        exec_start_tsc_.store(arch::rdtsc(), std::memory_order_relaxed);
+    }
     Tracer::instance().record(TraceEvent::kStart, unit);
     // Per-unit latency metrics: queue dwell on first dispatch, execution
     // time per dispatch slice (== start->finish for run-to-completion
@@ -197,6 +214,9 @@ void XStream::run_unit(WorkUnit* unit) {
             Metrics::instance().record_exec(arch::rdtsc() - dispatch_tsc);
         }
         finish_unit(unit);
+        if (watchdog) {
+            exec_start_tsc_.store(0, std::memory_order_relaxed);
+        }
         return;
     }
 
@@ -232,6 +252,9 @@ void XStream::run_unit(WorkUnit* unit) {
             }
             break;
         }
+    }
+    if (watchdog) {
+        exec_start_tsc_.store(0, std::memory_order_relaxed);
     }
 }
 

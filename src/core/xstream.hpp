@@ -125,6 +125,29 @@ class XStream {
         return executed_.load(std::memory_order_relaxed);
     }
 
+    /// Scheduling-progress epoch: bumped (one relaxed store) at the top of
+    /// every progress() pass. The stall watchdog (src/obs/watchdog.hpp)
+    /// samples it — a frozen epoch while the stream's pools hold work
+    /// means the stream is wedged (or its driving thread went away).
+    [[nodiscard]] std::uint64_t progress_epoch() const noexcept {
+        return progress_epoch_.load(std::memory_order_relaxed);
+    }
+
+    /// TSC at which the currently-executing unit was dispatched; 0 while
+    /// idle or whenever the watchdog is unarmed (set_watchdog_armed —
+    /// keeping the default dispatch path at one relaxed load).
+    [[nodiscard]] std::uint64_t exec_start_tsc() const noexcept {
+        return exec_start_tsc_.load(std::memory_order_relaxed);
+    }
+
+    /// True once start() launched a dedicated OS thread for this stream.
+    /// Streams driven manually (attach_caller + progress/run_until) stay
+    /// false — the watchdog exempts them, since "no progress" on a stream
+    /// nobody is obliged to drive is not a stall.
+    [[nodiscard]] bool has_dedicated_thread() const noexcept {
+        return started_.load(std::memory_order_relaxed);
+    }
+
     /// Record where this stream sits in the machine hierarchy (see
     /// arch::LocalityMap). Set by the runtime/personality that owns the
     /// stream; defaults to domain 0 (everything local).
@@ -157,7 +180,10 @@ class XStream {
 
     const unsigned rank_;
     std::atomic<bool> stop_{false};
+    std::atomic<bool> started_{false};
     std::atomic<std::uint64_t> executed_{0};
+    std::atomic<std::uint64_t> progress_epoch_{0};
+    std::atomic<std::uint64_t> exec_start_tsc_{0};
     WorkUnit* next_hint_ = nullptr;  // touched only by the driving thread
 
     sync::IdleConfig idle_config_{};

@@ -67,9 +67,11 @@ Library::Library(Config config) : config_(config) {
         }
         workers_.back()->start();
     }
+    introspect_.emplace();
 }
 
 Library::~Library() {
+    introspect_.reset();
     for (auto& w : workers_) {
         w->stop_and_join();
     }

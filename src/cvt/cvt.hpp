@@ -16,10 +16,12 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "arch/locality.hpp"
 #include "core/observability.hpp"
+#include "obs/introspect.hpp"
 #include "core/pool.hpp"
 #include "core/sync_ult.hpp"
 #include "core/ult.hpp"
@@ -165,6 +167,10 @@ class Library {
     std::vector<std::unique_ptr<core::XStream>> workers_;  // PEs 1..n-1
     std::unique_ptr<core::XStream> primary_;               // PE 0
     core::EventCounter tracked_;
+    // Declared LAST (destroyed first): the introspection server's ULTs
+    // must drain while the PEs above still run. Engaged at the end of
+    // the ctor — the acceptor needs live streams to land on.
+    std::optional<obs::IntrospectSession> introspect_;
 };
 
 }  // namespace lwt::cvt

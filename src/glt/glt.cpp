@@ -10,6 +10,7 @@
 #include "arch/stack.hpp"
 #include "core/channel.hpp"
 #include "core/observability.hpp"
+#include "obs/introspect.hpp"
 #include "core/reactor.hpp"
 #include "core/runtime.hpp"
 #include "core/sync_ult.hpp"
@@ -637,11 +638,14 @@ std::unique_ptr<Runtime> init(const RuntimeOptions& opts) {
         core::set_join_mode(*opts.join);
     }
     core::observability_set_defaults(opts.trace_sink, opts.metrics_sink);
+    obs::set_introspect_defaults(opts.introspect_addr, opts.watchdog_ms);
     if (opts.io_poller && std::getenv("LWT_IO_POLLER") == nullptr) {
         core::Reactor::global().set_poller_enabled(*opts.io_poller);
     }
     return Runtime::create(opts.backend, opts.workers);
 }
+
+std::string introspect_addr() { return obs::introspect_bound_addr(); }
 
 Stats stats() {
     return {core::Tracer::instance().stats(),

@@ -229,6 +229,13 @@ struct RuntimeOptions {
     /// Run the dedicated reactor poller thread (LWT_IO_POLLER); nullopt =
     /// on. With it off, I/O readiness is only discovered by idle streams.
     std::optional<bool> io_poller;
+    /// Introspection HTTP endpoint, "127.0.0.1:PORT" / ":PORT" / "PORT"
+    /// (LWT_INTROSPECT); port 0 picks a free port — read it back with
+    /// glt::introspect_addr(). Empty = off. Loopback only.
+    std::string introspect_addr;
+    /// Stall-watchdog sampling interval in ms (LWT_WATCHDOG_MS);
+    /// nullopt/0 = off.
+    std::optional<std::uint32_t> watchdog_ms;
 
     /// Backend + worker count from GLT_BACKEND / GLT_NUM_WORKERS (the two
     /// knobs without a programmatic-default channel of their own); all
@@ -360,6 +367,12 @@ void trace_begin();
 /// so stats() remains meaningful after the window closes. Returns false
 /// on IO failure.
 bool trace_end(const std::string& path);
+
+/// Address the live introspection endpoint is serving on
+/// ("127.0.0.1:PORT"), or "" when LWT_INTROSPECT /
+/// RuntimeOptions::introspect_addr did not enable it. Useful with port 0
+/// (auto-pick) and in banners/logs.
+std::string introspect_addr();
 
 /// Join token implementation detail: type-erased state with a deleter.
 class UnitToken {

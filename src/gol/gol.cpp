@@ -17,9 +17,11 @@ Library::Library(Config config) : config_(config) {
                 std::vector<core::Pool*>{&global_})));
         threads_.back()->start();
     }
+    introspect_.emplace();
 }
 
 Library::~Library() {
+    introspect_.reset();
     for (auto& t : threads_) {
         t->stop_and_join();
     }

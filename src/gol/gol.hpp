@@ -14,10 +14,12 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/channel.hpp"
 #include "core/observability.hpp"
+#include "obs/introspect.hpp"
 #include "core/pool.hpp"
 #include "core/sync_ult.hpp"
 #include "core/unique_function.hpp"
@@ -114,6 +116,10 @@ class Library {
     Config config_;
     mutable core::SharedFifoPool global_;
     std::vector<std::unique_ptr<core::XStream>> threads_;
+    // Declared LAST (destroyed first): the introspection server's ULTs
+    // must drain while the threads above still run. Engaged at the end of
+    // the ctor — the acceptor needs live streams to land on.
+    std::optional<obs::IntrospectSession> introspect_;
 };
 
 }  // namespace lwt::gol

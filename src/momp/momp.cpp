@@ -181,9 +181,12 @@ class Runtime::PersistentTeam {
 Runtime::Runtime(Config config) : config_(config) {
     config_.num_threads = core::Runtime::resolve_stream_count(
         config_.num_threads, "LWT_OMP_NUM_THREADS");
+    introspect_.emplace();
 }
 
-Runtime::~Runtime() = default;
+Runtime::~Runtime() {
+    introspect_.reset();
+}
 
 void Runtime::run_region_member(const RegionBody& body, std::size_t tid,
                                 std::size_t nthreads, TaskPool& tasks,

@@ -22,12 +22,14 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "core/observability.hpp"
+#include "obs/introspect.hpp"
 #include "momp/task_pool.hpp"
 #include "sync/barrier.hpp"
 
@@ -229,6 +231,11 @@ class Runtime {
 
     std::mutex criticals_mutex_;
     std::unordered_map<std::string, std::unique_ptr<std::mutex>> criticals_;
+    // Declared LAST (destroyed first), mirroring the other runtimes. momp
+    // workers are plain OS threads (no XStreams), so the session usually
+    // just contributes its refcount — the server needs another runtime's
+    // streams to host its ULTs.
+    std::optional<obs::IntrospectSession> introspect_;
 };
 
 }  // namespace lwt::momp

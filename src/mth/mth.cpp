@@ -80,9 +80,11 @@ Library::Library(Config config) : config_(config) {
             [this, i] { locality_.bind_stream(i); });
         workers_.back()->start();
     }
+    introspect_.emplace();
 }
 
 Library::~Library() {
+    introspect_.reset();
     for (auto& w : workers_) {
         w->stop_and_join();
     }

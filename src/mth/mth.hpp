@@ -15,10 +15,12 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "arch/locality.hpp"
 #include "core/observability.hpp"
+#include "obs/introspect.hpp"
 #include "core/pool.hpp"
 #include "core/sync_ult.hpp"
 #include "core/ult.hpp"
@@ -142,6 +144,10 @@ class Library {
     std::vector<std::unique_ptr<core::DequePool>> pools_;
     std::vector<std::unique_ptr<core::XStream>> workers_;  // ranks 1..n-1
     std::unique_ptr<core::XStream> primary_;               // worker 0
+    // Declared LAST (destroyed first): the introspection server's ULTs
+    // must drain while the workers above still run. Engaged at the end of
+    // the ctor — the acceptor needs live streams to land on.
+    std::optional<obs::IntrospectSession> introspect_;
 };
 
 }  // namespace lwt::mth

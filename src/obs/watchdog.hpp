@@ -1,0 +1,97 @@
+// watchdog.hpp — sysmon-style stall detection over the stream directory.
+//
+// Go's sysmon thread watches every P for goroutines hogging their
+// processor; Slurm-style resource managers watch nodes for lost
+// heartbeats. This is the LWT equivalent: a plain OS thread (never a ULT
+// — it must keep running when the runtime itself is wedged) samples every
+// live XStream's progress epoch at interval/2 and flags streams that made
+// no scheduling progress for a full interval while their pools still hold
+// work. Each verdict transition bumps the "sched.stalls" registry counter
+// and drops a TraceEvent::kStall instant so the stall lands in /metrics
+// and any armed trace window; /health (src/obs/introspect.cpp) serves the
+// live report.
+//
+// Arming the watchdog also turns on the per-dispatch exec-start stamp
+// (core::set_watchdog_armed), so the report can show how long each
+// stream's *current* unit has been on-CPU — the runaway-unit signal the
+// ROADMAP's preemption item will act on. Off (the default), the only cost
+// left in the dispatch path is one relaxed load.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "sync/spinlock.hpp"
+
+namespace lwt::obs {
+
+class Watchdog {
+  public:
+    struct StreamVerdict {
+        unsigned rank = 0;
+        bool dedicated = false;
+        std::uint64_t progress_epoch = 0;
+        std::size_t pool_depth = 0;
+        bool stalled = false;
+        /// How long the stream has made no progress (0 when progressing).
+        double no_progress_ms = 0.0;
+        /// How long the currently-running unit has been on-CPU (0 when
+        /// the stream is idle).
+        double running_ms = 0.0;
+    };
+    struct Report {
+        std::uint32_t interval_ms = 0;
+        bool any_stalled = false;
+        /// The longest current on-CPU unit across all streams.
+        double longest_running_ms = 0.0;
+        std::vector<StreamVerdict> streams;
+    };
+
+    /// Start watching at `interval_ms` (sampling twice per interval). A
+    /// stream is stalled when its progress epoch stayed frozen for >=
+    /// interval_ms while its scheduler still had work; manually-driven
+    /// streams (no dedicated thread) are exempt — nobody is obliged to
+    /// drive them.
+    explicit Watchdog(std::uint32_t interval_ms);
+    ~Watchdog();
+    Watchdog(const Watchdog&) = delete;
+    Watchdog& operator=(const Watchdog&) = delete;
+
+    [[nodiscard]] std::uint32_t interval_ms() const noexcept {
+        return interval_ms_;
+    }
+
+    /// Latest verdicts (updated every sampling pass).
+    [[nodiscard]] Report report() const;
+
+    /// Convenience: no stream currently flagged.
+    [[nodiscard]] bool healthy() const { return !report().any_stalled; }
+
+  private:
+    struct History {
+        std::uint64_t epoch = 0;
+        std::chrono::steady_clock::time_point last_change;
+        bool stalled = false;
+    };
+
+    void run();
+    void sample();
+
+    const std::uint32_t interval_ms_;
+    std::unordered_map<const void*, History> history_;  // watcher-thread only
+
+    mutable lwt::sync::Spinlock report_lock_;
+    Report report_;
+
+    std::mutex mutex_;  // guards stop_ for the cv handshake
+    std::condition_variable cv_;
+    bool stop_ = false;
+    std::thread thread_;
+};
+
+}  // namespace lwt::obs

@@ -62,6 +62,7 @@ Library::Library(Config config) : config_(config) {
             workers_.back()->start();
         }
     }
+    introspect_.emplace();
 }
 
 core::Pool* Library::domain_queue(std::size_t domain) {
@@ -74,6 +75,7 @@ core::Pool* Library::domain_queue(std::size_t domain) {
 }
 
 Library::~Library() {
+    introspect_.reset();
     for (auto& w : workers_) {
         w->stop_and_join();
     }

@@ -18,11 +18,13 @@
 #include <functional>
 #include <mutex>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "arch/locality.hpp"
 #include "arch/topology.hpp"
 #include "core/observability.hpp"
+#include "obs/introspect.hpp"
 #include "core/pool.hpp"
 #include "core/sync_ult.hpp"
 #include "core/unique_function.hpp"
@@ -196,6 +198,10 @@ class Library {
     std::vector<std::unique_ptr<core::Pool>> domain_pools_;
     std::vector<std::size_t> populated_domains_;  // domains with >= 1 worker
     std::vector<std::unique_ptr<core::XStream>> workers_;
+    // Declared LAST (destroyed first): the introspection server's ULTs
+    // must drain while the workers above still run. Engaged at the end of
+    // the ctor — the acceptor needs live streams to land on.
+    std::optional<obs::IntrospectSession> introspect_;
 };
 
 }  // namespace lwt::qth

@@ -426,6 +426,42 @@ TEST(RuntimeResetStatsTest, OneCallZeroesAllTelemetry) {
     Metrics::instance().reset();
 }
 
+TEST(RuntimeResetStatsTest, PostResetRegistrySnapshotIsEmpty) {
+    // Regression guard for counters added after the original reset_stats
+    // audit (PR 3+): bump every post-PR3 registry family — reactor, timer,
+    // sync, and a request-latency histogram — then assert one reset_stats
+    // call leaves a completely zeroed registry snapshot. A counter that a
+    // future subsystem registers but reset_values misses fails here.
+    auto& reg = MetricsRegistry::instance();
+    reg.counter("io.reactor.wakes").inc(3);
+    reg.counter("io.reactor.polls").inc(5);
+    reg.counter("io.timer.fires").inc(2);
+    reg.counter("sync.suspends").inc(7);
+    reg.counter("sched.stalls").inc(1);
+    reg.gauge("sched.longest_unit_ms").set(42);
+    reg.histogram("io.req_latency_ticks").record(123);
+
+    std::vector<std::unique_ptr<DequePool>> pools;
+    pools.push_back(std::make_unique<DequePool>());
+    Runtime rt(1, [&](unsigned) {
+        return std::make_unique<Scheduler>(
+            std::vector<Pool*>{pools[0].get()});
+    });
+    rt.reset_stats();
+
+    for (const auto& e : reg.counters()) {
+        EXPECT_EQ(e.value, 0u) << "counter not reset: " << e.name;
+    }
+    for (const auto& e : reg.gauges()) {
+        EXPECT_EQ(e.value, 0) << "gauge not reset: " << e.name;
+        EXPECT_EQ(e.max, 0) << "gauge max not reset: " << e.name;
+    }
+    for (const auto& e : reg.histograms()) {
+        EXPECT_EQ(e.hist.count, 0u) << "histogram not reset: " << e.name;
+        EXPECT_EQ(e.hist.sum, 0u) << "histogram sum not reset: " << e.name;
+    }
+}
+
 // --- concurrency stress (run under TSan via tools/tsan.sh) -------------------
 
 TEST(MetricsStressTest, ConcurrentWritersSnapshotsAndSampler) {

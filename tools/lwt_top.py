@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""top(1) for LWT execution streams.
+
+Polls an LWT introspection endpoint's /stats (docs/introspection.md) once
+a second and renders a per-stream table: work executed (and the rate since
+the last poll), steals by locality tier, pool depth, idle behaviour, and
+the watchdog verdict.
+
+Usage:
+    tools/lwt_top.py [HOST:PORT] [-i SECONDS] [-n COUNT]
+
+HOST:PORT defaults to 127.0.0.1:9109. Start the target with
+LWT_INTROSPECT=127.0.0.1:9109 (plus LWT_WATCHDOG_MS=250 for stall
+verdicts). Stdlib only — no pip dependencies.
+"""
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+
+def fetch_stats(addr, timeout=2.0):
+    with urllib.request.urlopen(f"http://{addr}/stats", timeout=timeout) as r:
+        return json.load(r)
+
+
+def tier_cell(steal):
+    tiers = steal.get("tiers", {})
+    return "/".join(
+        str(tiers.get(name, {}).get("hits", 0))
+        for name in ("sibling", "package", "remote")
+    )
+
+
+def verdict_cell(rank, watchdog):
+    if not watchdog.get("enabled"):
+        return "-"
+    for s in watchdog.get("streams", []):
+        if s.get("rank") == rank:
+            if s.get("stalled"):
+                return f"STALLED {s.get('no_progress_ms', 0):.0f}ms"
+            run = s.get("running_ms", 0)
+            return f"run {run:.0f}ms" if run else "ok"
+    return "?"
+
+
+def render(stats, prev, dt):
+    streams = stats.get("streams", [])
+    reactor = stats.get("reactor", {})
+    watchdog = stats.get("watchdog", {})
+    prev_exec = {s["rank"]: s["executed"] for s in (prev or {}).get("streams", [])}
+
+    lines = []
+    header = (
+        f"{'STREAM':>6} {'EXECUTED':>12} {'RATE/s':>10} {'POOL':>6} "
+        f"{'STEAL s/p/r':>12} {'ATT':>8} {'SPINS':>10} {'PARKS':>7} "
+        f"{'VERDICT':>14}"
+    )
+    lines.append(header)
+    for s in streams:
+        rank = s.get("rank", 0)
+        executed = s.get("executed", 0)
+        rate = (executed - prev_exec.get(rank, executed)) / dt if dt else 0.0
+        steal = s.get("steal", {})
+        idle = s.get("idle", {})
+        lines.append(
+            f"{rank:>6} {executed:>12} {rate:>10.0f} "
+            f"{s.get('pool_depth', 0):>6} {tier_cell(steal):>12} "
+            f"{steal.get('attempts', 0):>8} {idle.get('spins', 0):>10} "
+            f"{idle.get('parks', 0):>7} {verdict_cell(rank, watchdog):>14}"
+        )
+    health = "watchdog off"
+    if watchdog.get("enabled"):
+        health = (
+            "HEALTHY"
+            if watchdog.get("healthy")
+            else "STALLED: " + ",".join(
+                str(s["rank"])
+                for s in watchdog.get("streams", [])
+                if s.get("stalled")
+            )
+        )
+    lines.append(
+        f"reactor: wakes={reactor.get('wakes', 0)} "
+        f"polls={reactor.get('polls', 0)} "
+        f"timer_fires={reactor.get('timer_fires', 0)}   {health}"
+    )
+    return "\n".join(lines)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("addr", nargs="?", default="127.0.0.1:9109",
+                    help="introspection HOST:PORT (default 127.0.0.1:9109)")
+    ap.add_argument("-i", "--interval", type=float, default=1.0,
+                    help="poll interval in seconds (default 1)")
+    ap.add_argument("-n", "--count", type=int, default=0,
+                    help="exit after N polls (default: run until ^C)")
+    args = ap.parse_args()
+
+    prev = None
+    prev_t = None
+    polls = 0
+    while True:
+        try:
+            stats = fetch_stats(args.addr)
+        except (urllib.error.URLError, OSError, json.JSONDecodeError) as e:
+            print(f"lwt_top: {args.addr}: {e}", file=sys.stderr)
+            if args.count and polls + 1 >= args.count:
+                return 1
+            time.sleep(args.interval)
+            polls += 1
+            continue
+        now = time.monotonic()
+        dt = (now - prev_t) if prev_t is not None else 0.0
+        stamp = time.strftime("%H:%M:%S")
+        print(f"\033[2J\033[H" if sys.stdout.isatty() else "", end="")
+        print(f"lwt_top — {args.addr} — {stamp}")
+        print(render(stats, prev, dt))
+        sys.stdout.flush()
+        prev, prev_t = stats, now
+        polls += 1
+        if args.count and polls >= args.count:
+            return 0
+        time.sleep(args.interval)
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except KeyboardInterrupt:
+        sys.exit(0)
