@@ -7,8 +7,11 @@
 #include <thread>
 #include <utility>
 
+#include "arch/audit.hpp"
+#include "arch/stack.hpp"
 #include "core/join.hpp"
 #include "core/ult.hpp"
+#include "core/unit_cache.hpp"
 #include "core/xstream.hpp"
 
 namespace lwt::abt {
@@ -16,14 +19,12 @@ namespace lwt::abt {
 // --- UnitHandle --------------------------------------------------------------
 
 UnitHandle::UnitHandle(UnitHandle&& other) noexcept
-    : unit_(std::exchange(other.unit_, nullptr)),
-      lib_(std::exchange(other.lib_, nullptr)) {}
+    : unit_(std::exchange(other.unit_, nullptr)) {}
 
 UnitHandle& UnitHandle::operator=(UnitHandle&& other) noexcept {
     if (this != &other) {
         free();
         unit_ = std::exchange(other.unit_, nullptr);
-        lib_ = std::exchange(other.lib_, nullptr);
     }
     return *this;
 }
@@ -52,17 +53,12 @@ void UnitHandle::free() {
         return;
     }
     join();
-    // Join-and-free: reclaim the structure (and recycle the stack when the
-    // library pools stacks) — the extra work the paper notes Argobots does
-    // during joins without losing performance.
-    if (lib_ != nullptr && lib_->config_.reuse_stacks) {
-        if (core::Ult* u = ult()) {
-            lib_->recycle_stack(u->take_stack());
-        }
-    }
+    // Join-and-free: reclaim the structure — the extra work the paper
+    // notes Argobots does during joins without losing performance. The
+    // descriptor returns to the slab magazines via the class-scoped
+    // operator delete; ~Ult recycles its stack to the default source.
     delete unit_;
     unit_ = nullptr;
-    lib_ = nullptr;
 }
 
 namespace {
@@ -95,23 +91,80 @@ struct BodyRef {
     }
 };
 
+/// Monotonic generation source shared by every Library: a refreshed
+/// PoolView can never collide with a stale one, even when a new Library
+/// reuses a destroyed one's address (the cached `owner` pointer alone
+/// would ABA).
+std::atomic<std::uint64_t> g_pool_gen_source{1};
+
+std::uint64_t next_pool_gen() noexcept {
+    return g_pool_gen_source.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Round-robin tickets handed out this many at a time per thread
+/// (LWT_TICKET_CHUNK, clamped to [1, 65536]). A chunk of consecutive
+/// tickets still rotates the dispatch pools evenly — the batching only
+/// changes how often the shared counter is touched.
+std::size_t ticket_chunk() noexcept {
+    static const std::size_t chunk = [] {
+        if (const char* env = std::getenv("LWT_TICKET_CHUNK")) {
+            const long v = std::atol(env);
+            if (v >= 1 && v <= 65536) {
+                return static_cast<std::size_t>(v);
+            }
+        }
+        return std::size_t{16};
+    }();
+    return chunk;
+}
+
+/// LWT_CREATE_COMPAT=1: force the pre-diet spawn path (locked pool pick,
+/// unchunked tickets) — the baseline the audit mode measures against.
+bool create_compat() noexcept {
+    static const bool compat = [] {
+        const char* env = std::getenv("LWT_CREATE_COMPAT");
+        return env != nullptr && *env != '\0' && *env != '0';
+    }();
+    return compat;
+}
+
+struct TicketBlock {
+    const void* owner = nullptr;
+    std::size_t next = 0;
+    std::size_t end = 0;
+};
+thread_local TicketBlock tl_tickets;
+
 }  // namespace
+
+namespace detail {
+
+/// Per-thread snapshot of a Library's dispatch state, valid while the
+/// library's pool_gen_ matches. Spawns resolve their target pool here
+/// with zero shared RMWs.
+struct PoolView {
+    const void* owner = nullptr;
+    std::uint64_t gen = 0;
+    std::vector<core::Pool*> all;  // index-aligned with Library::pools_
+    /// all[i] may be targeted explicitly (kDomainShared: only pools some
+    /// stream actually drains).
+    std::vector<std::uint8_t> selectable;
+    std::vector<core::Pool*> dispatch;  // round-robin targets
+};
+
+namespace {
+thread_local PoolView tl_pool_view;
+}  // namespace
+
+}  // namespace detail
 
 // --- Library -----------------------------------------------------------------
 
-Library::Library(Config config)
-    : config_(config),
-      stack_pool_(arch::default_stack_size(), /*max_cached=*/256) {
+Library::Library(Config config) : config_(config) {
+    pool_gen_.store(next_pool_gen(), std::memory_order_relaxed);
     const std::size_t n = core::Runtime::resolve_stream_count(
         config_.num_xstreams, "LWT_NUM_STREAMS");
     config_.num_xstreams = n;
-    // One stack cache per initial stream, indexed by rank. Sized before any
-    // stream exists and never resized, so local_stack_cache() can read the
-    // vector without a lock (dynamic streams fall back to the shared pool).
-    stack_caches_.reserve(n);
-    for (std::size_t i = 0; i < n; ++i) {
-        stack_caches_.push_back(std::make_unique<arch::StackCache>(&stack_pool_));
-    }
     const arch::BindPolicy bind = arch::resolve_bind_policy(config_.bind);
     arch::LocalityMap locality(arch::Topology::from_env_or_discover(), bind,
                                n);
@@ -170,6 +223,9 @@ Library::Library(Config config)
             return std::make_unique<core::Scheduler>(std::move(view));
         },
         std::move(locality));
+    // Size the descriptor allocator's depot tier to this topology's
+    // domains: spawns and frees on one package exchange magazines there.
+    core::unit_cache_configure_domains(runtime_->locality().num_domains());
     introspect_.emplace();
 }
 
@@ -214,42 +270,16 @@ std::size_t Library::xstream_create() {
         rank, std::make_unique<core::Scheduler>(std::vector<core::Pool*>{p}));
     stream->start();
     dynamic_streams_.push_back(std::move(stream));
+    // pools_ may have grown: invalidate every thread's cached PoolView.
+    pool_gen_.store(next_pool_gen(), std::memory_order_release);
     return rank;
 }
 
-arch::StackCache* Library::local_stack_cache() noexcept {
-    core::XStream* stream = core::XStream::current();
-    if (stream == nullptr || runtime_ == nullptr) {
-        return nullptr;
-    }
-    // The stream must be one of OUR initial streams: ranks collide across
-    // coexisting runtimes (interop), and a foreign stream's thread must not
-    // touch a cache some abt stream also uses. Each cache is then touched
-    // only by its stream's driving thread, so no lock.
-    const std::size_t rank = stream->rank();
-    if (rank >= runtime_->num_streams() ||
-        &runtime_->stream(rank) != stream || rank >= stack_caches_.size()) {
-        return nullptr;
-    }
-    return stack_caches_[rank].get();
-}
-
-arch::Stack Library::acquire_stack() {
-    if (arch::StackCache* cache = local_stack_cache()) {
-        return cache->acquire();
-    }
-    return stack_pool_.acquire();
-}
-
-void Library::recycle_stack(arch::Stack stack) {
-    if (arch::StackCache* cache = local_stack_cache()) {
-        cache->recycle(std::move(stack));
-        return;
-    }
-    stack_pool_.recycle(std::move(stack));
-}
-
 std::size_t Library::pick_pool(int pool_idx) {
+    const bool audited = arch::audit::enabled();
+    if (audited) {
+        arch::audit::count_rmw();  // streams_lock_
+    }
     std::lock_guard guard(streams_lock_);
     if (config_.pool_kind == PoolKind::kDomainShared) {
         // Pool index == dense domain index; never select a pool no stream
@@ -261,6 +291,9 @@ std::size_t Library::pick_pool(int pool_idx) {
                  .empty()) {
             return static_cast<std::size_t>(pool_idx);
         }
+        if (audited) {
+            arch::audit::count_rmw();  // the rr fetch_add
+        }
         return populated_domains_[rr_next_.fetch_add(
                                       1, std::memory_order_relaxed) %
                                   populated_domains_.size()];
@@ -268,7 +301,78 @@ std::size_t Library::pick_pool(int pool_idx) {
     if (pool_idx >= 0 && static_cast<std::size_t>(pool_idx) < pools_.size()) {
         return static_cast<std::size_t>(pool_idx);
     }
+    if (audited) {
+        arch::audit::count_rmw();
+    }
     return rr_next_.fetch_add(1, std::memory_order_relaxed) % pools_.size();
+}
+
+const detail::PoolView& Library::pool_view() {
+    detail::PoolView& v = detail::tl_pool_view;
+    const std::uint64_t gen = pool_gen_.load(std::memory_order_acquire);
+    if (v.owner == this && v.gen == gen) {
+        return v;  // the common spawn: no lock, no shared RMW
+    }
+    if (arch::audit::enabled()) {
+        arch::audit::count_rmw();  // refresh pays the lock once per change
+    }
+    std::lock_guard guard(streams_lock_);
+    v.all.clear();
+    v.selectable.clear();
+    v.dispatch.clear();
+    v.all.reserve(pools_.size());
+    for (const auto& p : pools_) {
+        v.all.push_back(p.get());
+    }
+    v.selectable.assign(pools_.size(), 1);
+    if (config_.pool_kind == PoolKind::kDomainShared) {
+        v.selectable.assign(pools_.size(), 0);
+        v.dispatch.reserve(populated_domains_.size());
+        for (std::size_t d : populated_domains_) {
+            v.selectable[d] = 1;
+            v.dispatch.push_back(pools_[d].get());
+        }
+    } else {
+        v.dispatch = v.all;
+    }
+    v.owner = this;
+    // Re-read under the lock: a concurrent xstream_create between the
+    // first load and here republishes a newer gen, forcing a re-refresh.
+    v.gen = pool_gen_.load(std::memory_order_relaxed);
+    return v;
+}
+
+std::size_t Library::next_ticket() {
+    TicketBlock& t = tl_tickets;
+    if (t.owner != this || t.next == t.end) {
+        const std::size_t chunk = ticket_chunk();
+        if (arch::audit::enabled()) {
+            arch::audit::count_rmw();  // one fetch_add per chunk of spawns
+        }
+        const std::size_t base =
+            rr_next_.fetch_add(chunk, std::memory_order_relaxed);
+        t.owner = this;
+        t.next = base;
+        t.end = base + chunk;
+    }
+    return t.next++;
+}
+
+core::Pool* Library::pick_target(int pool_idx) {
+    if (create_compat()) {
+        const std::size_t idx = pick_pool(pool_idx);
+        if (arch::audit::enabled()) {
+            arch::audit::count_rmw();  // the second streams_lock_ acquire
+        }
+        std::lock_guard guard(streams_lock_);
+        return pools_[idx].get();
+    }
+    const detail::PoolView& v = pool_view();
+    if (pool_idx >= 0 && static_cast<std::size_t>(pool_idx) < v.all.size() &&
+        v.selectable[static_cast<std::size_t>(pool_idx)] != 0) {
+        return v.all[static_cast<std::size_t>(pool_idx)];
+    }
+    return v.dispatch[next_ticket() % v.dispatch.size()];
 }
 
 core::Pool* Library::domain_pool(std::size_t domain) {
@@ -293,47 +397,44 @@ core::WorkUnit* Library::build_unit(UnitKind kind, core::UniqueFunction fn) {
         return new core::Tasklet(std::move(fn));
     }
     if (config_.reuse_stacks) {
-        return new core::Ult(std::move(fn), acquire_stack());
+        // Default ctor: stack from the process-wide pooled source, recycled
+        // by ~Ult. Descriptor itself comes from the slab magazines.
+        return new core::Ult(std::move(fn));
     }
-    return new core::Ult(std::move(fn));
+    // Ablation axis: a fresh mmap per create, unmapped at destruction.
+    return new core::Ult(std::move(fn), arch::default_stack_size());
 }
 
 core::WorkUnit* Library::make_unit(UnitKind kind, core::UniqueFunction fn,
                                    bool detached, int pool_idx) {
     core::WorkUnit* unit = build_unit(kind, std::move(fn));
     unit->detached = detached;
-    const std::size_t idx = pick_pool(pool_idx);
-    core::Pool* target;
-    {
-        std::lock_guard guard(streams_lock_);
-        target = pools_[idx].get();
-    }
-    target->push(unit);
+    pick_target(pool_idx)->push(unit);
     return unit;
 }
 
 UnitHandle Library::thread_create(core::UniqueFunction fn, int pool_idx) {
-    return UnitHandle(make_unit(UnitKind::kUlt, std::move(fn), false, pool_idx),
-                      this);
+    return UnitHandle(
+        make_unit(UnitKind::kUlt, std::move(fn), false, pool_idx));
 }
 
 UnitHandle Library::task_create(core::UniqueFunction fn, int pool_idx) {
     return UnitHandle(
-        make_unit(UnitKind::kTasklet, std::move(fn), false, pool_idx), this);
+        make_unit(UnitKind::kTasklet, std::move(fn), false, pool_idx));
 }
 
 UnitHandle Library::thread_create_domain(core::UniqueFunction fn,
                                          std::size_t domain) {
     core::WorkUnit* unit = build_unit(UnitKind::kUlt, std::move(fn));
     domain_pool(domain)->push(unit);
-    return UnitHandle(unit, this);
+    return UnitHandle(unit);
 }
 
 UnitHandle Library::task_create_domain(core::UniqueFunction fn,
                                        std::size_t domain) {
     core::WorkUnit* unit = build_unit(UnitKind::kTasklet, std::move(fn));
     domain_pool(domain)->push(unit);
-    return UnitHandle(unit, this);
+    return UnitHandle(unit);
 }
 
 void Library::thread_create_detached(core::UniqueFunction fn, int pool_idx) {
@@ -352,26 +453,16 @@ std::vector<UnitHandle> Library::create_bulk(
     if (n == 0) {
         return handles;
     }
-    // Snapshot the target pools once for the whole batch — the per-unit
-    // path takes streams_lock_ twice per unit.
+    // Resolve the target pools once for the whole batch from the cached
+    // PoolView — no lock unless the topology changed since last refresh.
+    const detail::PoolView& view = pool_view();
     std::vector<core::Pool*> targets;
-    {
-        std::lock_guard guard(streams_lock_);
-        if (pool_idx >= 0 &&
-            static_cast<std::size_t>(pool_idx) < pools_.size()) {
-            targets.push_back(pools_[static_cast<std::size_t>(pool_idx)].get());
-        } else if (config_.pool_kind == PoolKind::kDomainShared) {
-            // Only pools some stream actually drains.
-            targets.reserve(populated_domains_.size());
-            for (std::size_t d : populated_domains_) {
-                targets.push_back(pools_[d].get());
-            }
-        } else {
-            targets.reserve(pools_.size());
-            for (auto& p : pools_) {
-                targets.push_back(p.get());
-            }
-        }
+    if (pool_idx >= 0 &&
+        static_cast<std::size_t>(pool_idx) < view.all.size() &&
+        view.selectable[static_cast<std::size_t>(pool_idx)] != 0) {
+        targets.push_back(view.all[static_cast<std::size_t>(pool_idx)]);
+    } else {
+        targets = view.dispatch;
     }
     const std::size_t npools = targets.size();
     auto* blk = new BulkBlock{body, {n}};
@@ -382,13 +473,12 @@ std::vector<UnitHandle> Library::create_bulk(
             [ref = BodyRef(blk), i] { ref.blk->fn(i); });
         core::WorkUnit* unit = build_unit(kind, std::move(fn));
         units.push_back(unit);
-        handles.push_back(UnitHandle(unit, this));
+        handles.push_back(UnitHandle(unit));
     }
     // One contiguous slice per pool (rotated across calls so successive
     // batches start on different streams), one enqueue burst + one notify
     // per pool for the whole batch.
-    const std::size_t start =
-        rr_next_.fetch_add(1, std::memory_order_relaxed) % npools;
+    const std::size_t start = next_ticket() % npools;
     const std::span<core::WorkUnit* const> all(units);
     for (std::size_t p = 0; p < npools; ++p) {
         const std::size_t lo = p * n / npools;
@@ -416,7 +506,7 @@ std::vector<UnitHandle> Library::create_bulk_domain(
             [ref = BodyRef(blk), i] { ref.blk->fn(i); });
         core::WorkUnit* unit = build_unit(kind, std::move(fn));
         units.push_back(unit);
-        handles.push_back(UnitHandle(unit, this));
+        handles.push_back(UnitHandle(unit));
     }
     // The whole batch lands on one package: one enqueue burst, one notify,
     // and every consumer shares that socket's cache hierarchy.

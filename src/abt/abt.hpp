@@ -9,14 +9,16 @@
 // task_create / yield / thread_free (join).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
 #include <span>
 #include <vector>
 
-#include "arch/stack.hpp"
+#include "arch/topology.hpp"
 #include "obs/introspect.hpp"
 #include "core/pool.hpp"
 #include "core/runtime.hpp"
@@ -48,8 +50,9 @@ struct Config {
     /// then the hardware thread count.
     std::size_t num_xstreams = 0;
     PoolKind pool_kind = PoolKind::kPrivate;
-    /// Reuse ULT stacks through a pool (Argobots uses memory pools for
-    /// stacks; turning this off makes every create pay an mmap).
+    /// Reuse ULT stacks through the process-wide default stack source
+    /// (Argobots uses memory pools for stacks; turning this off makes
+    /// every create pay an mmap — the ablation axis).
     bool reuse_stacks = true;
     /// Stream pinning (LWT_BIND overrides). The same topology — including
     /// the LWT_TOPOLOGY fixture override — drives the locality-domain
@@ -58,6 +61,10 @@ struct Config {
 };
 
 class Library;
+
+namespace detail {
+struct PoolView;  // thread-cached pool snapshot (abt.cpp)
+}  // namespace detail
 
 /// Argobots synchronisation objects, re-exported under their ABT names.
 /// All of them suspend the calling ULT through the scheduler rather than
@@ -99,11 +106,9 @@ class UnitHandle {
 
   private:
     friend class Library;
-    UnitHandle(core::WorkUnit* unit, Library* lib) noexcept
-        : unit_(unit), lib_(lib) {}
+    explicit UnitHandle(core::WorkUnit* unit) noexcept : unit_(unit) {}
 
     core::WorkUnit* unit_ = nullptr;
-    Library* lib_ = nullptr;
 };
 
 /// One initialised Argobots-like runtime (ABT_init .. ABT_finalize).
@@ -208,15 +213,23 @@ class Library {
     core::WorkUnit* make_unit(UnitKind kind, core::UniqueFunction fn,
                               bool detached, int pool_idx);
     core::WorkUnit* build_unit(UnitKind kind, core::UniqueFunction fn);
+    /// Legacy spawn-path pool selection (LWT_CREATE_COMPAT=1): one
+    /// streams_lock_ acquire plus one shared fetch_add per call.
     std::size_t pick_pool(int pool_idx);
+    /// Lock-free spawn-path dispatch: resolve the target pool from the
+    /// thread-cached PoolView, round-robining via batched tickets.
+    core::Pool* pick_target(int pool_idx);
+    /// The calling thread's cached pool snapshot, refreshed (under
+    /// streams_lock_) only when pool_gen_ moved — the common spawn takes
+    /// zero shared RMWs here.
+    const detail::PoolView& pool_view();
+    /// Next round-robin ticket. Tickets are taken from rr_next_ in chunks
+    /// of LWT_TICKET_CHUNK (default 16), so the shared fetch_add is paid
+    /// once per chunk instead of once per spawn.
+    std::size_t next_ticket();
     /// The shared pool feeding locality domain `domain` (with fallback to
     /// a populated domain when that one has no streams).
     core::Pool* domain_pool(std::size_t domain);
-    arch::Stack acquire_stack();
-    void recycle_stack(arch::Stack stack);
-    /// The calling stream's stack cache, or nullptr from unattached
-    /// threads and dynamically created streams (they use the shared pool).
-    arch::StackCache* local_stack_cache() noexcept;
 
     // Declared first so it detaches LAST: the env-driven shutdown flush
     // (LWT_TRACE / LWT_METRICS) must run after every stream — including
@@ -233,11 +246,10 @@ class Library {
     std::unique_ptr<core::Runtime> runtime_;
     std::vector<std::unique_ptr<core::XStream>> dynamic_streams_;
     std::atomic<std::size_t> rr_next_{0};
-    /// Shared backing store plus one unsynchronized cache per initial
-    /// stream (indexed by rank): the spawn path refills in batches instead
-    /// of taking a central lock per ULT.
-    arch::SharedStackPool stack_pool_;
-    std::vector<std::unique_ptr<arch::StackCache>> stack_caches_;
+    /// Bumped (to a globally unique value) whenever pools_ changes —
+    /// xstream_create under kPrivate — invalidating every thread's cached
+    /// PoolView.
+    std::atomic<std::uint64_t> pool_gen_{0};
     mutable sync::Spinlock streams_lock_;
     // Declared LAST (destroyed first): the introspection server's ULTs
     // must drain while the streams above still run. Engaged at the end of

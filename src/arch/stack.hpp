@@ -2,10 +2,13 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
+
+#include "arch/audit.hpp"
 
 namespace lwt::arch {
 
@@ -26,7 +29,11 @@ class Stack {
 
     /// Map a stack with at least `usable_bytes` of usable space (rounded up
     /// to whole pages) plus one guard page. Throws std::bad_alloc on failure.
+    /// The mapping is lazily committed (MAP_NORESERVE): pages cost RSS only
+    /// once the ULT actually touches them. The one-arg form resolves the
+    /// hugepage preference via stack_huge_enabled().
     static Stack allocate(std::size_t usable_bytes);
+    static Stack allocate(std::size_t usable_bytes, bool huge);
 
     /// Give the usable pages back to the OS (madvise MADV_DONTNEED) while
     /// keeping the mapping — the next use refaults zero pages. Lets a pool
@@ -93,18 +100,22 @@ class SharedStackPool {
         : pool_(stack_bytes, max_cached) {}
 
     Stack acquire() {
+        count_lock();
         std::lock_guard guard(lock_);
         return pool_.acquire();
     }
     void recycle(Stack s) {
+        count_lock();
         std::lock_guard guard(lock_);
         pool_.recycle(std::move(s));
     }
     void acquire_bulk(std::vector<Stack>& out, std::size_t n) {
+        count_lock();
         std::lock_guard guard(lock_);
         pool_.acquire_bulk(out, n);
     }
     void recycle_bulk(std::vector<Stack>& stacks) {
+        count_lock();
         std::lock_guard guard(lock_);
         pool_.recycle_bulk(stacks);
     }
@@ -118,6 +129,15 @@ class SharedStackPool {
     }
 
   private:
+    // The shared lock is exactly the kind of per-spawn cost the audit mode
+    // exists to expose: each acquire here is one contended RMW the batch
+    // caches in front of this pool amortise away.
+    static void count_lock() noexcept {
+        if (audit::enabled()) {
+            audit::count_rmw();
+        }
+    }
+
     mutable std::mutex lock_;
     StackPool pool_;
 };
@@ -150,10 +170,13 @@ class StackCache {
     void recycle(Stack s) {
         local_.push_back(std::move(s));
         if (local_.size() > 2 * kBatch) {
-            // Drain the oldest batch; keep the hot tail local.
-            drain_.assign(std::make_move_iterator(local_.begin()),
-                          std::make_move_iterator(local_.begin() + kBatch));
-            local_.erase(local_.begin(), local_.begin() + kBatch);
+            // Drain a batch from the tail: O(kBatch) with no memmove of the
+            // survivors (erasing the front would shift every element).
+            // acquire() also pops the tail, so after a drain the next spawns
+            // reuse the still-cache-warm stacks recycled just before it.
+            drain_.assign(std::make_move_iterator(local_.end() - kBatch),
+                          std::make_move_iterator(local_.end()));
+            local_.erase(local_.end() - kBatch, local_.end());
             shared_->recycle_bulk(drain_);
         }
     }
@@ -174,5 +197,47 @@ std::size_t default_stack_size() noexcept;
 /// always wins — glt::RuntimeOptions plumbing, see topology.hpp).
 /// Applies to pools created after the call; nullopt clears.
 void set_default_stack_cache(std::optional<std::size_t> max_cached);
+
+// --- Hugepage-backed stacks -------------------------------------------------
+
+/// Whether new stacks should ask the kernel for transparent hugepages
+/// (MADV_HUGEPAGE on the usable range). Resolution: LWT_STACK_HUGE env var
+/// ("1"/"0") wins, else the programmatic default, else off. THP only pays
+/// off for stacks of 2 MiB and up (the kernel collapses whole 2 MiB
+/// extents); smaller stacks accept the advice harmlessly.
+[[nodiscard]] bool stack_huge_enabled() noexcept;
+
+/// Programmatic default for stack_huge_enabled() when LWT_STACK_HUGE is
+/// unset (glt::RuntimeOptions::stack_huge); nullopt clears.
+void set_default_stack_huge(std::optional<bool> huge);
+
+/// Test hook: force every MADV_HUGEPAGE request to report failure, as on a
+/// kernel with THP disabled. The allocation itself must still succeed —
+/// hugepages are an optimisation, never a requirement.
+void stack_thp_force_failure(bool fail) noexcept;
+
+/// Stacks mapped / unmapped since process start (all pools and the default
+/// source). Relaxed monotonic counters: the delta across a spawn burst is
+/// the number of mmap syscalls the pool layer failed to amortise.
+[[nodiscard]] std::uint64_t stack_map_count() noexcept;
+[[nodiscard]] std::uint64_t stack_unmap_count() noexcept;
+/// MADV_HUGEPAGE requests the kernel rejected (THP unavailable/denied).
+[[nodiscard]] std::uint64_t stack_thp_denied_count() noexcept;
+
+// --- Process-wide default stack source --------------------------------------
+//
+// Every personality's plain `new core::Ult(fn)` draws its stack here: a
+// thread-local StackCache in front of one leaked SharedStackPool of
+// default_stack_size() stacks. Creation pops a plain vector; the shared
+// lock is paid once per kBatch refill/drain. Stacks whose size does not
+// match the pool (LWT_STACKSIZE changed mid-process) bypass the pool.
+
+/// Pop a pooled default-size stack (mapping fresh ones in batches on miss).
+Stack acquire_default_stack();
+/// Return a stack from acquire_default_stack(); mismatched sizes unmap.
+void recycle_default_stack(Stack s) noexcept;
+/// Stacks currently cached in the shared tier of the default source
+/// (excludes per-thread caches; diagnostics/tests).
+[[nodiscard]] std::size_t default_stack_source_cached();
 
 }  // namespace lwt::arch

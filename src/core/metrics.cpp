@@ -25,8 +25,11 @@ std::uint64_t HistogramSnapshot::percentile(double p) const noexcept {
 }
 
 MetricsRegistry& MetricsRegistry::instance() {
-    static MetricsRegistry registry;
-    return registry;
+    // Leaked: stream teardown and thread_local destructor chains fold
+    // counters here, and those can run during static destruction — after a
+    // function-local static's destructor would already have fired.
+    static MetricsRegistry* registry = new MetricsRegistry;
+    return *registry;
 }
 
 Counter& MetricsRegistry::counter(std::string_view name) {

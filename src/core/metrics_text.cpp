@@ -5,6 +5,7 @@
 #include <string_view>
 
 #include "core/metrics.hpp"
+#include "core/observability.hpp"
 #include "core/scheduler.hpp"
 #include "core/stream_dir.hpp"
 #include "core/trace.hpp"
@@ -81,6 +82,7 @@ std::vector<StreamSample> sample_streams() {
 }
 
 void write_prometheus_text(std::ostream& os) {
+    publish_alloc_metrics();  // allocator totals refresh on every scrape
     MetricsRegistry& reg = MetricsRegistry::instance();
     for (const auto& c : reg.counters()) {
         const std::string name = sanitize(c.name);

@@ -10,9 +10,12 @@
 #include <ostream>
 #include <string>
 
+#include "arch/audit.hpp"
+#include "arch/stack.hpp"
 #include "core/metrics.hpp"
 #include "core/trace.hpp"
 #include "core/trace_export.hpp"
+#include "core/unit_cache.hpp"
 
 namespace lwt::core {
 namespace {
@@ -78,6 +81,7 @@ void arm(ObsState& s) {
 }
 
 void flush(ObsState& s) {
+    publish_alloc_metrics();  // allocator totals into the registry first
     if (s.trace_on) {
         const TraceStats stats = Tracer::instance().stats();
         const auto records = Tracer::instance().snapshot();
@@ -226,6 +230,33 @@ void print_metrics_report(std::ostream& os) {
     os << "==========================================================="
           "=======\n";
     os.flush();
+}
+
+void publish_alloc_metrics() {
+    MetricsRegistry& reg = MetricsRegistry::instance();
+    const auto set_counter = [&reg](const char* name, std::uint64_t v) {
+        Counter& c = reg.counter(name);
+        c.reset();
+        c.inc(v);
+    };
+    const UnitCacheTotals t = unit_cache_totals();
+    set_counter("alloc.unit_cache.allocs", t.allocs);
+    set_counter("alloc.unit_cache.hits", t.hits);
+    set_counter("alloc.unit_cache.misses", t.misses);
+    reg.gauge("alloc.slab.bytes").set(static_cast<std::int64_t>(t.slab_bytes));
+    reg.gauge("alloc.stack.maps")
+        .set(static_cast<std::int64_t>(arch::stack_map_count()));
+    reg.gauge("alloc.stack.unmaps")
+        .set(static_cast<std::int64_t>(arch::stack_unmap_count()));
+    reg.gauge("alloc.stack.thp_denied")
+        .set(static_cast<std::int64_t>(arch::stack_thp_denied_count()));
+    if (arch::audit::enabled()) {
+        const arch::audit::Snapshot a = arch::audit::snapshot();
+        set_counter("create.count", t.allocs);
+        set_counter("create.atomics", a.rmw);
+        set_counter("create.alloc_ticks", a.alloc_ticks);
+        set_counter("create.alloc_samples", a.alloc_samples);
+    }
 }
 
 bool write_metrics_json(const std::string& path) {

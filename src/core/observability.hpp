@@ -56,4 +56,13 @@ void print_metrics_report(std::ostream& os);
 /// as JSON. Returns false on IO failure.
 bool write_metrics_json(const std::string& path);
 
+/// Snapshot the allocator-layer totals into the MetricsRegistry:
+/// alloc.unit_cache.{allocs,hits,misses} counters, alloc.slab.bytes and
+/// alloc.stack.{maps,unmaps,thp_denied} gauges, plus — when
+/// LWT_CREATE_AUDIT armed the accounting mode — create.count,
+/// create.atomics and create.alloc_ticks/samples. The sources are
+/// process-lifetime shard sums, so publishing is idempotent (set, not
+/// add); the shutdown flush and every /metrics scrape call this.
+void publish_alloc_metrics();
+
 }  // namespace lwt::core

@@ -26,14 +26,21 @@ YieldStatus decode(void* p) noexcept {
 
 Ult::Ult(UniqueFunction f, std::size_t stack_bytes)
     : WorkUnit(Kind::kUlt, std::move(f)),
-      stack_(arch::Stack::allocate(
-          stack_bytes != 0 ? stack_bytes : arch::default_stack_size())) {
+      stack_(stack_bytes != 0 ? arch::Stack::allocate(stack_bytes)
+                              : arch::acquire_default_stack()),
+      pooled_default_(stack_bytes == 0) {
     init_context();
 }
 
 Ult::Ult(UniqueFunction f, arch::Stack stack)
     : WorkUnit(Kind::kUlt, std::move(f)), stack_(std::move(stack)) {
     init_context();
+}
+
+Ult::~Ult() {
+    if (pooled_default_ && stack_.valid()) {
+        arch::recycle_default_stack(std::move(stack_));
+    }
 }
 
 void Ult::init_context() {

@@ -25,16 +25,26 @@ enum class YieldStatus : std::uintptr_t {
 /// Stackful, yieldable, suspendable, migratable work unit.
 class Ult final : public WorkUnit {
   public:
-    /// Create a ULT with a freshly mapped stack of `stack_bytes` usable
-    /// bytes (default: arch::default_stack_size()).
+    /// Create a ULT. With `stack_bytes == 0` the stack comes from the
+    /// process-wide default stack source (arch::acquire_default_stack) and
+    /// is recycled there on destruction — every personality's plain spawn
+    /// path reuses stacks instead of paying an mmap per create. An explicit
+    /// size maps a fresh stack that unmaps on destruction.
     explicit Ult(UniqueFunction f, std::size_t stack_bytes = 0);
 
-    /// Create a ULT reusing a pooled stack (cheap path; see StackPool).
+    /// Create a ULT reusing a caller-pooled stack (the caller recycles it;
+    /// see StackPool).
     Ult(UniqueFunction f, arch::Stack stack);
 
+    ~Ult() override;
+
     /// Release the stack back to a pool instead of unmapping; call before
-    /// destruction when the creator owns a pool.
-    arch::Stack take_stack() noexcept { return std::move(stack_); }
+    /// destruction when the creator owns a pool. Transfers recycling
+    /// responsibility to the caller.
+    arch::Stack take_stack() noexcept {
+        pooled_default_ = false;
+        return std::move(stack_);
+    }
 
     /// The ULT currently running on this OS thread, or nullptr when the
     /// caller is ordinary thread code.
@@ -76,6 +86,7 @@ class Ult final : public WorkUnit {
     arch::Stack stack_;
     arch::fcontext_t ctx_ = nullptr;        // suspended ULT context
     arch::fcontext_t sched_ctx_ = nullptr;  // context to suspend back into
+    bool pooled_default_ = false;  // stack owed to the default source
 };
 
 /// Cooperative yield usable from anywhere: ULT yield inside a ULT,

@@ -5,6 +5,7 @@
 
 #include "core/join.hpp"
 #include "core/runtime.hpp"
+#include "core/unit_cache.hpp"
 #include "core/work_unit.hpp"
 
 namespace lwt::cvt {
@@ -44,6 +45,8 @@ Library::Library(Config config) : config_(config) {
     const arch::BindPolicy bind = arch::resolve_bind_policy(config_.bind);
     locality_ = arch::LocalityMap(arch::Topology::from_env_or_discover(),
                                   bind, n);
+    // Size the descriptor allocator's depot tier to this topology.
+    core::unit_cache_configure_domains(locality_.num_domains());
     pools_.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
         pools_.push_back(

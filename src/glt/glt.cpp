@@ -631,6 +631,7 @@ std::unique_ptr<Runtime> init(const RuntimeOptions& opts) {
     arch::set_default_topology_spec(opts.topology);
     arch::set_default_bind_policy(opts.bind);
     arch::set_default_stack_cache(opts.stack_cache);
+    arch::set_default_stack_huge(opts.stack_huge);
     core::set_default_idle_policy(opts.idle);
     if (opts.join && std::getenv("LWT_JOIN") == nullptr) {
         // Join mode has no default-vs-cache split: poke the cached mode

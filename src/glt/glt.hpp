@@ -221,6 +221,11 @@ struct RuntimeOptions {
     std::optional<sync::IdlePolicy> idle;
     /// Free-stack cache cap per pool (LWT_STACK_CACHE); nullopt = 64.
     std::optional<std::size_t> stack_cache;
+    /// Back ULT stacks with transparent huge pages — MADV_HUGEPAGE on the
+    /// usable range, guard page intact (LWT_STACK_HUGE); nullopt = off.
+    /// Falls back gracefully where THP is unavailable (the denial count is
+    /// the alloc.stack.thp_denied gauge).
+    std::optional<bool> stack_huge;
     /// Trace sink: path for the Chrome-trace JSON (LWT_TRACE); empty = off.
     std::string trace_sink;
     /// Metrics sink: "1" = stderr table, "*.json" = table + JSON dump

@@ -2,6 +2,7 @@
 
 #include "core/runtime.hpp"
 #include "core/ult.hpp"
+#include "core/unit_cache.hpp"
 
 namespace lwt::gol {
 
@@ -9,6 +10,8 @@ Library::Library(Config config) : config_(config) {
     const std::size_t n = core::Runtime::resolve_stream_count(
         config_.num_threads, "LWT_NUM_THREADS");
     config_.num_threads = n;
+    // One global queue, no locality routing: a single depot domain.
+    core::unit_cache_configure_domains(1);
     // Every scheduler thread pops the same global queue.
     for (std::size_t i = 0; i < n; ++i) {
         threads_.push_back(std::make_unique<core::XStream>(

@@ -18,6 +18,7 @@
 
 #include "core/sched_stats.hpp"
 #include "core/unique_function.hpp"
+#include "core/unit_cache.hpp"
 #include "queue/chase_lev_deque.hpp"
 #include "queue/global_queue.hpp"
 #include "sync/idle_backoff.hpp"
@@ -94,8 +95,17 @@ class TaskPool {
     }
 
   private:
+    /// Task descriptors come from the same per-domain slab magazines as
+    /// the kernel's work units — OpenMP task spawns stay heap-free too.
     struct Task {
         core::UniqueFunction fn;
+
+        static void* operator new(std::size_t size) {
+            return core::unit_cache_alloc(size);
+        }
+        static void operator delete(void* ptr, std::size_t size) noexcept {
+            core::unit_cache_free(ptr, size);
+        }
     };
 
     bool over_cutoff(std::size_t tid) const;

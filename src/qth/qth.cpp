@@ -6,6 +6,7 @@
 
 #include "core/runtime.hpp"
 #include "core/ult.hpp"
+#include "core/unit_cache.hpp"
 #include "core/work_unit.hpp"
 
 namespace lwt::qth {
@@ -39,6 +40,8 @@ Library::Library(Config config) : config_(config) {
     const arch::BindPolicy bind = arch::resolve_bind_policy(config_.bind);
     locality_ = arch::LocalityMap(arch::Topology::from_env_or_discover(),
                                   bind, nworkers);
+    // Size the descriptor allocator's depot tier to this topology.
+    core::unit_cache_configure_domains(locality_.num_domains());
     for (std::size_t d = 0; d < locality_.num_domains(); ++d) {
         domain_pools_.push_back(std::make_unique<core::MpmcPool>());
         if (!locality_.streams_in_domain(d).empty()) {
